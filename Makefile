@@ -1,0 +1,35 @@
+# Convenience targets for the CC-Hunter reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/cloud_colocation_audit.py
+	$(PYTHON) examples/smt_divider_sweep.py
+	$(PYTHON) examples/false_alarm_screening.py
+	$(PYTHON) examples/detect_and_respond.py
+	$(PYTHON) examples/offline_forensics.py
+
+figures:
+	$(PYTHON) -m repro figure 2
+	$(PYTHON) -m repro figure 3
+	$(PYTHON) -m repro figure 6
+	$(PYTHON) -m repro figure 7
+	$(PYTHON) -m repro figure 8
+	$(PYTHON) -m repro figure 13
+	$(PYTHON) -m repro table1
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis benchmarks/results.txt

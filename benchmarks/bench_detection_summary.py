@@ -1,0 +1,29 @@
+"""Headline result: every channel detected, zero false alarms.
+
+Paper (Section I / VI): CC-Hunter successfully detects all three covert
+timing channels at varying bandwidths and message patterns, with zero
+false alarms over the benign benchmark pairs tested.
+"""
+
+from conftest import record
+
+from repro.analysis.figures import detection_summary
+
+
+def test_detection_summary(benchmark):
+    summary = benchmark.pedantic(
+        lambda: detection_summary(seed=1, n_bits=16, n_quanta_benign=6),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.all_detected
+    assert summary.false_alarms == 0
+    record(
+        "Detection summary (paper's headline claim)",
+        *(
+            f"{kind:<8}: {'DETECTED' if det else 'missed'}"
+            for kind, det in summary.channel_detections.items()
+        ),
+        f"false alarms: {summary.false_alarms} of {summary.pairs_tested} "
+        "benign pairs",
+    )

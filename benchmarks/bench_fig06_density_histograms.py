@@ -1,0 +1,36 @@
+"""Figure 6: event-density histograms for the two contention channels.
+
+Paper: bus channel shows a burst mode near density bin #20 (Δt = 100 000
+cycles); the divider shows a prominent second distribution between bins
+#84 and #105 peaking around #96 (Δt = 500 cycles). Both likelihood ratios
+are >= 0.9.
+"""
+
+from conftest import record
+
+from repro.analysis.ascii_plot import render_histogram
+from repro.analysis.figures import fig6_density_histograms
+
+
+def test_fig6_density_histograms(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6_density_histograms(seed=1, n_bits=16, bandwidth_bps=10.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert 18 <= result.bus_burst_bin <= 22          # paper: ~#20
+    assert 84 <= result.divider_burst_bin <= 105     # paper: #84-#105
+    assert result.bus_analysis.likelihood_ratio > 0.9
+    assert result.divider_analysis.likelihood_ratio > 0.9
+    record(
+        "Figure 6: event density histograms",
+        f"bus burst mode at bin #{result.bus_burst_bin} (paper: ~#20), "
+        f"LR = {result.bus_analysis.likelihood_ratio:.3f}",
+        f"divider burst mode at bin #{result.divider_burst_bin} "
+        f"(paper: ~#96), LR = {result.divider_analysis.likelihood_ratio:.3f}",
+        render_histogram(result.bus_hist, title="bus lock density"),
+        render_histogram(
+            result.divider_hist, title="divider contention density",
+            max_bins=128,
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Figure 7: G1/G0 cache access-time ratios over a 64-bit message.
+
+Paper: ratios above 1 decode '1' (G1 sets missed), below 1 decode '0';
+values span roughly 0.5-2. Reproduced shape: the same bimodal ratio
+series around 1.0.
+"""
+
+from conftest import record
+
+from repro.analysis.ascii_plot import render_series
+from repro.analysis.figures import fig7_cache_ratios
+
+
+def test_fig7_cache_ratios(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_cache_ratios(
+            seed=1, n_bits=32, bandwidth_bps=100.0, n_sets=512
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ber <= 1 / 32  # at most the cold-start bit
+    assert result.mean_ratio_ones > 1.2
+    assert result.mean_ratio_zeros < 0.9
+    record(
+        "Figure 7: cache channel G1/G0 access-time ratios",
+        f"bits: {result.ratios.size}, BER: {result.ber:.3f}",
+        f"mean ratio on '1' bits: {result.mean_ratio_ones:.2f} (paper: >1)",
+        f"mean ratio on '0' bits: {result.mean_ratio_zeros:.2f} (paper: <1)",
+        render_series(result.ratios, title="per-bit G1/G0 ratio"),
+    )

@@ -1,0 +1,40 @@
+"""Figure 14: false-alarm study over benign benchmark pairs.
+
+Paper: gobmk+sjeng, bzip2+h264ref, stream x2, mailserver x2 and
+webserver x2 run as hyperthreads; none trips any detector. The
+mailserver pair shows a weak second bus-lock distribution (bins #5-#8)
+whose likelihood ratio stays below 0.5; the webserver pair shows brief
+cache-train periodicity that the oscillation detector rejects.
+"""
+
+from conftest import record
+
+from repro.analysis.ascii_plot import render_histogram
+from repro.analysis.figures import fig14_false_alarms
+
+
+def test_fig14_false_alarms(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig14_false_alarms(seed=9, n_quanta=8),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for r in results:
+        assert not r.any_alarm, r.pair
+        lines.append(
+            f"{'+'.join(r.pair):<24} bus LR {r.bus_lr:.3f}, divider LR "
+            f"{r.divider_lr:.3f}, cache best peak {r.cache_max_peak:.2f} "
+            "-> no alarm"
+        )
+    mail = next(r for r in results if r.pair[0] == "mailserver")
+    assert 0.0 < mail.bus_lr < 0.5  # the weak second mode exists
+    lines.append(
+        render_histogram(
+            mail.bus_hist, title="mailserver bus-lock density "
+            "(weak mode at bins ~5-8, LR < 0.5)",
+            max_bins=32,
+        )
+    )
+    lines.append("false alarms: 0 of 5 pairs (paper: zero false alarms)")
+    record("Figure 14: false-alarm study", *lines)

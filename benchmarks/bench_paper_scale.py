@@ -1,0 +1,53 @@
+"""Opt-in paper-scale runs (deselected by default; takes tens of minutes).
+
+Run with::
+
+    pytest benchmarks/bench_paper_scale.py --benchmark-only -m paper_scale
+
+The default benchmark suite uses paper-shaped but smaller configurations
+so it finishes in minutes; these re-run the two experiments whose paper
+scale is largest — Figure 12's 256 random 64-bit messages and Figure 2's
+full 64-bit credit-card transmission at the exact paper framing — without
+any downsizing.
+"""
+
+import numpy as np
+import pytest
+from conftest import record
+
+from repro.analysis.figures import fig2_membus_latency, fig12_message_sweep
+
+pytestmark = pytest.mark.paper_scale
+
+
+def test_fig12_full_256_messages(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig12_message_sweep(
+            seed=1, n_messages=256, n_bits=64,
+            kinds=("membus", "divider"), bandwidth_bps=100.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for r in results:
+        assert r.min_likelihood_ratio > 0.9
+        lines.append(
+            f"{r.kind:<8}: min LR over 256 x 64-bit messages = "
+            f"{r.min_likelihood_ratio:.3f} (paper: > 0.9)"
+        )
+    record("Paper scale: Figure 12 with 256 random 64-bit messages", *lines)
+
+
+def test_fig2_full_credit_card(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2_membus_latency(seed=1, n_bits=64, bandwidth_bps=10.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ber == 0.0
+    assert result.latencies.size == 64 * 55  # ~3500 samples as in Fig 2
+    record(
+        "Paper scale: Figure 2 with the 64-bit credit card number",
+        f"{result.latencies.size} spy samples, BER {result.ber:.3f}",
+    )

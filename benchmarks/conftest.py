@@ -1,0 +1,33 @@
+"""Benchmark support: collect per-experiment result summaries.
+
+pytest captures stdout, so benchmarks report their reproduced numbers
+through :func:`record` and this plugin prints them in the terminal summary
+(and appends them to ``benchmarks/results.txt``) after the timing table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_RESULTS: List[str] = []
+
+
+def record(title: str, *lines: str) -> None:
+    """Register a result block to be shown in the terminal summary."""
+    block = [f"--- {title} ---"]
+    block.extend(lines)
+    _RESULTS.append("\n".join(block))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced experiment results")
+    for block in _RESULTS:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")
+    out_path = os.path.join(os.path.dirname(__file__), "results.txt")
+    with open(out_path, "w") as handle:
+        handle.write("\n\n".join(_RESULTS) + "\n")
+    terminalreporter.write_line(f"(also written to {out_path})")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Cloud co-location audit: catch a cross-tenant L2 cache channel.
+
+The scenario the paper's introduction motivates: two colluding tenants
+(a trojan inside a victim's enclave, a spy in a sibling VM) exfiltrate
+data through shared-L2 conflict misses, Xu et al. style. A cloud
+operator runs CC-Hunter's cache audit over the machine; the oscillation
+detector exposes the channel and estimates how many cache sets it uses.
+Run with::
+
+    python examples/cloud_colocation_audit.py
+"""
+
+from repro import (
+    AuditUnit,
+    CacheCovertChannel,
+    CCHunter,
+    ChannelConfig,
+    Machine,
+    Message,
+    background_noise_processes,
+)
+from repro.analysis.ascii_plot import render_correlogram
+
+
+def main() -> None:
+    machine = Machine(seed=99)
+
+    # Operator-side: audit the shared L2.
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.CACHE)
+
+    # Tenant-side: a 256-set conflict-miss ping-pong at 100 bits/s.
+    secret = Message.random(24, rng=5)
+    channel = CacheCovertChannel(
+        machine,
+        ChannelConfig(message=secret, bandwidth_bps=100.0),
+        n_sets_total=256,
+    )
+    channel.deploy()  # trojan and spy on different cores, shared L2
+
+    quanta = channel.quanta_needed()
+    background_noise_processes(
+        machine, n_quanta=quanta,
+        avoid_contexts=(channel.trojan_ctx, channel.spy_ctx), seed=99,
+    )
+
+    print(f"simulating {quanta} quanta of co-located tenants...")
+    machine.run_quanta(quanta)
+
+    print(f"\ntenants' channel worked: BER {channel.bit_error_rate():.3f}")
+
+    report = hunter.report()
+    print("\n" + report.render())
+
+    verdict = report.verdict_for("cache")
+    if verdict.detected and verdict.dominant_period:
+        print(
+            f"\nestimated covert working set: ~{verdict.dominant_period:.0f}"
+            f" cache sets (ground truth: {channel.n_sets_total})"
+        )
+    analyses = [a for a in hunter.cache_analyses() if a.significant]
+    if analyses:
+        best = max(analyses, key=lambda a: a.max_peak)
+        print(render_correlogram(
+            best.acf, title="\nstrongest window's autocorrelogram",
+            marker_lags=best.peak_lags.tolist(),
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Screen benign workload pairs for false alarms (Figure 14 workflow).
+
+A data-center operator worried about alarm fatigue replays the paper's
+false-alarm study: pairs of CPU-, memory- and I/O-intensive programs run
+as hyperthreads while CC-Hunter audits the bus, the divider and the
+cache. None of them should trip a detector — including the mailserver
+pair, whose fsync clusters form a real (but weak) second bus-lock
+distribution. Run with::
+
+    python examples/false_alarm_screening.py
+"""
+
+from repro import AuditUnit, CCHunter, Machine
+from repro.analysis.ascii_plot import render_histogram
+from repro.analysis.figures import aggregate_histogram
+from repro.core.burst import analyze_histogram
+from repro.workloads import mailserver, stream, webserver, workload_process
+from repro.workloads.spec import bzip2, gobmk, h264ref, sjeng
+
+PAIRS = [
+    (gobmk, sjeng),          # both bus-heavy
+    (bzip2, h264ref),        # both division-heavy
+    (stream, stream),        # streaming memory
+    (mailserver, mailserver),
+    (webserver, webserver),
+]
+
+
+def screen(pair, n_quanta=8, seed=9):
+    machine = Machine(seed=seed)
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.MEMORY_BUS)
+    hunter.audit(AuditUnit.DIVIDER, core=0)
+    cache_hunter = CCHunter(machine)
+    cache_hunter.audit(AuditUnit.CACHE)
+    machine.spawn(
+        workload_process(pair[0], machine, n_quanta, seed=1, instance=0),
+        ctx=0,
+    )
+    machine.spawn(
+        workload_process(pair[1], machine, n_quanta, seed=2, instance=1),
+        ctx=1,
+    )
+    machine.run_quanta(n_quanta)
+    return machine, hunter, cache_hunter
+
+
+def main() -> None:
+    alarms = 0
+    for pair in PAIRS:
+        name = f"{pair[0].name}+{pair[1].name}"
+        machine, hunter, cache_hunter = screen(pair)
+        report = hunter.report()
+        cache_verdict = cache_hunter.report().verdicts[0]
+        tripped = report.any_detected or cache_verdict.detected
+        alarms += tripped
+        bus_hist = aggregate_histogram(hunter, AuditUnit.MEMORY_BUS)
+        bus_lr = analyze_histogram(bus_hist).likelihood_ratio
+        print(
+            f"{name:<26} bus LR {bus_lr:.3f} | cache peak "
+            f"{cache_verdict.max_peak or 0:.2f} | "
+            f"{'ALARM' if tripped else 'clear'}"
+        )
+        if pair[0].name == "mailserver":
+            print(render_histogram(
+                bus_hist, max_bins=24,
+                title="  mailserver's weak second mode (bins ~5-8, "
+                "below the 0.5 LR threshold):",
+            ))
+    print(f"\nfalse alarms: {alarms} of {len(PAIRS)} pairs "
+          "(paper: zero false alarms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: detect a memory-bus covert timing channel.
+
+Builds the paper's machine (quad-core, 2-way SMT, shared L2), deploys a
+trojan/spy pair that leaks a 64-bit credit card number through memory-bus
+locking, adds three benign interfering processes, and lets CC-Hunter
+audit the bus. Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AuditUnit,
+    CCHunter,
+    ChannelConfig,
+    Machine,
+    MemoryBusCovertChannel,
+    Message,
+    background_noise_processes,
+)
+
+
+def main() -> None:
+    machine = Machine(seed=2024)
+
+    # The administrator points one CC-auditor monitor at the memory bus.
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.MEMORY_BUS)
+
+    # The adversary: a trojan/spy pair leaking a credit card number at
+    # 10 bits/s by locking the bus with atomic unaligned accesses.
+    secret = Message.random_credit_card(rng=7)
+    channel = MemoryBusCovertChannel(
+        machine, ChannelConfig(message=secret, bandwidth_bps=10.0)
+    )
+    channel.deploy(trojan_ctx=0, spy_ctx=2)
+
+    # The environment: at least three other active processes (threat model).
+    quanta = channel.quanta_needed()
+    background_noise_processes(
+        machine, n_quanta=quanta, avoid_contexts=(0, 2), seed=2024
+    )
+
+    print(f"simulating {quanta} OS quanta ({quanta * 0.1:.1f} s virtual)...")
+    machine.run_quanta(quanta)
+
+    print(f"\nspy decoded the secret with BER {channel.bit_error_rate():.3f}")
+    print(f"  sent:    {''.join(map(str, secret.bits[:32]))}...")
+    decoded = "".join(map(str, channel.decoded_bits[:32]))
+    print(f"  decoded: {decoded}...")
+
+    print("\n" + hunter.report().render())
+
+
+if __name__ == "__main__":
+    main()

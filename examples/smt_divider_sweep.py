@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""SMT divider channel across bandwidths: detection never lets go.
+
+Reproduces the spirit of Figure 10's middle column at small scale: the
+integer-divider channel is run at several bandwidths as hyperthread
+co-residents, and CC-Hunter's burst detector reports the likelihood
+ratio at each — it stays above 0.9 throughout, only the histogram
+magnitudes change. Run with::
+
+    python examples/smt_divider_sweep.py
+"""
+
+import numpy as np
+
+from repro import (
+    AuditUnit,
+    CCHunter,
+    ChannelConfig,
+    DividerCovertChannel,
+    Machine,
+    Message,
+    background_noise_processes,
+)
+from repro.analysis.ascii_plot import render_histogram
+from repro.core.burst import analyze_histogram
+
+
+def run_at(bandwidth_bps: float, n_bits: int, seed: int = 4):
+    machine = Machine(seed=seed)
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.DIVIDER, core=0)
+    channel = DividerCovertChannel(
+        machine,
+        ChannelConfig(message=Message.random(n_bits, seed),
+                      bandwidth_bps=bandwidth_bps),
+    )
+    channel.deploy(core=0)
+    quanta = channel.quanta_needed()
+    background_noise_processes(
+        machine, n_quanta=quanta, avoid_contexts=(0, 1), seed=seed
+    )
+    machine.run_quanta(quanta)
+    aggregate = np.sum(
+        hunter.burst_histograms(AuditUnit.DIVIDER, core=0), axis=0
+    )
+    analysis = analyze_histogram(aggregate)
+    verdict = hunter.report().verdicts[0]
+    return aggregate, analysis, verdict, channel
+
+
+def main() -> None:
+    for bandwidth, n_bits in ((1.0, 4), (10.0, 8), (100.0, 32), (1000.0, 300)):
+        aggregate, analysis, verdict, channel = run_at(bandwidth, n_bits)
+        print(f"\n=== {bandwidth:g} bps ({n_bits} bits) ===")
+        print(
+            f"likelihood ratio {analysis.likelihood_ratio:.3f}, "
+            f"burst mode at bin #{int(np.argmax(aggregate[1:])) + 1}, "
+            f"detected={verdict.detected}, BER={channel.bit_error_rate():.2f}"
+        )
+        print(render_histogram(aggregate, max_bins=110))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of the paper's figures and tables.
+
+One function per figure/table in the evaluation, each returning the
+plotted series plus the quantitative summary the benchmarks print;
+:mod:`ascii_plot` renders histograms, correlograms and event trains in a
+terminal.
+"""
+
+from repro.analysis.ascii_plot import (
+    render_correlogram,
+    render_event_train,
+    render_histogram,
+    render_series,
+)
+from repro.analysis.tables import table1_rows
+
+__all__ = [
+    "render_histogram",
+    "render_correlogram",
+    "render_event_train",
+    "render_series",
+    "table1_rows",
+]

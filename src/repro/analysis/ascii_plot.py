@@ -1,0 +1,121 @@
+"""Terminal rendering of the paper's plot types.
+
+Minimal dependency-free plotting: frequency histograms (Figures 6, 10,
+12, 14), autocorrelograms (Figures 8, 11, 13), event trains (Figure 4)
+and latency series (Figures 2, 3, 7). These are for human inspection of
+benchmark output; the numeric series are returned by
+:mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DetectionError
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _scale_to_bars(values: np.ndarray) -> str:
+    top = values.max()
+    if top <= 0:
+        return " " * values.size
+    idx = np.ceil(values / top * (len(_BARS) - 1)).astype(int)
+    return "".join(_BARS[i] for i in idx)
+
+
+def render_histogram(
+    hist: Sequence[float],
+    title: str = "",
+    max_bins: int = 64,
+    log_scale: bool = True,
+) -> str:
+    """One-line bar rendering of a density histogram (bin 0 annotated).
+
+    Log scaling keeps the (huge) bin-0 spike from flattening the burst
+    mode the plot exists to show.
+    """
+    arr = np.asarray(hist, dtype=np.float64)
+    if arr.size == 0:
+        raise DetectionError("cannot render an empty histogram")
+    shown = arr[:max_bins]
+    scaled = np.log1p(shown) if log_scale else shown
+    bars = _scale_to_bars(scaled)
+    nonzero = np.nonzero(arr)[0]
+    top_bin = int(nonzero[-1]) if nonzero.size else 0
+    header = f"{title}\n" if title else ""
+    return (
+        f"{header}|{bars}| bins 0..{shown.size - 1}"
+        f" (bin0={int(arr[0])}, last nonzero bin={top_bin})"
+    )
+
+
+def render_correlogram(
+    acf: Sequence[float],
+    title: str = "",
+    width: int = 72,
+    marker_lags: Optional[Sequence[int]] = None,
+) -> str:
+    """Compact rendering of an autocorrelogram with peak markers."""
+    arr = np.asarray(acf, dtype=np.float64)
+    if arr.size < 2:
+        raise DetectionError("correlogram too short to render")
+    # Downsample to terminal width, keeping extremes visible via max-abs.
+    bins = np.array_split(arr, min(width, arr.size))
+    condensed = np.array([b[np.abs(b).argmax()] for b in bins])
+    rows = []
+    header = f"{title}\n" if title else ""
+    for level in (0.75, 0.25, -0.25, -0.75):
+        row = "".join(
+            "*" if (v >= level if level > 0 else v <= level) else " "
+            for v in condensed
+        )
+        rows.append(f"{level:+.2f} |{row}|")
+    footer = f"lags 0..{arr.size - 1}"
+    if marker_lags is not None and len(marker_lags) > 0:
+        footer += f", peaks at {list(marker_lags)[:6]}"
+    return header + "\n".join(rows) + "\n" + footer
+
+
+def render_event_train(
+    times: Sequence[int],
+    t0: int,
+    t1: int,
+    title: str = "",
+    width: int = 72,
+) -> str:
+    """Density-strip rendering of an event train (Figure 4 style)."""
+    if t1 <= t0:
+        raise DetectionError(f"empty train window [{t0}, {t1})")
+    arr = np.asarray(times, dtype=np.int64)
+    arr = arr[(arr >= t0) & (arr < t1)]
+    edges = np.linspace(t0, t1, width + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    bars = _scale_to_bars(np.log1p(counts.astype(np.float64)))
+    header = f"{title}\n" if title else ""
+    return f"{header}|{bars}| {arr.size} events in [{t0}, {t1})"
+
+
+def render_series(
+    values: Sequence[float],
+    title: str = "",
+    width: int = 72,
+    height: int = 8,
+) -> str:
+    """Small scatter rendering of a latency series (Figures 2/3/7 style)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise DetectionError("cannot render an empty series")
+    bins = np.array_split(arr, min(width, arr.size))
+    means = np.array([b.mean() for b in bins])
+    lo, hi = float(means.min()), float(means.max())
+    span = hi - lo or 1.0
+    rows = []
+    levels = np.round((means - lo) / span * (height - 1)).astype(int)
+    for level in range(height - 1, -1, -1):
+        rows.append("".join("o" if lv == level else " " for lv in levels))
+    header = f"{title}\n" if title else ""
+    body = "\n".join(f"|{r}|" for r in rows)
+    return f"{header}{body}\nmin={lo:.1f} max={hi:.1f} n={arr.size}"

@@ -1,0 +1,113 @@
+"""Covert-channel bandwidth assessment per TCSEC (paper Section II).
+
+The Orange Book classifies covert channels by bandwidth: above 100 bits/s
+is a *high* bandwidth channel; below 0.1 bit/s is generally "not
+considered very feasible" (too expensive for the adversary to extract
+anything meaningful). This module scores a (possibly noisy) covert
+session: its raw bandwidth, the effective information rate through the
+binary symmetric channel its bit error rate induces, and the TCSEC class
+— the numbers an operator needs to prioritize responses after CC-Hunter
+raises a detection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import DetectionError
+
+
+class TcsecClass(Enum):
+    """TCSEC covert-channel bandwidth classes."""
+
+    HIGH = "high (> 100 bps)"
+    MODERATE = "moderate (0.1 .. 100 bps)"
+    INFEASIBLE = "generally infeasible (< 0.1 bps)"
+
+
+#: TCSEC thresholds in bits per second.
+HIGH_BANDWIDTH_BPS = 100.0
+FEASIBILITY_FLOOR_BPS = 0.1
+
+
+def classify_bandwidth(bits_per_second: float) -> TcsecClass:
+    """The Orange Book class of a channel's effective bandwidth.
+
+    >>> classify_bandwidth(1000.0)
+    <TcsecClass.HIGH: 'high (> 100 bps)'>
+    >>> classify_bandwidth(0.49)
+    <TcsecClass.MODERATE: 'moderate (0.1 .. 100 bps)'>
+    """
+    if bits_per_second < 0:
+        raise DetectionError("bandwidth cannot be negative")
+    if bits_per_second > HIGH_BANDWIDTH_BPS:
+        return TcsecClass.HIGH
+    if bits_per_second >= FEASIBILITY_FLOOR_BPS:
+        return TcsecClass.MODERATE
+    return TcsecClass.INFEASIBLE
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) in bits; H(0) = H(1) = 0.
+
+    >>> binary_entropy(0.5)
+    1.0
+    """
+    if not 0.0 <= p <= 1.0:
+        raise DetectionError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+
+
+def bsc_capacity(ber: float) -> float:
+    """Capacity (bits per channel use) of a binary symmetric channel.
+
+    A covert channel with bit error rate ``ber`` can carry at most
+    ``1 - H(ber)`` bits of information per transmitted bit.
+
+    >>> bsc_capacity(0.0)
+    1.0
+    >>> bsc_capacity(0.5)
+    0.0
+    """
+    return 1.0 - binary_entropy(ber)
+
+
+@dataclass(frozen=True)
+class ChannelAssessment:
+    """Operator-facing assessment of a measured covert session."""
+
+    raw_bandwidth_bps: float
+    bit_error_rate: float
+    effective_bandwidth_bps: float
+    tcsec_class: TcsecClass
+
+    def summary(self) -> str:
+        return (
+            f"raw {self.raw_bandwidth_bps:g} bps, BER "
+            f"{self.bit_error_rate:.3f} -> effective "
+            f"{self.effective_bandwidth_bps:.3g} bps "
+            f"[{self.tcsec_class.value}]"
+        )
+
+
+def assess_channel(raw_bandwidth_bps: float, ber: float) -> ChannelAssessment:
+    """Assess a covert session from its signaling rate and error rate.
+
+    The effective rate is the BSC capacity times the raw rate — what the
+    adversary can actually extract with ideal coding. The TCSEC class is
+    taken on the *effective* rate, so a fast but error-riddled channel
+    (e.g. after clock fuzzing) is correctly downgraded.
+    """
+    if raw_bandwidth_bps <= 0:
+        raise DetectionError("raw bandwidth must be positive")
+    effective = raw_bandwidth_bps * bsc_capacity(min(ber, 0.5))
+    return ChannelAssessment(
+        raw_bandwidth_bps=raw_bandwidth_bps,
+        bit_error_rate=ber,
+        effective_bandwidth_bps=effective,
+        tcsec_class=classify_bandwidth(effective),
+    )

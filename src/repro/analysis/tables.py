@@ -1,0 +1,56 @@
+"""Table I: CC-auditor area, power and latency estimates."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import AuditorConfig, CacheConfig
+from repro.hardware.cost_model import (
+    estimate_auditor_costs,
+    total_area_mm2,
+    total_power_mw,
+)
+
+#: Paper values for context (Section V-A): Intel i7 die area and peak power.
+I7_AREA_MM2 = 263.0
+I7_PEAK_POWER_W = 130.0
+
+
+def table1_rows(
+    auditor: Optional[AuditorConfig] = None,
+    cache: Optional[CacheConfig] = None,
+) -> List[Tuple[str, float, float, float]]:
+    """Rows of Table I: (structure, area mm^2, power mW, latency ns)."""
+    costs = estimate_auditor_costs(auditor, cache)
+    order = ("histogram_buffers", "registers", "conflict_miss_detector")
+    return [
+        (
+            name,
+            costs[name].area_mm2,
+            costs[name].power_mw,
+            costs[name].latency_ns,
+        )
+        for name in order
+    ]
+
+
+def table1_text(
+    auditor: Optional[AuditorConfig] = None,
+    cache: Optional[CacheConfig] = None,
+) -> str:
+    """Render Table I plus the paper's context comparisons."""
+    rows = table1_rows(auditor, cache)
+    costs = estimate_auditor_costs(auditor, cache)
+    lines = [
+        "Table I: Area, Power and Latency Estimates of CC-Auditor",
+        f"{'structure':<26}{'area(mm^2)':>12}{'power(mW)':>12}{'latency(ns)':>13}",
+    ]
+    for name, area, power, latency in rows:
+        lines.append(f"{name:<26}{area:>12.4f}{power:>12.1f}{latency:>13.2f}")
+    area = total_area_mm2(costs)
+    power = total_power_mw(costs)
+    lines.append(
+        f"total: {area:.4f} mm^2 ({100 * area / I7_AREA_MM2:.4f}% of an i7 die), "
+        f"{power:.1f} mW ({100 * power / 1000 / I7_PEAK_POWER_W:.5f}% of i7 peak)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""The integer-divider covert channel (Section IV-A, Wang & Lee style).
+
+Trojan and spy run as hyperthreads of the same SMT core. For a '1' the
+trojan saturates the core's division units with back-to-back divisions;
+for a '0' it spins in an empty loop. The spy continuously executes loop
+iterations containing a fixed number of integer divisions and times them:
+contended iterations take visibly longer. Every spy division that waits
+on the busy divider raises the wait-on-busy indicator event CC-Hunter
+audits (Δt = 500 cycles; saturation sustains ~96 wait events per window,
+the second mode of Figure 6b).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.channels.base import ChannelConfig, CovertChannel
+from repro.channels.decoder import decode_by_threshold
+from repro.errors import ChannelError
+from repro.sim.machine import Machine
+from repro.sim.process import DividerLoop, DividerSaturate, Process, WaitUntil
+
+
+class DividerCovertChannel(CovertChannel):
+    """Trojan/spy SMT pair communicating through divider contention."""
+
+    name = "divider-channel"
+    #: Functional unit the pair contends on ('divider' or 'multiplier').
+    unit_kind = "divider"
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: ChannelConfig,
+        divs_per_iter: int = 4,
+    ):
+        super().__init__(machine, config)
+        if divs_per_iter <= 0:
+            raise ChannelError("divs_per_iter must be positive")
+        self.divs_per_iter = divs_per_iter
+        divider = getattr(machine.config, self.unit_kind)
+        self._lat_idle = (
+            divider.loop_overhead + divs_per_iter * divider.latency
+        )
+        self._lat_contended = divider.loop_overhead + divs_per_iter * (
+            divider.latency + divider.contended_extra_latency
+        )
+        # Size the spy's loop so it fits the active window even when every
+        # iteration is contended; the remainder of the window is slack.
+        self.iterations_per_bit = max(
+            1, self.active_cycles // self._lat_contended
+        )
+        #: Per-iteration latencies the spy observed, per bit (Figure 3).
+        self.spy_samples: List[np.ndarray] = []
+
+    @property
+    def decode_threshold(self) -> float:
+        """Mean iteration latency separating contended from idle loops."""
+        return (self._lat_idle + self._lat_contended) / 2.0
+
+    def deploy(self, trojan_ctx=None, spy_ctx=None, core=None):
+        """Deploy; both processes must share a core (SMT hyperthreads)."""
+        if core is None and (trojan_ctx is None or spy_ctx is None):
+            core = 0
+        super().deploy(trojan_ctx=trojan_ctx, spy_ctx=spy_ctx, core=core)
+        if self.trojan.core != self.spy.core:
+            raise ChannelError(
+                f"{self.name} requires trojan and spy on one SMT core"
+            )
+
+    def _trojan_body(self, proc: Process):
+        for i, bit in enumerate(self.message):
+            yield WaitUntil(self.bit_start(i))
+            if bit == 1:
+                yield DividerSaturate(
+                    duration=self.active_cycles, unit=self.unit_kind
+                )
+            # '0': empty loop — divider left un-contended.
+
+    def _spy_body(self, proc: Process):
+        for i in range(len(self.message)):
+            yield WaitUntil(self.bit_start(i))
+            latencies = yield DividerLoop(
+                iterations=self.iterations_per_bit,
+                divs_per_iter=self.divs_per_iter,
+                unit=self.unit_kind,
+            )
+            # Keep a bounded subsample per bit for plotting; decode on the
+            # full-window mean (the loop itself spans the active window so
+            # wait events are generated throughout).
+            stride = max(1, latencies.size // 200)
+            self.spy_samples.append(latencies[::stride])
+            bits = decode_by_threshold(
+                [float(np.mean(latencies))], self.decode_threshold
+            )
+            self.decoded_bits.append(bits[0])
+
+    def sample_latencies(self) -> np.ndarray:
+        """All spy loop-iteration latencies in order — Figure 3's series."""
+        if not self.spy_samples:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self.spy_samples)
+
+
+class MultiplierCovertChannel(DividerCovertChannel):
+    """Wang & Lee's multiplier variant of the SMT contention channel.
+
+    Identical protocol, different shared unit: the trojan saturates the
+    core's (pipelined) multiplier, whose contention penalty and
+    wait-event rate are lower than the divider's — CC-Hunter audits it
+    with a wider Δt but the same burst analysis.
+    """
+
+    name = "multiplier-channel"
+    unit_kind = "multiplier"

@@ -1,0 +1,218 @@
+"""Command-line interface: run the reproduction's experiments directly.
+
+Usage::
+
+    python -m repro table1
+    python -m repro detect --channel membus --bandwidth 10 --bits 32
+    python -m repro false-alarms
+    python -m repro figure 6
+
+``detect`` runs a covert session under audit and prints the channel's
+decode result, CC-Hunter's report, and the TCSEC bandwidth assessment;
+``figure N`` regenerates a paper figure at bench scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import figures as fig
+from repro.analysis.ascii_plot import (
+    render_correlogram,
+    render_histogram,
+    render_series,
+)
+from repro.analysis.capacity import assess_channel
+from repro.analysis.tables import table1_text
+from repro.util.bitstream import Message
+
+
+def _cmd_table1(_args) -> int:
+    print(table1_text())
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    message = Message.random(args.bits, args.seed)
+    kwargs = {}
+    if args.channel == "cache":
+        kwargs["n_sets_total"] = args.cache_sets
+    run = fig.run_channel_session(
+        args.channel,
+        message,
+        bandwidth_bps=args.bandwidth,
+        seed=args.seed,
+        noise=not args.no_noise,
+        **kwargs,
+    )
+    ber = run.ber
+    print(
+        f"channel: {args.channel} @ {args.bandwidth:g} bps, "
+        f"{args.bits} bits over {run.quanta} quanta"
+    )
+    print(f"spy bit error rate: {ber:.3f}")
+    print(assess_channel(args.bandwidth, ber).summary())
+    print()
+    print(run.hunter.report().render())
+    return 0
+
+
+def _cmd_false_alarms(args) -> int:
+    results = fig.fig14_false_alarms(seed=args.seed, n_quanta=args.quanta)
+    alarms = 0
+    for r in results:
+        alarms += r.any_alarm
+        print(
+            f"{'+'.join(r.pair):<24} bus LR {r.bus_lr:.3f} | divider LR "
+            f"{r.divider_lr:.3f} | cache peak {r.cache_max_peak:.2f} | "
+            f"{'ALARM' if r.any_alarm else 'clear'}"
+        )
+    print(f"\nfalse alarms: {alarms} of {len(results)}")
+    return 1 if alarms else 0
+
+
+def _cmd_figure(args) -> int:
+    n = args.number
+    if n == 2:
+        r = fig.fig2_membus_latency(seed=args.seed)
+        print(render_series(r.latencies, title="Figure 2: bus spy latency"))
+        print(f"BER {r.ber:.3f}, separation {r.separation:.0f} cycles")
+    elif n == 3:
+        r = fig.fig3_divider_latency(seed=args.seed)
+        print(render_series(r.latencies, title="Figure 3: divider latency"))
+        print(f"BER {r.ber:.3f}")
+    elif n == 6:
+        r = fig.fig6_density_histograms(seed=args.seed)
+        print(render_histogram(r.bus_hist, title="Figure 6a: bus"))
+        print(f"burst bin #{r.bus_burst_bin}, "
+              f"LR {r.bus_analysis.likelihood_ratio:.3f}")
+        print(render_histogram(r.divider_hist, title="Figure 6b: divider",
+                               max_bins=128))
+        print(f"burst bin #{r.divider_burst_bin}, "
+              f"LR {r.divider_analysis.likelihood_ratio:.3f}")
+    elif n == 7:
+        r = fig.fig7_cache_ratios(seed=args.seed)
+        print(render_series(r.ratios, title="Figure 7: G1/G0 ratios"))
+        print(f"BER {r.ber:.3f}")
+    elif n == 8:
+        r = fig.fig8_cache_autocorrelogram(seed=args.seed)
+        print(render_correlogram(
+            r.acf, title="Figure 8: cache autocorrelogram",
+            marker_lags=r.analysis.peak_lags.tolist(),
+        ))
+        print(f"peak {r.peak_value:.3f} at lag {r.peak_lag}")
+    elif n == 13:
+        for r in fig.fig13_cache_set_sweep(seed=args.seed):
+            print(f"{r.n_sets} sets: peak {r.peak_value:.3f} at lag "
+                  f"{r.peak_lag}")
+    else:
+        print(
+            f"figure {n} not wired to the CLI; see benchmarks/ for the "
+            "full set",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from repro.traces import export_traces
+
+    message = Message.random(args.bits, args.seed)
+    run = fig.run_channel_session(
+        args.channel, message, bandwidth_bps=args.bandwidth, seed=args.seed
+    )
+    archive = export_traces(run.machine, args.path)
+    print(
+        f"recorded {archive.n_quanta} quanta to {args.path}: "
+        f"{archive.bus_lock_times.size} bus locks, "
+        f"{archive.cache_times.size} conflict misses"
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.traces import analyze_traces, load_traces
+
+    archive = load_traces(args.path)
+    report = analyze_traces(
+        archive, window_fraction=args.window_fraction
+    )
+    print(report.render())
+    return 0 if not report.any_detected else 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CC-Hunter reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(
+        func=_cmd_table1
+    )
+
+    detect = sub.add_parser(
+        "detect", help="run a covert channel under CC-Hunter audit"
+    )
+    detect.add_argument(
+        "--channel",
+        choices=("membus", "divider", "multiplier", "cache"),
+        default="membus",
+    )
+    detect.add_argument("--bandwidth", type=float, default=10.0)
+    detect.add_argument("--bits", type=int, default=32)
+    detect.add_argument("--seed", type=int, default=1)
+    detect.add_argument("--cache-sets", type=int, default=256)
+    detect.add_argument(
+        "--no-noise", action="store_true",
+        help="disable the background interference processes",
+    )
+    detect.set_defaults(func=_cmd_detect)
+
+    false_alarms = sub.add_parser(
+        "false-alarms", help="run the Figure 14 benign-pair screen"
+    )
+    false_alarms.add_argument("--seed", type=int, default=9)
+    false_alarms.add_argument("--quanta", type=int, default=8)
+    false_alarms.set_defaults(func=_cmd_false_alarms)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int)
+    figure.add_argument("--seed", type=int, default=1)
+    figure.set_defaults(func=_cmd_figure)
+
+    record = sub.add_parser(
+        "record",
+        help="run a covert session and export its indicator events",
+    )
+    record.add_argument("path", help="output .npz archive")
+    record.add_argument(
+        "--channel", choices=("membus", "divider", "multiplier", "cache"),
+        default="membus",
+    )
+    record.add_argument("--bandwidth", type=float, default=100.0)
+    record.add_argument("--bits", type=int, default=30)
+    record.add_argument("--seed", type=int, default=1)
+    record.set_defaults(func=_cmd_record)
+
+    analyze = sub.add_parser(
+        "analyze", help="run CC-Hunter offline over a trace archive"
+    )
+    analyze.add_argument("path", help=".npz archive from `record`")
+    analyze.add_argument("--window-fraction", type=float, default=1.0)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""CC-Hunter's detection algorithms (the paper's primary contribution).
+
+Two detectors over indicator-event trains:
+
+- **Recurrent burst pattern detection** for combinational hardware
+  (:mod:`density`, :mod:`burst`, :mod:`clustering`): event-density
+  histograms over Δt windows, burst/likelihood-ratio analysis, and k-means
+  recurrence clustering of discretized histograms.
+- **Oscillatory pattern detection** for memory hardware (:mod:`autocorr`,
+  :mod:`oscillation`): autocorrelograms of labeled conflict-miss trains and
+  periodicity scoring.
+
+:class:`~repro.core.detector.CCHunter` is the user-facing facade that
+attaches both to a simulated machine.
+"""
+
+from repro.core.autocorr import autocorrelation, autocorrelogram
+from repro.core.burst import BurstAnalysis, analyze_histogram, find_threshold_bin
+from repro.core.calibration import (
+    AlphaCalibration,
+    DeltaTRegime,
+    assess_delta_t,
+    calibrate_alpha,
+)
+from repro.core.clustering import RecurrenceAnalysis, analyze_recurrence, kmeans
+from repro.core.density import (
+    DensityHistogram,
+    build_density_histogram,
+    choose_delta_t,
+)
+from repro.core.detector import AuditUnit, CCHunter
+from repro.core.event_train import EventTrain, LabeledEventTrain
+from repro.core.oscillation import OscillationAnalysis, analyze_autocorrelogram
+from repro.core.report import DetectionReport, UnitVerdict
+
+__all__ = [
+    "EventTrain",
+    "LabeledEventTrain",
+    "DensityHistogram",
+    "build_density_histogram",
+    "choose_delta_t",
+    "BurstAnalysis",
+    "AlphaCalibration",
+    "DeltaTRegime",
+    "assess_delta_t",
+    "calibrate_alpha",
+    "analyze_histogram",
+    "find_threshold_bin",
+    "RecurrenceAnalysis",
+    "analyze_recurrence",
+    "kmeans",
+    "autocorrelation",
+    "autocorrelogram",
+    "OscillationAnalysis",
+    "analyze_autocorrelogram",
+    "AuditUnit",
+    "CCHunter",
+    "DetectionReport",
+    "UnitVerdict",
+]

@@ -1,0 +1,319 @@
+"""The CC-Hunter facade: attach detectors to a machine and collect verdicts.
+
+Usage::
+
+    machine = Machine()
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.MEMORY_BUS)
+    hunter.audit(AuditUnit.DIVIDER, core=0)   # at most two units at a time
+    ... spawn processes ...
+    machine.run_quanta(16)
+    report = hunter.report()
+
+Per OS quantum, the hunter drives the modeled CC-auditor hardware —
+density counts flow through the monitor slots' saturating accumulators and
+histogram buffers; conflict-miss records flow through the alternating
+vector registers — and runs the per-window analyses. ``report()`` runs
+the cross-window steps (recurrence clustering for burst monitors) and
+returns the final verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import LIKELIHOOD_RATIO_THRESHOLD
+from repro.core.autocorr import autocorrelogram
+from repro.core.burst import BurstAnalysis, analyze_histogram
+from repro.core.clustering import analyze_recurrence
+from repro.core.density import default_delta_t
+from repro.core.event_train import dominant_pair_series
+from repro.core.oscillation import OscillationAnalysis, analyze_autocorrelogram
+from repro.core.report import DetectionReport, UnitVerdict
+from repro.errors import DetectionError
+from repro.hardware.auditor import CCAuditor
+
+
+class AuditUnit(Enum):
+    """Hardware units CC-Hunter knows how to audit."""
+
+    MEMORY_BUS = "membus"
+    DIVIDER = "divider"
+    MULTIPLIER = "multiplier"
+    CACHE = "cache"
+
+
+@dataclass
+class _BurstMonitor:
+    unit: AuditUnit
+    core: Optional[int]
+    slot_index: int
+    dt: int
+    histograms: List[np.ndarray] = field(default_factory=list)
+    analyses: List[BurstAnalysis] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        if self.core is not None:
+            return f"{self.unit.value}(core {self.core})"
+        return self.unit.value
+
+
+@dataclass
+class _CacheMonitor:
+    slot_index: int
+    analyses: List[OscillationAnalysis] = field(default_factory=list)
+    #: Quantum index each analysis came from (parallel to ``analyses``).
+    analysis_quanta: List[int] = field(default_factory=list)
+    windows_analyzed: int = 0
+    last_acf: Optional[np.ndarray] = None
+
+    @property
+    def name(self) -> str:
+        return AuditUnit.CACHE.value
+
+
+class CCHunter:
+    """Covert-timing-channel detector bound to a simulated machine."""
+
+    def __init__(
+        self,
+        machine,
+        auditor: Optional[CCAuditor] = None,
+        lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,
+        window_fraction: float = 1.0,
+        max_lag: int = 1000,
+        min_train_events: int = 64,
+        min_peak_height: float = 0.45,
+    ):
+        if not 0 < window_fraction <= 1.0:
+            raise DetectionError(
+                f"window fraction must be in (0, 1], got {window_fraction}"
+            )
+        self.machine = machine
+        self.auditor = auditor or CCAuditor()
+        self.lr_threshold = lr_threshold
+        self.window_fraction = window_fraction
+        self.max_lag = max_lag
+        self.min_train_events = min_train_events
+        self.min_peak_height = min_peak_height
+        self._burst_monitors: List[_BurstMonitor] = []
+        self._cache_monitor: Optional[_CacheMonitor] = None
+        machine.on_quantum_end(self._on_quantum_end)
+
+    # ------------------------------------------------------------------ setup
+
+    @property
+    def monitors_in_use(self) -> int:
+        return len(self._burst_monitors) + (1 if self._cache_monitor else 0)
+
+    def audit(
+        self,
+        unit: AuditUnit,
+        core: Optional[int] = None,
+        dt: Optional[int] = None,
+    ) -> None:
+        """Point a CC-auditor monitor slot at a hardware unit.
+
+        The auditor supports at most two concurrently audited units (the
+        paper's hardware tradeoff); a third ``audit`` call raises. The
+        divider is per-core, so ``core`` is required for it.
+        """
+        slot_index = self.auditor.free_slot_index()
+        if unit is AuditUnit.MEMORY_BUS:
+            chosen_dt = dt or default_delta_t("membus")
+            self.auditor.program(slot_index, unit.value, chosen_dt)
+            self._burst_monitors.append(
+                _BurstMonitor(unit, None, slot_index, chosen_dt)
+            )
+        elif unit in (AuditUnit.DIVIDER, AuditUnit.MULTIPLIER):
+            if core is None:
+                raise DetectionError(f"{unit.value} audit needs a core index")
+            chosen_dt = dt or default_delta_t(unit.value)
+            self.auditor.program(slot_index, f"{unit.value}{core}", chosen_dt)
+            self._burst_monitors.append(
+                _BurstMonitor(unit, core, slot_index, chosen_dt)
+            )
+        elif unit is AuditUnit.CACHE:
+            if self._cache_monitor is not None:
+                raise DetectionError("cache is already being audited")
+            self.auditor.program(
+                slot_index, unit.value, self.machine.quantum_cycles
+            )
+            self._cache_monitor = _CacheMonitor(slot_index)
+        else:  # pragma: no cover - exhaustive enum
+            raise DetectionError(f"unknown audit unit {unit!r}")
+
+    # ------------------------------------------------------------ per quantum
+
+    def _tap_for(self, monitor: _BurstMonitor):
+        if monitor.unit is AuditUnit.MEMORY_BUS:
+            return self.machine.bus_lock_tap
+        if monitor.unit is AuditUnit.MULTIPLIER:
+            return self.machine.multiplier_wait_tap_for(monitor.core)
+        return self.machine.divider_wait_tap_for(monitor.core)
+
+    def _on_quantum_end(self, quantum: int, t0: int, t1: int) -> None:
+        for monitor in self._burst_monitors:
+            counts = self._tap_for(monitor).density_counts(monitor.dt, t0, t1)
+            slot = self.auditor.slot(monitor.slot_index)
+            slot.ingest_window_counts(counts)
+            hist = slot.read_and_reset()
+            monitor.histograms.append(hist)
+            monitor.analyses.append(
+                analyze_histogram(hist, lr_threshold=self.lr_threshold)
+            )
+        if self._cache_monitor is not None:
+            self._analyze_cache_windows(quantum, t0, t1)
+
+    def _analyze_cache_windows(self, quantum: int, t0: int, t1: int) -> None:
+        monitor = self._cache_monitor
+        width = max(1, int(round((t1 - t0) * self.window_fraction)))
+        start = t0
+        while start < t1:
+            end = min(start + width, t1)
+            _times, reps, vics = self.machine.cache_miss_tap.records_in(
+                start, end
+            )
+            # Route the records through the auditor's vector registers (the
+            # hardware path software actually reads).
+            self.auditor.vectors.record_batch(reps, vics)
+            drained_reps, drained_vics = self.auditor.vectors.drain()
+            monitor.windows_analyzed += 1
+            # Covert cache communication is a ping-pong between ONE pair of
+            # contexts; the analysis takes the dominant cross-context
+            # pair's events (both replacement directions, labeled 0/1, the
+            # paper's 'S→T'/'T→S') and autocorrelates that series. Other
+            # contexts' conflicts and same-context evictions carry no
+            # covert-pair information.
+            labels, _idx, _pair = dominant_pair_series(
+                drained_reps,
+                drained_vics,
+                self.auditor.config.context_id_bits,
+            )
+            both_directions = (
+                labels.size >= self.min_train_events
+                and 4 <= int(labels.sum()) <= labels.size - 4
+            )
+            if both_directions:
+                acf = autocorrelogram(labels, self.max_lag)
+                monitor.last_acf = acf
+                monitor.analyses.append(
+                    analyze_autocorrelogram(
+                        acf, min_peak_height=self.min_peak_height
+                    )
+                )
+                monitor.analysis_quanta.append(quantum)
+            start = end
+
+    # --------------------------------------------------------------- verdicts
+
+    def report(self, min_oscillating_windows: int = 1) -> DetectionReport:
+        """Run the cross-window analyses and return the final verdicts."""
+        verdicts = []
+        for monitor in self._burst_monitors:
+            verdicts.append(self._burst_verdict(monitor))
+        if self._cache_monitor is not None:
+            verdicts.append(
+                self._cache_verdict(self._cache_monitor, min_oscillating_windows)
+            )
+        return DetectionReport(verdicts=tuple(verdicts))
+
+    def _burst_verdict(self, monitor: _BurstMonitor) -> UnitVerdict:
+        if not monitor.histograms:
+            return UnitVerdict(
+                unit=monitor.name,
+                method="burst",
+                detected=False,
+                quanta_analyzed=0,
+                notes=("no quanta observed",),
+            )
+        recurrence = analyze_recurrence(
+            monitor.histograms, lr_threshold=self.lr_threshold
+        )
+        best_lr = max(
+            (a.likelihood_ratio for a in recurrence.burst_analyses),
+            default=0.0,
+        )
+        detected = bool(recurrence.recurrent and recurrence.burst_clusters)
+        return UnitVerdict(
+            unit=monitor.name,
+            method="burst",
+            detected=detected,
+            quanta_analyzed=len(monitor.histograms),
+            max_likelihood_ratio=best_lr,
+            recurrent=recurrence.recurrent,
+            burst_window_fraction=recurrence.burst_window_fraction,
+        )
+
+    def _cache_verdict(
+        self, monitor: _CacheMonitor, min_oscillating_windows: int
+    ) -> UnitVerdict:
+        significant = [a for a in monitor.analyses if a.significant]
+        max_peak = max((a.max_peak for a in monitor.analyses), default=0.0)
+        periods = [a.dominant_period for a in significant if a.dominant_period]
+        detected = len(significant) >= min_oscillating_windows
+        return UnitVerdict(
+            unit=monitor.name,
+            method="oscillation",
+            detected=detected,
+            quanta_analyzed=monitor.windows_analyzed,
+            oscillating_windows=len(significant),
+            max_peak=max_peak,
+            dominant_period=float(np.median(periods)) if periods else None,
+        )
+
+    # ------------------------------------------------------------- latency
+
+    def first_detection_quantum(
+        self, unit: AuditUnit, core: Optional[int] = None
+    ) -> Optional[int]:
+        """Index of the first quantum at which the unit's verdict fires.
+
+        For oscillation monitoring this is the first significant window's
+        quantum; for burst monitoring, the earliest prefix of per-quantum
+        histograms whose recurrence analysis detects (recomputed
+        incrementally — the analysis is milliseconds per call). Returns
+        None if the session never detects. Useful as a time-to-detection
+        metric: how long a channel runs before CC-Hunter calls it.
+        """
+        if unit is AuditUnit.CACHE:
+            if self._cache_monitor is None:
+                raise DetectionError("cache is not being audited")
+            monitor = self._cache_monitor
+            for analysis, quantum in zip(
+                monitor.analyses, monitor.analysis_quanta
+            ):
+                if analysis.significant:
+                    return quantum
+            return None
+        for monitor in self._burst_monitors:
+            if monitor.unit is unit and (core is None or monitor.core == core):
+                for upto in range(1, len(monitor.histograms) + 1):
+                    recurrence = analyze_recurrence(
+                        monitor.histograms[:upto],
+                        lr_threshold=self.lr_threshold,
+                    )
+                    if recurrence.recurrent and recurrence.burst_clusters:
+                        return upto - 1
+                return None
+        raise DetectionError(f"{unit.value} is not being audited")
+
+    # ------------------------------------------------------------- inspection
+
+    def burst_histograms(self, unit: AuditUnit, core: Optional[int] = None):
+        """Per-quantum histograms recorded for a burst-audited unit."""
+        for monitor in self._burst_monitors:
+            if monitor.unit is unit and (core is None or monitor.core == core):
+                return list(monitor.histograms)
+        raise DetectionError(f"{unit.value} is not being audited")
+
+    def cache_analyses(self) -> List[OscillationAnalysis]:
+        """Per-window oscillation analyses for the cache monitor."""
+        if self._cache_monitor is None:
+            raise DetectionError("cache is not being audited")
+        return list(self._cache_monitor.analyses)

@@ -1,0 +1,207 @@
+"""Oscillatory-pattern detection on autocorrelograms (Section IV-D).
+
+An oscillation is *periodicity* in the event train: the autocorrelogram
+shows peaks of significant height at (roughly) evenly spaced lags,
+separated by anti-correlated troughs. A covert cache channel's
+conflict-miss identifier train is close to a square wave (runs of 'T→S'
+then 'S→T' identifiers, one per covert set), whose correlogram is a
+triangle wave: strong peaks at multiples of the wavelength with deep dips
+between them.
+
+The detector extracts prominent local maxima above a height floor and
+accepts either of two oscillation signatures:
+
+- a *periodic peak train*: several regularly spaced prominent peaks
+  covering a substantial part of the lag range; or
+- a *dominant oscillation*: at least one strong peak preceded by genuine
+  anti-correlation (the correlogram dips at the half-wavelength), which is
+  what a long-wavelength square-wave train produces when the lag range
+  only fits one or two wavelengths.
+
+Strong-but-decaying short-lag correlation (benign programs with bursty
+phases) produces neither: no anti-correlation dip and no persistent peak
+train. The paper's webserver shows brief periodicity between lags ~120
+and ~180 that dies out — rejected by the coverage requirement and the
+height floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DetectionError
+
+#: Default thresholds. Real cache channels in the paper score peak heights
+#: of ~0.85-0.95; the 0.1 bps channel at a full-quantum window shows
+#: periodicity whose magnitudes "do not show significant strength", which
+#: the height floor rejects until the window is narrowed (Figure 11).
+DEFAULT_MIN_PEAK_HEIGHT = 0.45
+DEFAULT_MIN_PEAKS = 3
+DEFAULT_SPACING_TOLERANCE = 0.25
+DEFAULT_COVERAGE = 0.4
+DEFAULT_DOMINANT_PEAK_HEIGHT = 0.65
+#: A genuine long-wavelength oscillation anti-correlates deeply at the
+#: half-wavelength (a covert square-wave train dips below -0.8); benign
+#: bursty correlation decays without crossing well below zero.
+DEFAULT_DIP_THRESHOLD = -0.3
+DEFAULT_MIN_PROMINENCE = 0.08
+
+
+def _smooth(values: np.ndarray, width: int = 5) -> np.ndarray:
+    if values.size < width or width < 2:
+        return values.astype(np.float64)
+    kernel = np.ones(width)
+    summed = np.convolve(values.astype(np.float64), kernel, mode="same")
+    # Normalize by the actual window size at each position so the edges are
+    # not artificially depressed (which would fabricate early local maxima).
+    norm = np.convolve(np.ones(values.size), kernel, mode="same")
+    return summed / norm
+
+
+def find_peaks(
+    acf: np.ndarray,
+    min_height: float,
+    min_separation: int = 8,
+    min_prominence: float = DEFAULT_MIN_PROMINENCE,
+    smooth_width: int = 5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Prominent local maxima of the (lightly smoothed) correlogram.
+
+    Lag 0 (always 1.0) is excluded. A candidate must rise at least
+    ``min_prominence`` above the lowest point between it and the previous
+    accepted peak (or lag 0), which filters the small ripples noise etches
+    onto a triangle-wave correlogram. Peaks closer than ``min_separation``
+    keep only the higher one. Returns ``(lags, heights)`` with heights
+    taken from the raw correlogram.
+    """
+    arr = np.asarray(acf, dtype=np.float64)
+    if arr.size < 3:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+    smooth = _smooth(arr, smooth_width)
+    interior = smooth[1:-1]
+    is_max = (
+        (interior >= smooth[:-2])
+        & (interior > smooth[2:])
+        & (arr[1:-1] >= min_height)
+    )
+    candidates = np.nonzero(is_max)[0] + 1
+    # Skip the smoothing-edge artifact right at the start of the range.
+    candidates = candidates[candidates >= max(2, smooth_width)]
+    kept = []
+    prev_peak = 0
+    for lag in candidates:
+        lag = int(lag)
+        trough = float(smooth[prev_peak:lag].min()) if lag > prev_peak else 0.0
+        if smooth[lag] - trough < min_prominence:
+            continue
+        if kept and lag - kept[-1] < min_separation:
+            if arr[lag] > arr[kept[-1]]:
+                kept[-1] = lag
+                prev_peak = lag
+            continue
+        kept.append(lag)
+        prev_peak = lag
+    kept_arr = np.array(kept, dtype=np.int64)
+    return kept_arr, arr[kept_arr] if kept_arr.size else np.zeros(0)
+
+
+@dataclass(frozen=True)
+class OscillationAnalysis:
+    """Outcome of oscillation detection on one correlogram."""
+
+    acf: np.ndarray
+    peak_lags: np.ndarray
+    peak_heights: np.ndarray
+    #: Estimated oscillation wavelength in events (0 when aperiodic). For a
+    #: cache channel this lands near the number of cache sets used.
+    dominant_period: float
+    #: Relative regularity of peak spacing (0 = perfectly periodic).
+    spacing_irregularity: float
+    #: Fraction of the lag range covered by the periodic peak sequence.
+    coverage: float
+    #: Deepest trough before the first peak (anti-correlation evidence).
+    min_dip: float
+    #: Periodicity present with sufficiently high peaks.
+    significant: bool
+
+    @property
+    def max_peak(self) -> float:
+        if self.peak_heights.size == 0:
+            return 0.0
+        return float(self.peak_heights.max())
+
+
+def analyze_autocorrelogram(
+    acf: np.ndarray,
+    min_peak_height: float = DEFAULT_MIN_PEAK_HEIGHT,
+    min_peaks: int = DEFAULT_MIN_PEAKS,
+    spacing_tolerance: float = DEFAULT_SPACING_TOLERANCE,
+    min_coverage: float = DEFAULT_COVERAGE,
+    dominant_peak_height: float = DEFAULT_DOMINANT_PEAK_HEIGHT,
+    dip_threshold: float = DEFAULT_DIP_THRESHOLD,
+) -> OscillationAnalysis:
+    """Decide whether a correlogram exhibits a significant oscillation.
+
+    Signature 1 (peak train): at least ``min_peaks`` prominent peaks of
+    height >= ``min_peak_height``, regularly spaced (std/mean below
+    ``spacing_tolerance``), covering >= ``min_coverage`` of the lag range.
+
+    Signature 2 (dominant oscillation): a peak of height >=
+    ``dominant_peak_height`` at some lag whose preceding trough dips below
+    ``dip_threshold`` — true alternation, not slow decay.
+    """
+    arr = np.asarray(acf, dtype=np.float64)
+    if arr.size < 4:
+        raise DetectionError("correlogram too short for oscillation analysis")
+    lags, heights = find_peaks(arr, min_peak_height)
+    if lags.size == 0:
+        return OscillationAnalysis(
+            acf=arr,
+            peak_lags=lags,
+            peak_heights=heights,
+            dominant_period=0.0,
+            spacing_irregularity=0.0,
+            coverage=0.0,
+            min_dip=float(arr[1:].min()) if arr.size > 1 else 0.0,
+            significant=False,
+        )
+
+    # Anti-correlation evidence: the deepest trough before the *highest*
+    # peak (using the first peak would let a small early ripple hide the
+    # square-wave dip at the half-wavelength).
+    top_peak = int(lags[int(np.argmax(heights))])
+    min_dip = float(arr[1:top_peak].min()) if top_peak > 1 else 0.0
+    coverage = float(lags[-1] / (arr.size - 1))
+
+    if lags.size >= 2:
+        spacings = np.diff(lags.astype(np.float64))
+        mean_spacing = float(spacings.mean())
+        irregularity = (
+            float(spacings.std() / mean_spacing) if mean_spacing else 0.0
+        )
+        period = mean_spacing
+    else:
+        irregularity = 0.0
+        period = float(lags[0])
+
+    peak_train = (
+        lags.size >= min_peaks
+        and irregularity <= spacing_tolerance
+        and coverage >= min_coverage
+    )
+    dominant = bool(
+        (heights >= dominant_peak_height).any() and min_dip <= dip_threshold
+    )
+    return OscillationAnalysis(
+        acf=arr,
+        peak_lags=lags,
+        peak_heights=heights,
+        dominant_period=period,
+        spacing_irregularity=irregularity,
+        coverage=coverage,
+        min_dip=min_dip,
+        significant=bool(peak_train or dominant),
+    )

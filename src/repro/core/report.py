@@ -1,0 +1,98 @@
+"""Detection reports: what CC-Hunter tells the administrator.
+
+A :class:`DetectionReport` aggregates one :class:`UnitVerdict` per audited
+hardware unit. Verdicts carry the quantitative evidence (likelihood
+ratios, recurrence, oscillation peaks) so operators can judge borderline
+cases, plus a plain-text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class UnitVerdict:
+    """Detection outcome for one audited hardware unit."""
+
+    unit: str
+    #: "burst" (combinational hardware) or "oscillation" (memory hardware).
+    method: str
+    detected: bool
+    quanta_analyzed: int
+    #: Burst method: best likelihood ratio over burst clusters (None for
+    #: oscillation method).
+    max_likelihood_ratio: Optional[float] = None
+    #: Burst method: did burst patterns recur across windows?
+    recurrent: Optional[bool] = None
+    #: Burst method: fraction of windows in burst clusters.
+    burst_window_fraction: Optional[float] = None
+    #: Oscillation method: windows whose correlogram oscillated significantly.
+    oscillating_windows: Optional[int] = None
+    #: Oscillation method: highest correlogram peak observed.
+    max_peak: Optional[float] = None
+    #: Oscillation method: estimated oscillation wavelength (events).
+    dominant_period: Optional[float] = None
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def summary(self) -> str:
+        flag = "COVERT TIMING CHANNEL LIKELY" if self.detected else "clear"
+        parts = [f"[{self.unit}] {flag} ({self.method} method, "
+                 f"{self.quanta_analyzed} quanta)"]
+        if self.method == "burst":
+            lr = (
+                f"{self.max_likelihood_ratio:.3f}"
+                if self.max_likelihood_ratio is not None
+                else "n/a"
+            )
+            parts.append(
+                f"  likelihood ratio {lr}, recurrent={self.recurrent}, "
+                f"burst windows {100 * (self.burst_window_fraction or 0):.1f}%"
+            )
+        else:
+            peak = f"{self.max_peak:.3f}" if self.max_peak is not None else "n/a"
+            period = (
+                f"{self.dominant_period:.0f}"
+                if self.dominant_period
+                else "n/a"
+            )
+            parts.append(
+                f"  oscillating windows {self.oscillating_windows}, "
+                f"max peak {peak}, period ~{period} events"
+            )
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """All verdicts from one CC-Hunter monitoring session."""
+
+    verdicts: Tuple[UnitVerdict, ...]
+
+    @property
+    def any_detected(self) -> bool:
+        return any(v.detected for v in self.verdicts)
+
+    def verdict_for(self, unit: str) -> UnitVerdict:
+        for v in self.verdicts:
+            if v.unit == unit:
+                return v
+        raise KeyError(f"no verdict for unit {unit!r}")
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        if not self.verdicts:
+            return "CC-Hunter: no units were audited."
+        lines = ["CC-Hunter detection report", "=" * 27]
+        for v in self.verdicts:
+            lines.append(v.summary())
+        lines.append(
+            "overall: "
+            + ("covert timing channel activity detected"
+               if self.any_detected
+               else "no covert timing channel activity detected")
+        )
+        return "\n".join(lines)

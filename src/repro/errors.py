@@ -1,0 +1,39 @@
+"""Exception hierarchy for the CC-Hunter reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """A process could not be placed on a hardware context."""
+
+
+class ChannelError(ReproError):
+    """A covert-channel protocol was configured or driven incorrectly."""
+
+
+class DetectionError(ReproError):
+    """A detection algorithm received input it cannot analyze."""
+
+
+class HardwareError(ReproError):
+    """A modeled hardware structure was used outside its contract."""
+
+
+class AuthorizationError(ReproError):
+    """An unprivileged user attempted a privileged audit operation."""

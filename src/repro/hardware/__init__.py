@@ -1,0 +1,27 @@
+"""CC-auditor hardware models.
+
+Register-accurate models of the hardware the paper adds (Section V-A):
+bloom filters, the generation-based conflict-miss tracker (with its ideal
+fully-associative-LRU oracle for validation), the CC-auditor's counters /
+histogram buffers / vector registers, and the Table I cost model.
+"""
+
+from repro.hardware.auditor import CCAuditor, MonitorSlot
+from repro.hardware.bloom import BloomFilter
+from repro.hardware.conflict_tracker import (
+    ConflictMissTracker,
+    GenerationConflictTracker,
+    IdealLRUConflictTracker,
+)
+from repro.hardware.cost_model import CostEstimate, estimate_auditor_costs
+
+__all__ = [
+    "BloomFilter",
+    "ConflictMissTracker",
+    "GenerationConflictTracker",
+    "IdealLRUConflictTracker",
+    "CCAuditor",
+    "MonitorSlot",
+    "CostEstimate",
+    "estimate_auditor_costs",
+]

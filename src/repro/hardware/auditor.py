@@ -1,0 +1,177 @@
+"""Register-level model of the CC-auditor (Section V-A).
+
+The CC-auditor accumulates indicator events for up to two monitored
+hardware units. Per monitor slot it has:
+
+- a 32-bit countdown register initialized to the unit's Δt,
+- a 16-bit accumulator counting events within the current Δt window,
+- a 128-entry × 16-bit histogram buffer recording the event-density
+  histogram (accumulator value indexes the buffer at each Δt expiry).
+
+For cache monitoring it additionally has two alternating 128-byte vector
+registers recording, for every conflict miss, the 3-bit context ids of the
+replacer and the victim; the software daemon drains the full register in
+the background while the other fills.
+
+The model is behaviourally faithful to the fixed-width hardware: density
+indices clamp at the last histogram bin, the accumulator and histogram
+entries saturate, and vector-register drains happen whole-register at a
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import AuditorConfig
+from repro.errors import HardwareError
+
+
+@dataclass
+class MonitorSlot:
+    """One of the auditor's (up to two) unit monitors."""
+
+    unit_name: str
+    dt: int
+    config: AuditorConfig
+    histogram: np.ndarray = field(init=False)
+    accumulator: int = field(init=False, default=0)
+    countdown: int = field(init=False)
+    windows_recorded: int = field(init=False, default=0)
+    events_seen: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise HardwareError(f"Δt must be positive, got {self.dt}")
+        self.histogram = np.zeros(self.config.histogram_bins, dtype=np.int64)
+        self.countdown = self.dt
+
+    def ingest_window_counts(self, counts: Sequence[int]) -> None:
+        """Record one event count per elapsed Δt window.
+
+        Equivalent to the hardware's event-signal path: the accumulator
+        counts events, and at each countdown expiry its (saturated) value
+        bumps the matching histogram entry.
+        """
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if arr.min() < 0:
+            raise HardwareError("event counts cannot be negative")
+        self.events_seen += int(arr.sum())
+        clamped = np.minimum(arr, self.config.accumulator_max)
+        bins = np.minimum(clamped, self.config.histogram_bins - 1)
+        increments = np.bincount(bins, minlength=self.config.histogram_bins)
+        self.histogram = np.minimum(
+            self.histogram + increments, self.config.histogram_entry_max
+        )
+        self.windows_recorded += int(arr.size)
+
+    def read_and_reset(self) -> np.ndarray:
+        """Daemon read at the OS-quantum boundary: copy out, clear buffer."""
+        snapshot = self.histogram.copy()
+        self.histogram[:] = 0
+        self.accumulator = 0
+        self.countdown = self.dt
+        self.windows_recorded = 0
+        return snapshot
+
+
+class VectorRegisterPair:
+    """Two alternating fixed-size vector registers for conflict-miss records.
+
+    Each record is one byte holding two 3-bit context ids (replacer,
+    victim). When the active register fills, recording switches to the
+    other while software drains the full one; the model treats the drain as
+    lossless (the paper's stated design goal of the alternation).
+    """
+
+    def __init__(self, config: AuditorConfig):
+        self.config = config
+        self.capacity = config.vector_register_bytes
+        self._active: List[int] = []
+        self._drained: List[int] = []
+        self.swaps = 0
+
+    def record(self, replacer: int, victim: int) -> None:
+        limit = 1 << self.config.context_id_bits
+        if not (0 <= replacer < limit and 0 <= victim < limit):
+            raise HardwareError(
+                f"context ids must fit in {self.config.context_id_bits} bits"
+            )
+        self._active.append(
+            (replacer << self.config.context_id_bits) | victim
+        )
+        if len(self._active) >= self.capacity:
+            self._drained.extend(self._active)
+            self._active = []
+            self.swaps += 1
+
+    def record_batch(self, replacers: np.ndarray, victims: np.ndarray) -> None:
+        for r, v in zip(replacers, victims):
+            self.record(int(r), int(v))
+
+    def drain(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Software drain: all records so far, as (replacers, victims)."""
+        packed = np.asarray(self._drained + self._active, dtype=np.int64)
+        self._drained = []
+        self._active = []
+        if packed.size == 0:
+            empty = np.zeros(0, dtype=np.int16)
+            return empty, empty
+        mask = (1 << self.config.context_id_bits) - 1
+        return (
+            (packed >> self.config.context_id_bits).astype(np.int16),
+            (packed & mask).astype(np.int16),
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._drained) + len(self._active)
+
+
+class CCAuditor:
+    """The full CC-auditor: monitor slots plus the conflict-miss vectors."""
+
+    def __init__(self, config: Optional[AuditorConfig] = None):
+        self.config = config or AuditorConfig()
+        self._slots: List[Optional[MonitorSlot]] = [None] * self.config.n_monitors
+        self.vectors = VectorRegisterPair(self.config)
+
+    def program(self, slot_index: int, unit_name: str, dt: int) -> MonitorSlot:
+        """Point a monitor slot at a hardware unit (privileged instruction).
+
+        The auditor monitors at most ``config.n_monitors`` (two) units at a
+        time — the paper's complexity/overhead tradeoff; re-programming an
+        occupied slot replaces its monitor.
+        """
+        if not 0 <= slot_index < self.config.n_monitors:
+            raise HardwareError(
+                f"slot {slot_index} outside 0..{self.config.n_monitors - 1}"
+            )
+        slot = MonitorSlot(unit_name=unit_name, dt=dt, config=self.config)
+        self._slots[slot_index] = slot
+        return slot
+
+    def slot(self, slot_index: int) -> MonitorSlot:
+        s = self._slots[slot_index]
+        if s is None:
+            raise HardwareError(f"monitor slot {slot_index} is not programmed")
+        return s
+
+    def free_slot_index(self) -> int:
+        """First unprogrammed slot, or raise if all are busy."""
+        for i, s in enumerate(self._slots):
+            if s is None:
+                return i
+        raise HardwareError(
+            f"all {self.config.n_monitors} monitor slots are in use; "
+            "CC-auditor monitors at most two units at a time"
+        )
+
+    @property
+    def active_units(self) -> Tuple[str, ...]:
+        return tuple(s.unit_name for s in self._slots if s is not None)

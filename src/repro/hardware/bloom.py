@@ -1,0 +1,103 @@
+"""k-hash bloom filter.
+
+The practical conflict-miss tracker remembers recently replaced cache tags
+in one compact three-hash bloom filter per generation. Membership tests
+can report false positives (an un-inserted tag looks present) but never
+false negatives — exactly the right failure mode for conflict-miss
+detection, where a rare spurious "conflict" only adds noise the detector
+already tolerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareError
+
+# Distinct odd multipliers give the k hash functions independent mixing.
+_MIXERS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+    0x85EBCA6B27D4EB4F,
+)
+_MASK64 = (1 << 64) - 1
+
+
+class BloomFilter:
+    """A fixed-size bit array with ``n_hashes`` deterministic hash probes."""
+
+    def __init__(self, n_bits: int, n_hashes: int = 3):
+        if n_bits <= 0:
+            raise HardwareError(f"bloom filter needs positive size, got {n_bits}")
+        if not 1 <= n_hashes <= len(_MIXERS):
+            raise HardwareError(
+                f"n_hashes must be in 1..{len(_MIXERS)}, got {n_hashes}"
+            )
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._bits = np.zeros(n_bits, dtype=bool)
+        self.insertions = 0
+        # Probe positions are a pure function of (key, size, hash count);
+        # memoize them — conflict tracking probes the same block keys
+        # millions of times on the simulation hot path.
+        self._probe_cache: dict = {}
+
+    def _indices(self, key: int):
+        cached = self._probe_cache.get(key)
+        if cached is None:
+            k = int(key) & _MASK64
+            probes = []
+            for i in range(self.n_hashes):
+                h = (k * _MIXERS[i]) & _MASK64
+                h ^= h >> 29
+                h = (h * _MIXERS[(i + 1) % len(_MIXERS)]) & _MASK64
+                h ^= h >> 32
+                probes.append(h % self.n_bits)
+            cached = tuple(probes)
+            if len(self._probe_cache) >= 1_000_000:
+                self._probe_cache.clear()  # bound memory on huge key spaces
+            self._probe_cache[key] = cached
+        return cached
+
+    def add(self, key: int) -> None:
+        """Insert ``key`` (an integer tag)."""
+        bits = self._bits
+        for idx in self._indices(key):
+            bits[idx] = True
+        self.insertions += 1
+
+    def contains(self, key: int) -> bool:
+        """Membership test: True may be a false positive, False is certain."""
+        bits = self._bits
+        for idx in self._indices(key):
+            if not bits[idx]:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Flash-clear all bits (one-cycle operation in hardware).
+
+        The probe-position cache survives: positions depend only on keys.
+        """
+        self._bits[:] = False
+        self.insertions = 0
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — a proxy for false-positive pressure."""
+        return float(self._bits.mean())
+
+    def false_positive_rate(self) -> float:
+        """Theoretical FP probability at the current fill ratio."""
+        return float(self.fill_ratio**self.n_hashes)
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.n_bits}, hashes={self.n_hashes}, "
+            f"fill={self.fill_ratio:.3f})"
+        )

@@ -1,0 +1,176 @@
+"""Conflict-miss trackers: the ideal oracle and the paper's practical design.
+
+Both trackers answer one question at cache-miss time: *was the incoming
+block prematurely evicted* — i.e. would a fully-associative LRU cache of
+the same capacity still hold it? If yes, the miss is a conflict miss, the
+raw material of cache-based covert timing channels.
+
+:class:`IdealLRUConflictTracker` shadows accesses in a full LRU stack
+(exact, expensive). :class:`GenerationConflictTracker` is the paper's
+Figure 9 hardware: recency is approximated by four *generations*; each
+cache block carries one access bit per generation, and each generation
+owns a three-hash bloom filter holding the tags of blocks that were
+replaced while that generation was their most recent access. A new
+generation opens whenever ``threshold = capacity / 4`` distinct blocks
+have been touched, discarding the oldest generation (flash-clearing its
+column and bloom filter). A miss whose tag hits any live bloom filter was
+evicted within roughly the last ``capacity`` distinct block touches —
+a conflict miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from repro.errors import HardwareError
+from repro.hardware.bloom import BloomFilter
+from repro.hardware.lru_stack import LRUStack
+
+
+class ConflictMissTracker(Protocol):
+    """What the shared cache needs from a conflict-miss tracker."""
+
+    def on_access(self, key: int) -> None:
+        """A resident block (or a just-filled block) was accessed."""
+
+    def on_replacement(self, key: int) -> None:
+        """Block ``key`` was evicted from the cache."""
+
+    def check_recent_eviction(self, key: int) -> bool:
+        """At miss time: was ``key`` recently (prematurely) evicted?"""
+
+
+class IdealLRUConflictTracker:
+    """Exact conflict-miss classification via a fully-associative LRU stack."""
+
+    def __init__(self, capacity: int):
+        self._stack = LRUStack(capacity)
+        self.capacity = capacity
+
+    def on_access(self, key: int) -> None:
+        self._stack.touch(key)
+
+    def on_replacement(self, key: int) -> None:
+        # The ideal stack models the fully-associative cache, which has its
+        # own replacement order; a set-conflict eviction does not remove the
+        # block from the shadow stack.
+        pass
+
+    def check_recent_eviction(self, key: int) -> bool:
+        # The incoming block missed in the real cache. If the
+        # fully-associative shadow still holds it, the eviction was
+        # premature: a conflict miss.
+        return self._stack.would_hit(key)
+
+    def clear(self) -> None:
+        self._stack.clear()
+
+
+class GenerationConflictTracker:
+    """The paper's practical generation-bit + bloom-filter tracker."""
+
+    def __init__(
+        self,
+        capacity: int,
+        generations: int = 4,
+        bloom_bits_per_generation: Optional[int] = None,
+        bloom_hashes: int = 3,
+    ):
+        if capacity <= 0:
+            raise HardwareError(f"tracker capacity must be positive: {capacity}")
+        if generations < 2:
+            raise HardwareError(f"need at least 2 generations, got {generations}")
+        self.capacity = capacity
+        self.generations = generations
+        #: New-generation threshold T = capacity / generations (paper: N/4,
+        #: "roughly 25% capacity in an ideal LRU stack").
+        self.threshold = max(1, capacity // generations)
+        bits = bloom_bits_per_generation or capacity
+        self._blooms = [
+            BloomFilter(bits, bloom_hashes) for _ in range(generations)
+        ]
+        #: Per-resident-block generation bitmask (bit g set = accessed in g).
+        self._gen_bits: Dict[int, int] = {}
+        self._current = 0
+        self._accessed_in_current = 0
+        self.generation_advances = 0
+
+    @property
+    def current_generation(self) -> int:
+        return self._current
+
+    def on_access(self, key: int) -> None:
+        bit = 1 << self._current
+        mask = self._gen_bits.get(key, 0)
+        if mask & bit:
+            return  # already counted in this generation
+        self._gen_bits[key] = mask | bit
+        self._accessed_in_current += 1
+        if self._accessed_in_current >= self.threshold:
+            self._advance_generation()
+
+    def _advance_generation(self) -> None:
+        """Open a new generation, discarding the oldest.
+
+        With ``G`` generations used as a circular buffer, the slot after the
+        current one holds the *oldest* generation; flash-clear its bloom
+        filter and its column in every block's generation bits, then make it
+        current (the bottom of the approximate LRU stack falls off).
+        """
+        new_gen = (self._current + 1) % self.generations
+        cleared_bit = ~(1 << new_gen)
+        for key in list(self._gen_bits):
+            remaining = self._gen_bits[key] & cleared_bit
+            if remaining:
+                self._gen_bits[key] = remaining
+            else:
+                del self._gen_bits[key]
+        self._blooms[new_gen].clear()
+        self._current = new_gen
+        self._accessed_in_current = 0
+        self.generation_advances += 1
+
+    def latest_generation_of(self, key: int) -> Optional[int]:
+        """Most recent generation in which ``key`` was accessed, if resident."""
+        mask = self._gen_bits.get(key, 0)
+        if mask == 0:
+            return None
+        # Scan generations from current backwards (circularly).
+        for back in range(self.generations):
+            g = (self._current - back) % self.generations
+            if mask & (1 << g):
+                return g
+        return None
+
+    def on_replacement(self, key: int) -> None:
+        """Record the replaced tag in the bloom filter of its latest generation."""
+        latest = self.latest_generation_of(key)
+        if latest is None:
+            # Block was never touched within the live generations (its bits
+            # were all flash-cleared); it is old enough that re-fetching it
+            # would not be a conflict miss, so don't remember it.
+            self._gen_bits.pop(key, None)
+            return
+        self._blooms[latest].add(key)
+        del self._gen_bits[key]
+
+    def check_recent_eviction(self, key: int) -> bool:
+        """Bloom-filter probe: does any live generation remember this tag?
+
+        A hit means the block was accessed in that generation but replaced
+        to make room for a more recently accessed block — a conflict miss
+        (subject to bloom false positives).
+        """
+        return any(bloom.contains(key) for bloom in self._blooms)
+
+    def clear(self) -> None:
+        for bloom in self._blooms:
+            bloom.clear()
+        self._gen_bits.clear()
+        self._current = 0
+        self._accessed_in_current = 0
+
+    @property
+    def metadata_bits_per_block(self) -> int:
+        """Generation bits plus 3-bit owner context, per the paper."""
+        return self.generations + 3

@@ -1,0 +1,64 @@
+"""Ideal fully-associative LRU stack.
+
+A *conflict miss* in a set-associative cache is a miss that a
+fully-associative cache of the same total capacity (with LRU replacement)
+would not have taken: the block was evicted by set-index pressure even
+though better eviction candidates existed elsewhere. The exact way to
+classify it is to shadow every access in a fully-associative LRU stack of
+``capacity`` blocks — this class. The paper calls this scheme ideal but
+too expensive for hardware; we keep it as the oracle the practical
+generation-based tracker is validated against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import HardwareError
+
+
+class LRUStack:
+    """Fully-associative LRU shadow directory over block keys."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise HardwareError(f"LRU stack needs positive capacity, got {capacity}")
+        self.capacity = capacity
+        self._stack: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._stack
+
+    def touch(self, key: int) -> None:
+        """Record an access: ``key`` moves to the top of the stack.
+
+        If the stack is full and ``key`` is new, the least recently used
+        entry falls off the bottom (it would have been evicted by the
+        fully-associative cache too).
+        """
+        if key in self._stack:
+            self._stack.move_to_end(key)
+            return
+        self._stack[key] = None
+        if len(self._stack) > self.capacity:
+            self._stack.popitem(last=False)
+
+    def depth(self, key: int) -> int:
+        """Stack distance of ``key``: 0 = most recent. -1 if absent.
+
+        O(n); intended for tests and analysis, not the simulation hot path.
+        """
+        for i, k in enumerate(reversed(self._stack)):
+            if k == key:
+                return i
+        return -1
+
+    def would_hit(self, key: int) -> bool:
+        """Would a fully-associative LRU cache of this capacity hit ``key``?"""
+        return key in self._stack
+
+    def clear(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,20 @@
+"""OS-side support for CC-Hunter (Section V-B).
+
+The kernel exports a privileged audit API (with user authorization
+checks), and a daemon process records the CC-auditor's buffers at each OS
+time quantum, runs the analyses in the background on an un-audited core,
+and accounts for their (small) CPU cost.
+"""
+
+from repro.osmodel.api import AuditAPI, User
+from repro.osmodel.daemon import CCHunterDaemon, DaemonStats
+from repro.osmodel.migration import ContextTimeline, unify_conflict_records
+
+__all__ = [
+    "AuditAPI",
+    "User",
+    "CCHunterDaemon",
+    "DaemonStats",
+    "ContextTimeline",
+    "unify_conflict_records",
+]

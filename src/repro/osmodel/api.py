@@ -1,0 +1,67 @@
+"""Privileged audit API.
+
+Programming the CC-auditor is a privileged instruction: only a subset of
+system users (usually the administrator) may place hardware units under
+audit, because the resulting activity data could itself leak sensitive
+system behaviour. The OS front-end enforces that check before forwarding
+requests to the auditor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.detector import AuditUnit, CCHunter
+from repro.errors import AuthorizationError
+
+
+@dataclass(frozen=True)
+class User:
+    """A system user as the audit API sees it."""
+
+    name: str
+    is_admin: bool = False
+
+
+@dataclass(frozen=True)
+class AuditGrant:
+    """A successfully authorized audit request."""
+
+    user: str
+    unit: str
+    core: Optional[int]
+
+
+class AuditAPI:
+    """OS wrapper around :meth:`CCHunter.audit` with authorization."""
+
+    def __init__(self, hunter: CCHunter):
+        self._hunter = hunter
+        self._grants: List[AuditGrant] = []
+
+    def request_audit(
+        self,
+        user: User,
+        unit: AuditUnit,
+        core: Optional[int] = None,
+        dt: Optional[int] = None,
+    ) -> AuditGrant:
+        """Authorize and forward an audit request.
+
+        Raises :class:`AuthorizationError` for non-administrators; the
+        auditor itself raises if both monitor slots are already in use.
+        """
+        if not user.is_admin:
+            raise AuthorizationError(
+                f"user {user.name!r} is not authorized to program the "
+                "CC-auditor"
+            )
+        self._hunter.audit(unit, core=core, dt=dt)
+        grant = AuditGrant(user=user.name, unit=unit.value, core=core)
+        self._grants.append(grant)
+        return grant
+
+    @property
+    def grants(self) -> Tuple[AuditGrant, ...]:
+        return tuple(self._grants)

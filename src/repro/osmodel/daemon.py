@@ -1,0 +1,98 @@
+"""The CC-Hunter daemon (Section V-B).
+
+A background process records the auditor's histogram buffers at every OS
+time quantum (contention channels) and drains the conflict-miss vector
+registers (oscillation channels); the pattern-clustering analysis runs
+every 512 quanta and the autocorrelation analysis every quantum. Both are
+cheap — the paper measures 0.25 s worst-case per clustering invocation
+(0.02 s with feature-dimension reduction) and 0.001 s per autocorrelation
+— and run on a currently un-audited core so they do not perturb the
+monitored workload.
+
+This module wraps :class:`~repro.core.detector.CCHunter` (which implements
+the per-quantum recording) with the OS-visible pieces: monitor-core
+placement and analysis-cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.config import CLUSTERING_WINDOW_QUANTA
+from repro.core.detector import CCHunter
+from repro.core.report import DetectionReport
+from repro.errors import SchedulingError
+from repro.sim.machine import Machine
+
+#: Analysis CPU costs measured by the paper (seconds per invocation).
+CLUSTERING_COST_S = 0.25
+CLUSTERING_COST_REDUCED_S = 0.02
+AUTOCORR_COST_S = 0.001
+
+
+@dataclass
+class DaemonStats:
+    """Bookkeeping of the daemon's own footprint."""
+
+    quanta_observed: int = 0
+    autocorr_invocations: int = 0
+    clustering_invocations: int = 0
+    analysis_cpu_seconds: float = 0.0
+    monitor_core: Optional[int] = None
+
+
+class CCHunterDaemon:
+    """OS daemon driving a CC-Hunter session."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        hunter: CCHunter,
+        use_dimension_reduction: bool = True,
+        clustering_period_quanta: int = CLUSTERING_WINDOW_QUANTA,
+    ):
+        self.machine = machine
+        self.hunter = hunter
+        self.use_dimension_reduction = use_dimension_reduction
+        self.clustering_period = clustering_period_quanta
+        self.stats = DaemonStats()
+        machine.on_quantum_end(self._account_quantum)
+
+    def place_monitor(self, audited_cores: Set[int]) -> int:
+        """Pick an un-audited core for the daemon's analysis threads."""
+        for core in range(self.machine.config.n_cores):
+            if core not in audited_cores:
+                self.stats.monitor_core = core
+                return core
+        raise SchedulingError(
+            "every core is under audit; no core left for the monitor"
+        )
+
+    def _account_quantum(self, quantum: int, t0: int, t1: int) -> None:
+        self.stats.quanta_observed += 1
+        # Autocorrelation runs at the end of every quantum.
+        self.stats.autocorr_invocations += 1
+        self.stats.analysis_cpu_seconds += AUTOCORR_COST_S
+        # Pattern clustering runs once per clustering window.
+        if (quantum + 1) % self.clustering_period == 0:
+            self.stats.clustering_invocations += 1
+            self.stats.analysis_cpu_seconds += (
+                CLUSTERING_COST_REDUCED_S
+                if self.use_dimension_reduction
+                else CLUSTERING_COST_S
+            )
+
+    def overhead_fraction(self) -> float:
+        """Daemon CPU time as a fraction of observed wall time."""
+        if self.stats.quanta_observed == 0:
+            return 0.0
+        observed = (
+            self.stats.quanta_observed
+            * self.machine.config.os_quantum_seconds
+        )
+        return self.stats.analysis_cpu_seconds / observed
+
+    def report(self) -> DetectionReport:
+        """Final detection report (delegates to the hunter)."""
+        return self.hunter.report()

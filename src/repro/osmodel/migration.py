@@ -1,0 +1,119 @@
+"""Migration-aware context unification (Section V-A).
+
+"Occasionally, during context switches, the trojan or spy may be
+scheduled to different cores. Fortunately, the OS (and software layers)
+have the ability to track the possible migration of processes during
+context switches. With such added software support, we can identify
+trojan/spy pairs correctly despite their migration."
+
+The CC-auditor records 3-bit *hardware context* ids; after a migration
+the same process shows up under a new id and a naive pair analysis would
+split its train. This module rebuilds the context→process timeline from
+the scheduler's placement and migration records and remaps labeled
+conflict events onto stable per-process identifiers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class _Occupancy:
+    """One stretch of a process occupying a hardware context."""
+
+    start: int
+    process: str
+
+
+class ContextTimeline:
+    """Who occupied which hardware context, over time."""
+
+    def __init__(self, machine: Machine):
+        self._per_ctx: Dict[int, List[_Occupancy]] = {}
+        # Initial placements: every process starts on its spawn context at
+        # its start time; migrations move it afterwards.
+        current_ctx: Dict[str, int] = {}
+        events: List[Tuple[int, str, Optional[int], int]] = []
+        for proc in machine.processes:
+            start = proc.start_time or 0
+            # Roll migrations back from the current context to the origin.
+            origin = proc.ctx if proc.ctx is not None else -1
+            for rec in reversed(machine.scheduler.migrations):
+                if rec.process_name == proc.name and rec.new_ctx == origin:
+                    origin = rec.old_ctx
+            events.append((start, proc.name, None, origin))
+        for rec in machine.scheduler.migrations:
+            events.append((rec.time, rec.process_name, rec.old_ctx,
+                           rec.new_ctx))
+        events.sort(key=lambda e: e[0])
+        for time, name, _old, new in events:
+            self._per_ctx.setdefault(new, []).append(
+                _Occupancy(time, name)
+            )
+            current_ctx[name] = new
+        for occupancies in self._per_ctx.values():
+            occupancies.sort(key=lambda o: o.start)
+
+    def process_of(self, ctx: int, time: int) -> Optional[str]:
+        """The process occupying ``ctx`` at ``time`` (None if unknown).
+
+        Returns the most recent occupant that arrived at or before
+        ``time``; contexts the timeline never saw yield None (e.g. noise
+        from untracked system activity).
+        """
+        occupancies = self._per_ctx.get(int(ctx))
+        if not occupancies:
+            return None
+        starts = [o.start for o in occupancies]
+        idx = bisect.bisect_right(starts, time) - 1
+        if idx < 0:
+            return None
+        return occupancies[idx].process
+
+
+def unify_conflict_records(
+    machine: Machine,
+    times: np.ndarray,
+    replacers: np.ndarray,
+    victims: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
+    """Remap (replacer, victim) context ids to stable per-process ids.
+
+    Returns ``(replacer_pids, victim_pids, pid_of_process)``. Events
+    whose context had no tracked occupant keep a distinct id per raw
+    context (offset past the process ids), so untracked noise still forms
+    consistent pairs.
+    """
+    timeline = ContextTimeline(machine)
+    names = sorted({p.name for p in machine.processes})
+    pid_of: Dict[str, int] = {name: i for i, name in enumerate(names)}
+    untracked_base = len(names)
+
+    def map_one(ctx: int, time: int) -> int:
+        name = timeline.process_of(ctx, time)
+        if name is None:
+            return untracked_base + int(ctx)
+        return pid_of[name]
+
+    t = np.asarray(times, dtype=np.int64)
+    reps = np.asarray(replacers)
+    vics = np.asarray(victims)
+    if not (t.size == reps.size == vics.size):
+        raise SchedulingError("labeled record arrays must align")
+    rep_pids = np.fromiter(
+        (map_one(int(c), int(tt)) for c, tt in zip(reps, t)),
+        dtype=np.int64, count=t.size,
+    )
+    vic_pids = np.fromiter(
+        (map_one(int(c), int(tt)) for c, tt in zip(vics, t)),
+        dtype=np.int64, count=t.size,
+    )
+    return rep_pids, vic_pids, pid_of

@@ -1,0 +1,44 @@
+"""Discrete-event model of the shared-hardware machine.
+
+This package is the substitute for the paper's MARSSx86 full-system
+simulator. It models virtual time in CPU cycles and the three shared
+resources CC-Hunter audits — the memory bus (with atomic-unaligned lock
+emulation), the per-core integer divider shared by SMT hyperthreads, and
+the shared set-associative L2 cache — at the granularity the detector
+consumes: indicator-event trains with cycle timestamps and context labels.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, Priority
+from repro.sim.machine import Machine
+from repro.sim.process import (
+    BusLockBurst,
+    BusSample,
+    CacheAccessSeries,
+    Compute,
+    DividerLoop,
+    DividerSaturate,
+    Process,
+    RandomBusLocks,
+    RandomCacheTraffic,
+    RandomDividerUse,
+    WaitUntil,
+)
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "Priority",
+    "Machine",
+    "Process",
+    "Compute",
+    "WaitUntil",
+    "BusLockBurst",
+    "BusSample",
+    "DividerSaturate",
+    "DividerLoop",
+    "CacheAccessSeries",
+    "RandomBusLocks",
+    "RandomCacheTraffic",
+    "RandomDividerUse",
+]

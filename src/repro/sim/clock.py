@@ -1,0 +1,41 @@
+"""Virtual time: cycles at a fixed clock frequency.
+
+All simulator timestamps are integer CPU cycles. The paper quotes
+quantities both in cycles (Δt = 100 000 cycles for the bus) and in seconds
+(OS quantum = 0.1 s, bandwidths in bits/s); this class converts between
+the two at the configured core frequency (2.5 GHz by default).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Clock:
+    """Cycle/second conversions at a fixed frequency."""
+
+    def __init__(self, frequency_hz: float = 2.5e9):
+        if frequency_hz <= 0:
+            raise ConfigError(f"clock frequency must be positive, got {frequency_hz}")
+        self.frequency_hz = float(frequency_hz)
+
+    def cycles(self, seconds: float) -> int:
+        """Convert seconds to (rounded) cycles.
+
+        >>> Clock(2.5e9).cycles(0.1)
+        250000000
+        """
+        return int(round(seconds * self.frequency_hz))
+
+    def seconds(self, cycles: int) -> float:
+        """Convert cycles to seconds."""
+        return cycles / self.frequency_hz
+
+    def cycles_per_bit(self, bandwidth_bps: float) -> int:
+        """Length of one covert bit period in cycles at ``bandwidth_bps``."""
+        if bandwidth_bps <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {bandwidth_bps}")
+        return int(round(self.frequency_hz / bandwidth_bps))
+
+    def __repr__(self) -> str:
+        return f"Clock({self.frequency_hz / 1e9:.2f} GHz)"

@@ -1,0 +1,381 @@
+"""Indicator-event collection.
+
+Shared resources report the paper's *indicator events* into taps:
+
+- :class:`EventTap` — sparse events with explicit cycle timestamps and a
+  source context (memory bus lock operations, benign conflicts).
+- :class:`RateSegmentTap` — dense event activity expressed as
+  ``(start, end, rate)`` segments plus optional sparse extras. The divider
+  channel produces one wait-on-busy event every few cycles for millions of
+  cycles; materializing each timestamp would be wasteful, and the detector
+  only ever needs *per-Δt-window counts*, which segments yield exactly.
+- :class:`LabeledEventTap` — cache conflict misses carrying the
+  (replacer context, victim context) ordered pair the CC-auditor's vector
+  registers record.
+
+Taps accumulate for the whole run; consumers slice by window with the
+``*_in`` methods. ``clear()`` supports streaming consumers that drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def _concat_chunks(chunks: Sequence[np.ndarray], dtype) -> np.ndarray:
+    if not chunks:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([np.asarray(c, dtype=dtype) for c in chunks])
+
+
+class EventTap:
+    """Collects sparse indicator events as (cycle, context) pairs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._time_chunks: List[np.ndarray] = []
+        self._ctx_chunks: List[np.ndarray] = []
+        self._sorted_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def record(self, time: int, ctx: int) -> None:
+        """Record a single event."""
+        self._time_chunks.append(np.array([time], dtype=np.int64))
+        self._ctx_chunks.append(np.array([ctx], dtype=np.int16))
+        self._sorted_cache = None
+
+    def record_batch(self, times: np.ndarray, ctx: int) -> None:
+        """Record many events from one context (times need not be sorted)."""
+        arr = np.asarray(times, dtype=np.int64)
+        if arr.size == 0:
+            return
+        self._time_chunks.append(arr)
+        self._ctx_chunks.append(np.full(arr.size, ctx, dtype=np.int16))
+        self._sorted_cache = None
+
+    @property
+    def count(self) -> int:
+        return sum(c.size for c in self._time_chunks)
+
+    def _sorted(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._sorted_cache is None:
+            times = _concat_chunks(self._time_chunks, np.int64)
+            ctxs = _concat_chunks(self._ctx_chunks, np.int16)
+            order = np.argsort(times, kind="stable")
+            self._sorted_cache = (times[order], ctxs[order])
+        return self._sorted_cache
+
+    def times(self) -> np.ndarray:
+        """All event timestamps, sorted ascending."""
+        return self._sorted()[0]
+
+    def times_and_contexts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Timestamps (sorted) with their matching context ids."""
+        return self._sorted()
+
+    def times_in(self, t0: int, t1: int) -> np.ndarray:
+        """Sorted timestamps within the half-open window ``[t0, t1)``."""
+        times = self.times()
+        lo = np.searchsorted(times, t0, side="left")
+        hi = np.searchsorted(times, t1, side="left")
+        return times[lo:hi]
+
+    def density_counts(self, dt: int, t0: int, t1: int) -> np.ndarray:
+        """Event count per Δt window tiling ``[t0, t1)``."""
+        if dt <= 0:
+            raise SimulationError(f"Δt must be positive, got {dt}")
+        n_windows = -(-(t1 - t0) // dt)
+        times = self.times_in(t0, t1)
+        if times.size == 0:
+            return np.zeros(n_windows, dtype=np.int64)
+        idx = (times - t0) // dt
+        return np.bincount(idx, minlength=n_windows).astype(np.int64)
+
+    def clear(self) -> None:
+        self._time_chunks.clear()
+        self._ctx_chunks.clear()
+        self._sorted_cache = None
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """Uniform event activity: ``rate`` events/cycle over ``[start, end)``."""
+
+    start: int
+    end: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError("rate segment end precedes start")
+        if self.rate < 0:
+            raise SimulationError("event rate cannot be negative")
+
+    @property
+    def expected_events(self) -> float:
+        return self.rate * (self.end - self.start)
+
+
+class RateSegmentTap:
+    """Collects dense event activity as rate segments plus sparse extras.
+
+    The segment representation is exact for the quantity the detector uses
+    (events per Δt window) and allows million-event contention phases to be
+    recorded in O(1). ``materialize_times`` synthesizes explicit timestamps
+    for plots and for consumers (like the autocorrelation analysis) that
+    need individual events; synthesis is deterministic.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._seg_starts: List[int] = []
+        self._seg_ends: List[int] = []
+        self._seg_rates: List[float] = []
+        self._seg_cache: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._sparse = EventTap(name + ".sparse")
+
+    def record_segment(self, start: int, end: int, rate: float) -> None:
+        """Record uniform activity of ``rate`` events/cycle over [start, end)."""
+        if end <= start or rate <= 0:
+            return
+        self._seg_starts.append(int(start))
+        self._seg_ends.append(int(end))
+        self._seg_rates.append(float(rate))
+        self._seg_cache = None
+
+    def record_segments_batch(
+        self, starts: np.ndarray, ends: np.ndarray, rates: np.ndarray
+    ) -> None:
+        """Record many segments at once (empty/zero-rate entries skipped)."""
+        keep = (np.asarray(ends) > np.asarray(starts)) & (np.asarray(rates) > 0)
+        if not keep.any():
+            return
+        self._seg_starts.extend(int(s) for s in np.asarray(starts)[keep])
+        self._seg_ends.extend(int(e) for e in np.asarray(ends)[keep])
+        self._seg_rates.extend(float(r) for r in np.asarray(rates)[keep])
+        self._seg_cache = None
+
+    def record(self, time: int, ctx: int = -1) -> None:
+        """Record one sparse event (e.g. an isolated benign conflict)."""
+        self._sparse.record(time, ctx)
+
+    def record_batch(self, times: np.ndarray, ctx: int = -1) -> None:
+        self._sparse.record_batch(times, ctx)
+
+    def _segment_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(starts, ends, rates), sorted by start, with a sort cache."""
+        if self._seg_cache is None:
+            starts = np.asarray(self._seg_starts, dtype=np.int64)
+            ends = np.asarray(self._seg_ends, dtype=np.int64)
+            rates = np.asarray(self._seg_rates, dtype=np.float64)
+            order = np.argsort(starts, kind="stable")
+            self._seg_cache = (starts[order], ends[order], rates[order])
+        return self._seg_cache
+
+    def _segments_in(
+        self, t0: int, t1: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        starts, ends, rates = self._segment_arrays()
+        if starts.size == 0:
+            return starts, ends, rates
+        hi = int(np.searchsorted(starts, t1, side="left"))
+        sel = ends[:hi] > t0
+        return starts[:hi][sel], ends[:hi][sel], rates[:hi][sel]
+
+    @property
+    def segments(self) -> Tuple[RateSegment, ...]:
+        starts, ends, rates = self._segment_arrays()
+        return tuple(
+            RateSegment(int(s), int(e), float(r))
+            for s, e, r in zip(starts, ends, rates)
+        )
+
+    @property
+    def count(self) -> float:
+        """Expected total events (segments) plus exact sparse events."""
+        starts, ends, rates = self._segment_arrays()
+        return float(((ends - starts) * rates).sum()) + self._sparse.count
+
+    def density_counts(self, dt: int, t0: int, t1: int) -> np.ndarray:
+        """Events per Δt window in ``[t0, t1)``; segment mass is spread exactly.
+
+        Vectorized over segments: each segment contributes its partial
+        first/last windows via scatter-add and its uniform middle windows
+        via a difference array (one cumulative sum at the end), so cost is
+        O(#segments + #windows) regardless of segment lengths.
+        """
+        if dt <= 0:
+            raise SimulationError(f"Δt must be positive, got {dt}")
+        n_windows = -(-(t1 - t0) // dt)
+        counts = self._sparse.density_counts(dt, t0, t1).astype(np.float64)
+        starts, ends, rates = self._segments_in(t0, t1)
+        if starts.size:
+            s = np.maximum(starts, t0)
+            e = np.minimum(ends, t1)
+            first = (s - t0) // dt
+            last = (e - 1 - t0) // dt
+            single = first == last
+            # Segments confined to one window.
+            np.add.at(
+                counts, first[single], (e[single] - s[single]) * rates[single]
+            )
+            multi = ~single
+            if multi.any():
+                fm, lm = first[multi], last[multi]
+                sm, em, rm = s[multi], e[multi], rates[multi]
+                first_end = t0 + (fm + 1) * dt
+                np.add.at(counts, fm, (first_end - sm) * rm)
+                last_start = t0 + lm * dt
+                np.add.at(counts, lm, (em - last_start) * rm)
+                # Uniform middle windows fm+1 .. lm-1 via difference array.
+                diff = np.zeros(n_windows + 1, dtype=np.float64)
+                has_mid = lm > fm + 1
+                np.add.at(diff, fm[has_mid] + 1, rm[has_mid] * dt)
+                np.add.at(diff, lm[has_mid], -rm[has_mid] * dt)
+                counts += np.cumsum(diff[:-1])
+        # Round half-up with an epsilon so float residue from the cumsum
+        # cannot flip a x.5 boundary either way.
+        return np.floor(counts + 0.5 + 1e-6).astype(np.int64)
+
+    def materialize_times(
+        self, t0: int, t1: int, max_events: Optional[int] = None
+    ) -> np.ndarray:
+        """Synthesize explicit sorted timestamps for ``[t0, t1)``.
+
+        Segment events are placed on a uniform grid at each segment's rate.
+        If ``max_events`` is given and the total would exceed it, events are
+        uniformly thinned (for plotting).
+        """
+        pieces = [self._sparse.times_in(t0, t1)]
+        starts, ends, rates = self._segments_in(t0, t1)
+        for s, e, r in zip(starts, ends, rates):
+            lo, hi = max(int(s), t0), min(int(e), t1)
+            if hi <= lo:
+                continue
+            period = 1.0 / r
+            n = int((hi - lo) * r)
+            if n <= 0:
+                continue
+            pieces.append((lo + (np.arange(n) + 0.5) * period).astype(np.int64))
+        times = np.sort(np.concatenate(pieces)) if pieces else np.zeros(0, np.int64)
+        if max_events is not None and times.size > max_events:
+            keep = np.linspace(0, times.size - 1, max_events).astype(np.int64)
+            times = times[keep]
+        return times
+
+    def clear(self) -> None:
+        self._seg_starts.clear()
+        self._seg_ends.clear()
+        self._seg_rates.clear()
+        self._seg_cache = None
+        self._sparse.clear()
+
+
+class LabeledEventTap:
+    """Cache conflict-miss events labeled (replacer context, victim context).
+
+    This mirrors the CC-auditor's 128-byte vector registers, which record
+    the three-bit context ids of the replacer (the context requesting the
+    block) and the victim (the owner context in the replaced block's
+    metadata) for every detected conflict miss.
+    """
+
+    def __init__(self, name: str, context_id_bits: int = 3):
+        self.name = name
+        self.context_id_bits = context_id_bits
+        self._time_chunks: List[np.ndarray] = []
+        self._replacer_chunks: List[np.ndarray] = []
+        self._victim_chunks: List[np.ndarray] = []
+        # Single-event appends land in plain-list staging buffers and are
+        # consolidated lazily — the cache records conflicts one at a time
+        # on its hot path.
+        self._stage_times: List[int] = []
+        self._stage_replacers: List[int] = []
+        self._stage_victims: List[int] = []
+        self._sorted_cache: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+
+    def record(self, time: int, replacer: int, victim: int) -> None:
+        limit = 1 << self.context_id_bits
+        if not (0 <= replacer < limit and 0 <= victim < limit):
+            raise SimulationError(
+                f"context ids must fit in {self.context_id_bits} bits"
+            )
+        self._stage_times.append(time)
+        self._stage_replacers.append(replacer)
+        self._stage_victims.append(victim)
+        self._sorted_cache = None
+
+    def _flush_stage(self) -> None:
+        if not self._stage_times:
+            return
+        self._time_chunks.append(np.array(self._stage_times, dtype=np.int64))
+        self._replacer_chunks.append(
+            np.array(self._stage_replacers, dtype=np.int16)
+        )
+        self._victim_chunks.append(
+            np.array(self._stage_victims, dtype=np.int16)
+        )
+        self._stage_times = []
+        self._stage_replacers = []
+        self._stage_victims = []
+
+    def record_batch(
+        self, times: np.ndarray, replacers: np.ndarray, victims: np.ndarray
+    ) -> None:
+        t = np.asarray(times, dtype=np.int64)
+        r = np.asarray(replacers, dtype=np.int16)
+        v = np.asarray(victims, dtype=np.int16)
+        if not (t.size == r.size == v.size):
+            raise SimulationError("labeled event batch arrays must align")
+        if t.size == 0:
+            return
+        limit = 1 << self.context_id_bits
+        if r.size and (r.min() < 0 or r.max() >= limit or v.min() < 0 or v.max() >= limit):
+            raise SimulationError(
+                f"context ids must fit in {self.context_id_bits} bits"
+            )
+        self._time_chunks.append(t)
+        self._replacer_chunks.append(r)
+        self._victim_chunks.append(v)
+        self._sorted_cache = None
+
+    @property
+    def count(self) -> int:
+        return sum(c.size for c in self._time_chunks) + len(self._stage_times)
+
+    def records(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, replacers, victims), sorted by time (stable)."""
+        if self._sorted_cache is None:
+            self._flush_stage()
+            times = _concat_chunks(self._time_chunks, np.int64)
+            reps = _concat_chunks(self._replacer_chunks, np.int16)
+            vics = _concat_chunks(self._victim_chunks, np.int16)
+            order = np.argsort(times, kind="stable")
+            self._sorted_cache = (times[order], reps[order], vics[order])
+        return self._sorted_cache
+
+    def records_in(
+        self, t0: int, t1: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Records within ``[t0, t1)``, time-sorted."""
+        times, reps, vics = self.records()
+        lo = np.searchsorted(times, t0, side="left")
+        hi = np.searchsorted(times, t1, side="left")
+        return times[lo:hi], reps[lo:hi], vics[lo:hi]
+
+    def clear(self) -> None:
+        self._time_chunks.clear()
+        self._replacer_chunks.clear()
+        self._victim_chunks.clear()
+        self._stage_times = []
+        self._stage_replacers = []
+        self._stage_victims = []
+        self._sorted_cache = None

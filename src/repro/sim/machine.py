@@ -1,0 +1,266 @@
+"""The simulated machine: hardware assembly plus process execution.
+
+``Machine`` wires the discrete-event engine to the resource models (bus,
+per-core dividers, shared L2), owns the indicator-event taps the
+CC-auditor reads, spawns processes, dispatches their operations, and runs
+the quantum loop that drives per-OS-quantum detection hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.hardware.conflict_tracker import (
+    ConflictMissTracker,
+    GenerationConflictTracker,
+)
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, Priority
+from repro.sim.events import EventTap, LabeledEventTap, RateSegmentTap
+from repro.sim.process import (
+    BusLockBurst,
+    BusSample,
+    CacheAccessSeries,
+    Compute,
+    DividerLoop,
+    DividerSaturate,
+    Process,
+    RandomBusLocks,
+    RandomCacheTraffic,
+    RandomDividerUse,
+    WaitUntil,
+)
+from repro.sim.resources.bus import MemoryBus
+from repro.sim.resources.cache import SharedCache
+from repro.sim.resources.divider import DividerUnit
+from repro.sim.scheduler import Scheduler
+from repro.util.rng import derive_rng
+
+#: Signature of per-quantum hooks: (quantum index, window start, window end).
+QuantumHook = Callable[[int, int, int], None]
+
+
+class Machine:
+    """A quad-core, 2-way SMT machine with auditable shared resources."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        seed: int = 0,
+        tracker: Optional[ConflictMissTracker] = None,
+    ):
+        self.config = config or MachineConfig()
+        self.seed = seed
+        self.clock = Clock(self.config.frequency_hz)
+        self.engine = Engine()
+        self.scheduler = Scheduler(self.config)
+
+        # Indicator-event taps the CC-auditor can be pointed at.
+        self.bus_lock_tap = EventTap("membus.lock")
+        self.divider_wait_taps: List[RateSegmentTap] = [
+            RateSegmentTap(f"divider{core}.wait")
+            for core in range(self.config.n_cores)
+        ]
+        self.multiplier_wait_taps: List[RateSegmentTap] = [
+            RateSegmentTap(f"multiplier{core}.wait")
+            for core in range(self.config.n_cores)
+        ]
+        self.cache_miss_tap = LabeledEventTap("l2.conflict_miss")
+
+        self.bus = MemoryBus(
+            self.config.bus, self.bus_lock_tap, derive_rng(seed, "bus")
+        )
+        self.dividers: List[DividerUnit] = [
+            DividerUnit(
+                core,
+                self.config.divider,
+                self.divider_wait_taps[core],
+                derive_rng(seed, "divider", core),
+            )
+            for core in range(self.config.n_cores)
+        ]
+        self.multipliers: List[DividerUnit] = [
+            DividerUnit(
+                core,
+                self.config.multiplier,
+                self.multiplier_wait_taps[core],
+                derive_rng(seed, "multiplier", core),
+            )
+            for core in range(self.config.n_cores)
+        ]
+        self.tracker: ConflictMissTracker = tracker or GenerationConflictTracker(
+            capacity=self.config.l2.n_blocks
+        )
+        self.l2 = SharedCache(
+            self.config.l2,
+            self.tracker,
+            self.cache_miss_tap,
+            derive_rng(seed, "l2"),
+        )
+        self._processes: List[Process] = []
+        self._quantum_hooks: List[QuantumHook] = []
+        self.quanta_completed = 0
+
+    # ---------------------------------------------------------------- spawn
+
+    def spawn(
+        self,
+        process: Process,
+        ctx: Optional[int] = None,
+        core: Optional[int] = None,
+        start_time: Optional[int] = None,
+    ) -> Process:
+        """Place a process on a hardware context and start it.
+
+        ``ctx`` pins a specific SMT thread; ``core`` picks any free thread
+        of that core. The process starts at ``start_time`` (default: now).
+        """
+        self.scheduler.place(process, ctx=ctx, core=core)
+        process.machine = self
+        self._processes.append(process)
+        gen = process.run()
+        t0 = self.engine.now if start_time is None else int(start_time)
+        process.start_time = t0
+        self.engine.schedule(
+            t0, lambda: self._advance(process, gen, None), process.priority
+        )
+        return process
+
+    def _advance(self, process: Process, gen, value) -> None:
+        try:
+            op = gen.send(value)
+        except StopIteration:
+            process.finished = True
+            process.finish_time = self.engine.now
+            self.scheduler.release(process)
+            return
+        end, result = self._execute(process, op)
+        if end < self.engine.now:
+            raise SimulationError(
+                f"operation {op!r} of {process.name!r} ended in the past"
+            )
+        self.engine.schedule(
+            end, lambda: self._advance(process, gen, result), process.priority
+        )
+
+    # ------------------------------------------------------------- execution
+
+    def _execute(self, process: Process, op) -> Tuple[int, object]:
+        """Run one operation against the hardware; returns (end time, result)."""
+        now = self.engine.now
+        ctx = process.ctx
+        if ctx is None:
+            raise SimulationError(f"{process.name!r} has no hardware context")
+        if isinstance(op, Compute):
+            return now + op.cycles, None
+        if isinstance(op, WaitUntil):
+            return max(now, op.time), None
+        if isinstance(op, BusLockBurst):
+            return self.bus.lock_burst(ctx, now, op.count, op.period), None
+        if isinstance(op, BusSample):
+            return self.bus.sample(ctx, now, op.count, op.period)
+        if isinstance(op, DividerSaturate):
+            units = self.functional_units(op.unit)
+            return units[process.core].saturate(ctx, now, op.duration), None
+        if isinstance(op, DividerLoop):
+            units = self.functional_units(op.unit)
+            return units[process.core].run_loop(
+                ctx, now, op.iterations, op.divs_per_iter
+            )
+        if isinstance(op, CacheAccessSeries):
+            return self.l2.access_series(ctx, op.accesses, op.gap, now)
+        # The Random* operations are non-blocking *registrations*: they
+        # commit activity covering [now, now + duration) and complete
+        # immediately, so one noise process can register several activity
+        # types for the same window (advancing time is the body's job, via
+        # WaitUntil/Compute — see repro.workloads.base).
+        if isinstance(op, RandomBusLocks):
+            rate_per_cycle = op.rate_per_second / self.clock.frequency_hz
+            self.bus.noise_locks(ctx, now, op.duration, rate_per_cycle)
+            return now, None
+        if isinstance(op, RandomDividerUse):
+            self.dividers[process.core].random_use(
+                ctx,
+                now,
+                op.duration,
+                op.duty,
+                op.burst_cycles,
+                intensity=op.intensity,
+            )
+            return now, None
+        if isinstance(op, RandomCacheTraffic):
+            self.l2.random_traffic(
+                ctx,
+                now,
+                op.duration,
+                op.count,
+                set_lo=op.set_lo,
+                set_hi=op.set_hi,
+                tag_space=op.tag_space,
+            )
+            return now, None
+        raise SimulationError(f"unknown operation type: {op!r}")
+
+    # ------------------------------------------------------------- run loop
+
+    @property
+    def quantum_cycles(self) -> int:
+        return self.config.quantum_cycles
+
+    def on_quantum_end(self, hook: QuantumHook) -> None:
+        """Register a hook fired at every OS-quantum boundary.
+
+        Hooks receive ``(quantum_index, window_start, window_end)`` and run
+        after every process event inside the window has executed — this is
+        where the CC-Hunter daemon reads the auditor.
+        """
+        self._quantum_hooks.append(hook)
+
+    def run_quanta(self, n_quanta: int) -> None:
+        """Advance the simulation by ``n_quanta`` OS time quanta."""
+        if n_quanta <= 0:
+            raise SimulationError(f"must run a positive number of quanta: {n_quanta}")
+        width = self.quantum_cycles
+        for _ in range(n_quanta):
+            q = self.quanta_completed
+            t0, t1 = q * width, (q + 1) * width
+            self.engine.run_until(t1)
+            for hook in self._quantum_hooks:
+                hook(q, t0, t1)
+            self.quanta_completed += 1
+
+    def run_until(self, t_end: int) -> None:
+        """Advance to an absolute cycle without quantum bookkeeping."""
+        self.engine.run_until(t_end)
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    @property
+    def processes(self) -> Tuple[Process, ...]:
+        return tuple(self._processes)
+
+    def functional_units(self, kind: str) -> List[DividerUnit]:
+        """The per-core units of a kind ('divider' or 'multiplier')."""
+        if kind == "divider":
+            return self.dividers
+        if kind == "multiplier":
+            return self.multipliers
+        raise SimulationError(f"unknown functional unit kind {kind!r}")
+
+    def divider_wait_tap_for(self, core: int) -> RateSegmentTap:
+        """The wait-event tap of a core's divider unit."""
+        if not 0 <= core < self.config.n_cores:
+            raise SimulationError(f"core {core} outside machine")
+        return self.divider_wait_taps[core]
+
+    def multiplier_wait_tap_for(self, core: int) -> RateSegmentTap:
+        """The wait-event tap of a core's multiplier unit."""
+        if not 0 <= core < self.config.n_cores:
+            raise SimulationError(f"core {core} outside machine")
+        return self.multiplier_wait_taps[core]

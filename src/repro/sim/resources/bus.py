@@ -1,0 +1,130 @@
+"""Shared memory bus / QPI with bus-lock emulation.
+
+The memory-bus covert channel relies on the fact that an atomic memory
+access spanning two cache lines locks the bus (and QPI-era parts still
+emulate that lock), putting it into a *contended* state every other
+context observes as inflated access latency. This model tracks bus-lock
+windows, reports each lock operation to the indicator-event tap, and
+serves timed accesses whose latency reflects the lock state.
+
+Locks are committed when the locking operation is issued, covering the
+whole burst (producers-first contract, see :mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import BusConfig
+from repro.errors import SimulationError
+from repro.sim.events import EventTap
+
+
+class MemoryBus:
+    """The shared bus: lock windows, lock indicator events, timed sampling."""
+
+    def __init__(
+        self,
+        config: BusConfig,
+        lock_tap: EventTap,
+        rng: np.random.Generator,
+    ):
+        self.config = config
+        self.lock_tap = lock_tap
+        self._rng = rng
+        self._lock_start_chunks: List[np.ndarray] = []
+        self._sorted_starts: Optional[np.ndarray] = None
+        self.total_locks = 0
+        self.total_samples = 0
+
+    # ------------------------------------------------------------------ locks
+
+    def _commit_locks(self, times: np.ndarray, ctx: int) -> None:
+        if times.size == 0:
+            return
+        self._lock_start_chunks.append(times.astype(np.int64))
+        self._sorted_starts = None
+        self.lock_tap.record_batch(times, ctx)
+        self.total_locks += int(times.size)
+
+    def lock_burst(self, ctx: int, start: int, count: int, period: int) -> int:
+        """Issue ``count`` bus-locking atomic accesses every ``period`` cycles.
+
+        Returns the completion time of the burst. Each access holds the bus
+        locked for ``config.lock_duration`` cycles from its issue.
+        """
+        if count <= 0 or period <= 0:
+            raise SimulationError("lock burst needs positive count and period")
+        times = start + period * np.arange(count, dtype=np.int64)
+        self._commit_locks(times, ctx)
+        return int(start + count * period)
+
+    def noise_locks(
+        self, ctx: int, start: int, duration: int, rate_per_cycle: float
+    ) -> None:
+        """Commit Poisson-random benign lock events over ``[start, start+duration)``.
+
+        Benign programs (e.g. legacy atomics in library code) fire bus locks
+        at low random rates; these events land in the same tap and are what
+        the detector's likelihood-ratio step must reject as noise.
+        """
+        if rate_per_cycle < 0:
+            raise SimulationError("noise lock rate cannot be negative")
+        expected = rate_per_cycle * duration
+        n = int(self._rng.poisson(expected)) if expected > 0 else 0
+        if n == 0:
+            return
+        times = start + np.sort(self._rng.integers(0, duration, size=n))
+        self._commit_locks(times.astype(np.int64), ctx)
+
+    def _lock_starts(self) -> np.ndarray:
+        if self._sorted_starts is None:
+            if self._lock_start_chunks:
+                self._sorted_starts = np.sort(
+                    np.concatenate(self._lock_start_chunks)
+                )
+            else:
+                self._sorted_starts = np.zeros(0, dtype=np.int64)
+        return self._sorted_starts
+
+    def locked_at(self, times: np.ndarray) -> np.ndarray:
+        """Boolean mask: is the bus lock-contended at each timestamp?
+
+        Lock windows have fixed width, so a time ``t`` is locked iff some
+        lock was issued in ``(t - lock_duration, t]``.
+        """
+        starts = self._lock_starts()
+        ts = np.asarray(times, dtype=np.int64)
+        if starts.size == 0:
+            return np.zeros(ts.shape, dtype=bool)
+        idx = np.searchsorted(starts, ts, side="right") - 1
+        prev_start = starts[np.maximum(idx, 0)]
+        return (idx >= 0) & (ts - prev_start < self.config.lock_duration)
+
+    # --------------------------------------------------------------- sampling
+
+    def sample(
+        self, ctx: int, start: int, count: int, period: int
+    ) -> Tuple[int, np.ndarray]:
+        """Serve ``count`` timed accesses spaced ``period`` cycles apart.
+
+        Returns ``(end_time, latencies)``. Latency is the base bus+DRAM
+        latency, plus the lock penalty while the bus is contended, plus
+        bounded uniform jitter. The spy process averages these latencies to
+        decode bits; ordinary programs see them as normal variance.
+        """
+        if count <= 0 or period <= 0:
+            raise SimulationError("bus sampling needs positive count and period")
+        times = start + period * np.arange(count, dtype=np.int64)
+        latencies = np.full(count, self.config.base_latency, dtype=np.int64)
+        latencies += self.locked_at(times) * self.config.locked_extra_latency
+        if self.config.latency_jitter:
+            latencies += self._rng.integers(
+                -self.config.latency_jitter,
+                self.config.latency_jitter + 1,
+                size=count,
+            )
+        self.total_samples += count
+        return int(start + count * period), latencies

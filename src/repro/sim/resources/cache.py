@@ -1,0 +1,184 @@
+"""Shared set-associative L2 cache with conflict-miss detection.
+
+The cache covert channel (Xu et al.) works by trojan and spy alternately
+evicting each other's blocks in pre-agreed groups of sets; the observable
+CC-Hunter keys on is the resulting train of *conflict misses* labeled with
+(replacer context, victim context). This model keeps true per-set LRU
+order and per-block owner-context metadata, classifies conflict misses
+through a pluggable tracker (ideal LRU stack or the paper's practical
+generation/bloom design), and reports labeled conflict events to the tap.
+
+Private L1s are modeled implicitly: operations issued here are the
+accesses that reach L2 (covert-channel and noise working sets are sized to
+defeat the 32 KB L1s, as in the paper's attack implementations).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+from repro.hardware.conflict_tracker import ConflictMissTracker
+from repro.sim.events import LabeledEventTap
+
+#: Block keys pack (set index, tag) into one integer for dict/bloom speed.
+_TAG_SHIFT = 20
+_MAX_SET = 1 << _TAG_SHIFT
+
+
+def block_key(set_index: int, tag: int) -> int:
+    """Stable integer key for a cache block (set, tag) pair."""
+    return (int(tag) << _TAG_SHIFT) | int(set_index)
+
+
+class SharedCache:
+    """Set-associative, true-LRU shared cache with labeled conflict events."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        tracker: ConflictMissTracker,
+        miss_tap: LabeledEventTap,
+        rng: np.random.Generator,
+        latency_jitter: int = 3,
+    ):
+        if config.n_sets > _MAX_SET:
+            raise SimulationError(
+                f"cache has {config.n_sets} sets; block keys support {_MAX_SET}"
+            )
+        self.config = config
+        self.tracker = tracker
+        self.miss_tap = miss_tap
+        self._rng = rng
+        self.latency_jitter = latency_jitter
+        # Per-access jitter comes from a pre-drawn pool (drawing one numpy
+        # random per access dominates the hot path otherwise).
+        if latency_jitter:
+            self._jitter_pool = rng.integers(
+                -latency_jitter, latency_jitter + 1, size=65_536
+            ).tolist()
+        else:
+            self._jitter_pool = [0]
+        self._jitter_idx = 0
+        # Per-set LRU order: OrderedDict maps tag -> owner ctx, MRU at end.
+        self._sets: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.conflict_misses = 0
+
+    # ---------------------------------------------------------------- access
+
+    def access(self, ctx: int, set_index: int, tag: int, time: int) -> Tuple[int, bool]:
+        """One L2 access. Returns ``(latency, hit)``.
+
+        On a miss, the incoming tag is checked against the conflict tracker
+        *before* insertion; if it was recently prematurely evicted and the
+        fill replaces a victim, a conflict-miss event labeled
+        ``(replacer=ctx, victim=victim owner)`` is recorded, mirroring what
+        the CC-auditor's vector registers capture.
+        """
+        if not 0 <= set_index < self.config.n_sets:
+            raise SimulationError(
+                f"set index {set_index} outside 0..{self.config.n_sets - 1}"
+            )
+        cache_set = self._sets[set_index]
+        key = block_key(set_index, tag)
+        was_hit = tag in cache_set
+        if was_hit:
+            cache_set.move_to_end(tag)
+            cache_set[tag] = ctx
+            self.tracker.on_access(key)
+            self.hits += 1
+            latency = self.config.hit_latency
+        else:
+            self.misses += 1
+            is_conflict = self.tracker.check_recent_eviction(key)
+            victim_owner: Optional[int] = None
+            if len(cache_set) >= self.config.associativity:
+                victim_tag, victim_owner = cache_set.popitem(last=False)
+                self.tracker.on_replacement(block_key(set_index, victim_tag))
+            cache_set[tag] = ctx
+            self.tracker.on_access(key)
+            if is_conflict and victim_owner is not None:
+                self.conflict_misses += 1
+                self.miss_tap.record(time, ctx, victim_owner)
+            latency = self.config.miss_latency
+        if self.latency_jitter:
+            pool = self._jitter_pool
+            self._jitter_idx = (self._jitter_idx + 1) % len(pool)
+            latency += pool[self._jitter_idx]
+        return latency, was_hit
+
+    def access_series(
+        self,
+        ctx: int,
+        accesses: Sequence[Tuple[int, int]],
+        gap: int,
+        start: int,
+    ) -> Tuple[int, np.ndarray]:
+        """Issue accesses back-to-back; returns ``(end_time, latencies)``."""
+        t = int(start)
+        latencies = np.empty(len(accesses), dtype=np.int64)
+        for i, (set_index, tag) in enumerate(accesses):
+            latency, _hit = self.access(ctx, set_index, tag, t)
+            latencies[i] = latency
+            t += latency + gap
+        return t, latencies
+
+    def random_traffic(
+        self,
+        ctx: int,
+        start: int,
+        duration: int,
+        count: int,
+        set_lo: int = 0,
+        set_hi: Optional[int] = None,
+        tag_space: int = 64,
+    ) -> int:
+        """Benign traffic: ``count`` accesses at uniform random times.
+
+        Each access picks a uniform set in ``[set_lo, set_hi)`` and one of
+        ``tag_space`` per-context tags; re-use within the tag space produces
+        the background conflict misses that perturb covert trains.
+        """
+        if count <= 0:
+            return start + duration
+        hi = self.config.n_sets if set_hi is None else set_hi
+        if not 0 <= set_lo < hi <= self.config.n_sets:
+            raise SimulationError(f"bad noise set range [{set_lo}, {hi})")
+        times = np.sort(self._rng.integers(0, duration, size=count)) + start
+        sets = self._rng.integers(set_lo, hi, size=count)
+        # Tag namespace disjoint per context so noise cannot alias covert tags.
+        tags = self._rng.integers(0, tag_space, size=count) + (ctx + 1) * 1_000_000
+        for t, s, tag in zip(times, sets, tags):
+            self.access(ctx, int(s), int(tag), int(t))
+        return start + duration
+
+    # ------------------------------------------------------------- inspection
+
+    def owner_of(self, set_index: int, tag: int) -> Optional[int]:
+        """Owner context of a resident block, or None if not cached."""
+        return self._sets[set_index].get(tag)
+
+    def resident_tags(self, set_index: int) -> Tuple[int, ...]:
+        """Tags currently resident in a set, LRU to MRU order."""
+        return tuple(self._sets[set_index].keys())
+
+    @property
+    def occupancy(self) -> int:
+        """Total resident blocks."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        """Empty the cache (tracker state is left to the caller)."""
+        for s in self._sets:
+            s.clear()
+        self.hits = 0
+        self.misses = 0
+        self.conflict_misses = 0

@@ -1,0 +1,31 @@
+"""Main-memory (DRAM) latency model.
+
+The bus model fronts DRAM; this class supplies the base access latency and
+row-buffer-style jitter. Kept separate from the bus so experiments can
+tune memory timing without touching lock emulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class MainMemory:
+    """Constant-service-time DRAM with bounded uniform jitter."""
+
+    def __init__(self, access_latency: int = 160, jitter: int = 12):
+        if access_latency <= 0:
+            raise ConfigError("memory access latency must be positive")
+        if jitter < 0 or jitter >= access_latency:
+            raise ConfigError("memory jitter must be in [0, access latency)")
+        self.access_latency = access_latency
+        self.jitter = jitter
+
+    def latencies(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Latency samples for ``count`` independent accesses."""
+        base = np.full(count, self.access_latency, dtype=np.int64)
+        if self.jitter:
+            base += rng.integers(-self.jitter, self.jitter + 1, size=count)
+        return base

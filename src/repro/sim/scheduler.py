@@ -1,0 +1,122 @@
+"""OS-level scheduling model: context allocation, quanta, migration.
+
+The detector's observation windows are OS time quanta (0.1 s), and the
+paper notes that the OS can track trojan/spy migration across cores so
+labeled conflict events stay attributable. This scheduler hands out
+hardware contexts (SMT threads), optionally pinned to a core, and records
+migrations so analyses can unify a process's context ids over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.errors import SchedulingError
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """A process moved between hardware contexts at a context switch."""
+
+    time: int
+    process_name: str
+    old_ctx: int
+    new_ctx: int
+
+
+class Scheduler:
+    """Allocates hardware contexts and tracks placement over time."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self._owner: Dict[int, Optional[Process]] = {
+            ctx: None for ctx in range(config.n_contexts)
+        }
+        self.migrations: List[MigrationRecord] = []
+
+    def contexts_of_core(self, core: int) -> List[int]:
+        """Hardware context ids belonging to ``core``."""
+        if not 0 <= core < self.config.n_cores:
+            raise SchedulingError(f"core {core} outside 0..{self.config.n_cores - 1}")
+        base = core * self.config.threads_per_core
+        return list(range(base, base + self.config.threads_per_core))
+
+    def core_of(self, ctx: int) -> int:
+        if not 0 <= ctx < self.config.n_contexts:
+            raise SchedulingError(f"context {ctx} outside machine")
+        return ctx // self.config.threads_per_core
+
+    def occupant(self, ctx: int) -> Optional[Process]:
+        return self._owner[ctx]
+
+    def free_contexts(self, core: Optional[int] = None) -> List[int]:
+        """Unoccupied contexts, optionally restricted to one core."""
+        candidates = (
+            self.contexts_of_core(core)
+            if core is not None
+            else list(range(self.config.n_contexts))
+        )
+        return [c for c in candidates if self._owner[c] is None]
+
+    def place(
+        self,
+        process: Process,
+        ctx: Optional[int] = None,
+        core: Optional[int] = None,
+    ) -> int:
+        """Assign ``process`` to a context.
+
+        Explicit ``ctx`` pins exactly; ``core`` picks any free SMT thread of
+        that core; neither picks the first free context in the machine.
+        """
+        if ctx is not None:
+            if self._owner.get(ctx) is not None:
+                raise SchedulingError(
+                    f"context {ctx} already runs {self._owner[ctx].name!r}"
+                )
+            if not 0 <= ctx < self.config.n_contexts:
+                raise SchedulingError(f"context {ctx} outside machine")
+            chosen = ctx
+        else:
+            free = self.free_contexts(core)
+            if not free:
+                where = f"core {core}" if core is not None else "machine"
+                raise SchedulingError(f"no free hardware context on {where}")
+            chosen = free[0]
+        self._owner[chosen] = process
+        process.ctx = chosen
+        return chosen
+
+    def release(self, process: Process) -> None:
+        """Free the context a finished process occupied."""
+        if process.ctx is not None and self._owner.get(process.ctx) is process:
+            self._owner[process.ctx] = None
+
+    def migrate(self, process: Process, new_ctx: int, time: int) -> None:
+        """Move a live process to another context, recording the migration.
+
+        Covert pairs occasionally migrate at context switches; the recorded
+        history is what lets software unify their identifiers (Section V-A).
+        """
+        if process.ctx is None:
+            raise SchedulingError(f"{process.name!r} is not placed")
+        if self._owner.get(new_ctx) is not None:
+            raise SchedulingError(f"context {new_ctx} is occupied")
+        old_ctx = process.ctx
+        self._owner[old_ctx] = None
+        self._owner[new_ctx] = process
+        process.ctx = new_ctx
+        self.migrations.append(
+            MigrationRecord(time, process.name, old_ctx, new_ctx)
+        )
+
+    def context_history(self, process_name: str, initial_ctx: int) -> List[int]:
+        """All context ids a process has occupied, in order."""
+        history = [initial_ctx]
+        for rec in self.migrations:
+            if rec.process_name == process_name:
+                history.append(rec.new_ctx)
+        return history

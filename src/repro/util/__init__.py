@@ -1,0 +1,38 @@
+"""Shared utilities: RNG plumbing, bit messages, intervals, statistics."""
+
+from repro.util.bitstream import Message, bit_error_rate, bits_from_int, int_from_bits
+from repro.util.intervals import (
+    Interval,
+    clip_intervals,
+    merge_intervals,
+    overlap_length,
+    total_length,
+)
+from repro.util.rng import derive_rng, make_rng
+from repro.util.stats import (
+    histogram_mean,
+    histogram_variance,
+    poisson_pmf,
+    sample_counts_to_histogram,
+)
+from repro.util.strings import discretize_histogram, levels_to_string
+
+__all__ = [
+    "Message",
+    "bit_error_rate",
+    "bits_from_int",
+    "int_from_bits",
+    "Interval",
+    "clip_intervals",
+    "merge_intervals",
+    "overlap_length",
+    "total_length",
+    "derive_rng",
+    "make_rng",
+    "histogram_mean",
+    "histogram_variance",
+    "poisson_pmf",
+    "sample_counts_to_histogram",
+    "discretize_histogram",
+    "levels_to_string",
+]

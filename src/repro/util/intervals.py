@@ -1,0 +1,126 @@
+"""Half-open time intervals in cycles.
+
+Shared resources (bus, divider) record *usage intervals* — windows of
+virtual time during which a hardware context occupies or contends for the
+resource. This module provides the small interval algebra those models
+need: merging, clipping, and overlap measurement. All intervals are
+half-open ``[start, end)`` and measured in integer cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Half-open interval ``[start, end)`` of virtual time in cycles."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection with ``other`` (empty interval if disjoint)."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end < start:
+            return Interval(start, start)
+        return Interval(start, end)
+
+    def contains(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort and coalesce overlapping/adjacent intervals.
+
+    >>> merge_intervals([Interval(5, 9), Interval(0, 6)])
+    [Interval(start=0, end=9)]
+    """
+    ordered = sorted(intervals, key=lambda iv: (iv.start, iv.end))
+    merged: List[Interval] = []
+    for iv in ordered:
+        if iv.length == 0:
+            continue
+        if merged and iv.start <= merged[-1].end:
+            last = merged[-1]
+            if iv.end > last.end:
+                merged[-1] = Interval(last.start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_length(intervals: Iterable[Interval]) -> int:
+    """Total covered length after merging (double-counting removed)."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+def overlap_length(window: Interval, intervals: Sequence[Interval]) -> int:
+    """Length of ``window`` covered by the (merged) ``intervals``."""
+    covered = 0
+    for iv in merge_intervals(intervals):
+        covered += window.intersect(iv).length
+    return covered
+
+
+def clip_intervals(
+    intervals: Sequence[Interval], window: Interval
+) -> List[Interval]:
+    """Intersect every interval with ``window``, dropping empty results."""
+    clipped = []
+    for iv in intervals:
+        cut = iv.intersect(window)
+        if cut.length > 0:
+            clipped.append(cut)
+    return clipped
+
+
+def coverage_per_window(
+    intervals: Sequence[Interval], t0: int, t1: int, width: int
+) -> np.ndarray:
+    """Covered length of each ``width``-cycle window tiling ``[t0, t1)``.
+
+    Returns an int64 array with one entry per window; the last window may
+    extend past ``t1`` (its coverage is still measured only within the
+    intervals). This is the vectorized kernel behind density histograms for
+    rate-based event trains.
+    """
+    if width <= 0:
+        raise SimulationError(f"window width must be positive, got {width}")
+    if t1 <= t0:
+        return np.zeros(0, dtype=np.int64)
+    n_windows = -(-(t1 - t0) // width)  # ceil division
+    coverage = np.zeros(n_windows, dtype=np.int64)
+    for iv in merge_intervals(clip_intervals(intervals, Interval(t0, t1))):
+        first = (iv.start - t0) // width
+        last = (iv.end - 1 - t0) // width
+        if first == last:
+            coverage[first] += iv.length
+            continue
+        # Partial first window, full middle windows, partial last window.
+        first_end = t0 + (first + 1) * width
+        coverage[first] += first_end - iv.start
+        if last > first + 1:
+            coverage[first + 1 : last] += width
+        last_start = t0 + last * width
+        coverage[last] += iv.end - last_start
+    return coverage

@@ -1,0 +1,99 @@
+"""Histogram statistics used by the burst-pattern detector.
+
+The detector reasons about *event density histograms*: ``hist[d]`` is the
+number of Δt observation windows that contained exactly ``d`` indicator
+events (clamped to the last bin). These helpers compute moments of such
+histograms and the Poisson reference distribution the paper compares
+against when illustrating burstiness (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DetectionError
+
+
+def sample_counts_to_histogram(counts: Sequence[int], n_bins: int) -> np.ndarray:
+    """Histogram window event-counts into ``n_bins`` density bins.
+
+    Counts at or above ``n_bins - 1`` clamp into the last bin, mirroring the
+    CC-auditor's fixed 128-entry histogram buffer.
+    """
+    if n_bins <= 0:
+        raise DetectionError(f"histogram needs at least one bin, got {n_bins}")
+    arr = np.asarray(counts, dtype=np.int64)
+    if arr.size and arr.min() < 0:
+        raise DetectionError("event counts cannot be negative")
+    clipped = np.minimum(arr, n_bins - 1)
+    return np.bincount(clipped, minlength=n_bins).astype(np.int64)
+
+
+def histogram_mean(hist: Sequence[float]) -> float:
+    """Mean event density of a histogram (weighted by bin frequency)."""
+    arr = np.asarray(hist, dtype=np.float64)
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    densities = np.arange(arr.size, dtype=np.float64)
+    return float((densities * arr).sum() / total)
+
+
+def histogram_variance(hist: Sequence[float]) -> float:
+    """Variance of event density under the histogram's empirical distribution."""
+    arr = np.asarray(hist, dtype=np.float64)
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    densities = np.arange(arr.size, dtype=np.float64)
+    mean = (densities * arr).sum() / total
+    return float(((densities - mean) ** 2 * arr).sum() / total)
+
+
+def poisson_pmf(k: np.ndarray, lam: float) -> np.ndarray:
+    """Poisson probability mass function, vectorized over ``k``.
+
+    Used to draw the reference curve of Figure 5: when Δt is chosen well,
+    benign event densities approximate a Poisson distribution while covert
+    bursts form a clearly separated second mode.
+    """
+    if lam < 0:
+        raise DetectionError(f"Poisson rate must be non-negative, got {lam}")
+    ks = np.asarray(k, dtype=np.float64)
+    if lam == 0:
+        return np.where(ks == 0, 1.0, 0.0)
+    log_pmf = ks * math.log(lam) - lam - np.array(
+        [math.lgamma(x + 1.0) for x in ks.ravel()]
+    ).reshape(ks.shape)
+    return np.exp(log_pmf)
+
+
+def poisson_fit_quality(hist: Sequence[float]) -> float:
+    """Total-variation distance between a histogram and its Poisson fit.
+
+    0 means the empirical density distribution is exactly Poisson (no
+    burstiness); values near 1 mean a strongly non-Poisson (e.g. bimodal)
+    distribution. A cheap burstiness indicator used in tests and examples.
+    """
+    arr = np.asarray(hist, dtype=np.float64)
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    empirical = arr / total
+    lam = histogram_mean(arr)
+    reference = poisson_pmf(np.arange(arr.size), lam)
+    return float(0.5 * np.abs(empirical - reference).sum())
+
+
+def index_of_dispersion(hist: Sequence[float]) -> float:
+    """Variance-to-mean ratio of event density (1.0 for a Poisson process).
+
+    Values well above 1 indicate clustering (bursts) in the event train.
+    """
+    mean = histogram_mean(hist)
+    if mean == 0:
+        return 0.0
+    return histogram_variance(hist) / mean

@@ -1,0 +1,79 @@
+"""Histogram discretization for the pattern-clustering step.
+
+CC-Hunter's recurrence check (Section IV-B step 5) first "discretizes the
+event density histograms into strings" and then clusters similar strings
+with k-means. The discretization maps each histogram bin's frequency onto a
+small symbol alphabet on a logarithmic scale, so that the *shape* of the
+histogram (where its modes sit) dominates over absolute magnitudes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DetectionError
+
+#: Printable alphabet for rendering discretized histograms as text strings.
+ALPHABET = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def discretize_histogram(
+    hist: Sequence[float], levels: int = 4
+) -> np.ndarray:
+    """Map bin frequencies to integer symbols ``0 .. levels-1``.
+
+    Symbol 0 means the bin is empty; the remaining levels split the
+    log-frequency range of the histogram evenly. A histogram with all-equal
+    non-zero bins discretizes to all top-level symbols, preserving the
+    intuition that only *relative* frequency structure matters.
+    """
+    if levels < 2:
+        raise DetectionError(f"need at least 2 symbol levels, got {levels}")
+    arr = np.asarray(hist, dtype=np.float64)
+    if arr.size == 0:
+        raise DetectionError("cannot discretize an empty histogram")
+    if arr.min() < 0:
+        raise DetectionError("histogram frequencies cannot be negative")
+    symbols = np.zeros(arr.size, dtype=np.int64)
+    nonzero = arr > 0
+    if not nonzero.any():
+        return symbols
+    logs = np.log1p(arr[nonzero])
+    top = logs.max()
+    if top == 0:
+        symbols[nonzero] = levels - 1
+        return symbols
+    # Scale log-frequencies into 1 .. levels-1 (0 is reserved for empty bins).
+    scaled = 1 + np.floor(logs / top * (levels - 1 - 1e-12)).astype(np.int64)
+    symbols[nonzero] = np.minimum(scaled, levels - 1)
+    return symbols
+
+
+def levels_to_string(symbols: Sequence[int]) -> str:
+    """Render a symbol vector as a compact printable string.
+
+    >>> levels_to_string([0, 1, 3, 2])
+    '0132'
+    """
+    chars = []
+    for s in symbols:
+        idx = int(s)
+        if idx < 0 or idx >= len(ALPHABET):
+            raise DetectionError(f"symbol {idx} outside printable alphabet")
+        chars.append(ALPHABET[idx])
+    return "".join(chars)
+
+
+def symbol_distance(a: Sequence[int], b: Sequence[int]) -> float:
+    """Mean absolute symbol difference between two discretized histograms."""
+    va = np.asarray(a, dtype=np.float64)
+    vb = np.asarray(b, dtype=np.float64)
+    if va.shape != vb.shape:
+        raise DetectionError(
+            f"cannot compare symbol vectors of shapes {va.shape} and {vb.shape}"
+        )
+    if va.size == 0:
+        return 0.0
+    return float(np.abs(va - vb).mean())

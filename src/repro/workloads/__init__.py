@@ -1,0 +1,29 @@
+"""Benchmark-like workload generators.
+
+Statistical emulations of the programs the paper uses for interference and
+false-alarm testing: CPU-intensive SPEC2006 codes (gobmk, sjeng, bzip2,
+h264ref), the STREAM memory benchmark, and Filebench's webserver and
+mailserver personalities. Each generator stresses the same indicator
+events as its namesake (bus locks, divider contention, cache conflicts)
+*without* the recurrent modulated conflict patterns of a covert channel.
+"""
+
+from repro.workloads.base import ActivityProfile, workload_process
+from repro.workloads.filebench import mailserver, webserver
+from repro.workloads.noise import background_noise_processes
+from repro.workloads.spec import WORKLOADS, bzip2, gobmk, h264ref, sjeng
+from repro.workloads.stream import stream
+
+__all__ = [
+    "ActivityProfile",
+    "workload_process",
+    "gobmk",
+    "sjeng",
+    "bzip2",
+    "h264ref",
+    "stream",
+    "webserver",
+    "mailserver",
+    "WORKLOADS",
+    "background_noise_processes",
+]

@@ -1,0 +1,94 @@
+"""Background interference for covert-channel experiments.
+
+The paper's threat model runs "a few other (at least three) active
+processes alongside the trojan/spy" to model real-system interference.
+This module builds that default noise population: a mix of mild bus,
+divider and cache activity spread over the machine's remaining contexts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.machine import Machine
+from repro.sim.process import Process
+from repro.workloads.base import ActivityProfile, CacheLoopPattern, workload_process
+
+#: The default interference mix: enough conflicts to perturb trains, not
+#: enough to drown the channel (per the threat model, heavy noise breaks
+#: the covert channel itself before it hides it).
+_DEFAULT_PROFILES = (
+    ActivityProfile(
+        name="noise-mem",
+        bus_lock_rate_per_s=6.0,
+        cache_accesses_per_quantum=200,
+        cache_tag_space=40,
+        # Hot shared region (shared libraries / OS structures): co-running
+        # noise processes evict and promptly re-fetch each other's lines
+        # there, spreading benign cross-context conflict misses through
+        # every quantum.
+        cache_loop_pattern=CacheLoopPattern(
+            ws_sets=32, lines_per_set=5, repeats=1,
+            episodes_per_quantum=10, base_set=300, base_jitter=2,
+        ),
+    ),
+    ActivityProfile(
+        name="noise-div",
+        divider_duty=0.05,
+        divider_burst_cycles=25_000,
+        cache_accesses_per_quantum=100,
+        cache_loop_pattern=CacheLoopPattern(
+            ws_sets=24, lines_per_set=5, repeats=1,
+            episodes_per_quantum=8, base_set=310, base_jitter=2,
+        ),
+    ),
+    ActivityProfile(
+        name="noise-mixed",
+        bus_lock_rate_per_s=3.0,
+        divider_duty=0.02,
+        cache_accesses_per_quantum=150,
+        cache_tag_space=56,
+        cache_loop_pattern=CacheLoopPattern(
+            ws_sets=28, lines_per_set=5, repeats=1,
+            episodes_per_quantum=8, base_set=290, base_jitter=2,
+        ),
+    ),
+)
+
+
+def background_noise_processes(
+    machine: Machine,
+    n_quanta: int,
+    seed: int = 0,
+    count: int = 3,
+    avoid_contexts: Sequence[int] = (),
+    profiles: Optional[Sequence[ActivityProfile]] = None,
+) -> List[Process]:
+    """Spawn ``count`` interference processes on free contexts.
+
+    Contexts in ``avoid_contexts`` (e.g. the trojan/spy pair) are skipped;
+    profiles cycle through the default mix. Returns the spawned processes.
+    """
+    if count < 0:
+        raise ConfigError("noise process count cannot be negative")
+    chosen_profiles = tuple(profiles) if profiles else _DEFAULT_PROFILES
+    avoid = set(avoid_contexts)
+    free = [
+        ctx
+        for ctx in range(machine.config.n_contexts)
+        if ctx not in avoid and machine.scheduler.occupant(ctx) is None
+    ]
+    if count > len(free):
+        raise ConfigError(
+            f"need {count} free contexts for noise, only {len(free)} available"
+        )
+    spawned = []
+    for i in range(count):
+        profile = chosen_profiles[i % len(chosen_profiles)]
+        proc = workload_process(
+            profile, machine, n_quanta, seed=seed, instance=i
+        )
+        machine.spawn(proc, ctx=free[i])
+        spawned.append(proc)
+    return spawned

@@ -1,0 +1,21 @@
+"""STREAM-like workload profile.
+
+STREAM sweeps large arrays with unit stride: heavy memory-bus traffic
+(but essentially no bus *locks*), a steady flood of cache fills whose
+reuse distances exceed cache capacity (capacity misses, few conflict
+misses), and no divider pressure. It is the paper's memory-intensive
+false-alarm candidate.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import ActivityProfile
+
+stream = ActivityProfile(
+    name="stream",
+    bus_lock_rate_per_s=4.0,
+    cache_accesses_per_quantum=4_000,
+    # Huge tag space: streaming data is essentially never re-referenced
+    # soon enough to register as a conflict miss.
+    cache_tag_space=1_000_000,
+)

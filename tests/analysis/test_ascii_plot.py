@@ -1,0 +1,64 @@
+"""Tests for terminal plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import (
+    render_correlogram,
+    render_event_train,
+    render_histogram,
+    render_series,
+)
+from repro.errors import DetectionError
+
+
+class TestHistogram:
+    def test_contains_metadata(self):
+        hist = np.zeros(128)
+        hist[0] = 1000
+        hist[20] = 50
+        text = render_histogram(hist, title="bus")
+        assert "bus" in text
+        assert "bin0=1000" in text
+        assert "last nonzero bin=20" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(DetectionError):
+            render_histogram([])
+
+    def test_all_zero_renders(self):
+        assert "bin0=0" in render_histogram(np.zeros(8))
+
+
+class TestCorrelogram:
+    def test_renders_rows_and_markers(self):
+        acf = np.cos(np.linspace(0, 20, 500))
+        text = render_correlogram(acf, title="cache", marker_lags=[128])
+        assert "cache" in text
+        assert "peaks at [128]" in text
+        assert text.count("|") >= 8  # four level rows
+
+    def test_too_short_raises(self):
+        with pytest.raises(DetectionError):
+            render_correlogram([1.0])
+
+
+class TestEventTrain:
+    def test_counts_events_in_window(self):
+        text = render_event_train(np.arange(0, 1000, 10), 0, 500)
+        assert "50 events" in text
+
+    def test_empty_window_raises(self):
+        with pytest.raises(DetectionError):
+            render_event_train([1, 2], 5, 5)
+
+
+class TestSeries:
+    def test_min_max_reported(self):
+        text = render_series(np.array([1.0, 5.0, 3.0] * 10))
+        assert "min=" in text
+        assert "max=" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(DetectionError):
+            render_series([])

@@ -1,0 +1,92 @@
+"""Tests for TCSEC bandwidth assessment."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    FEASIBILITY_FLOOR_BPS,
+    HIGH_BANDWIDTH_BPS,
+    TcsecClass,
+    assess_channel,
+    binary_entropy,
+    bsc_capacity,
+    classify_bandwidth,
+)
+from repro.errors import DetectionError
+
+
+class TestClassification:
+    def test_high(self):
+        assert classify_bandwidth(1000.0) is TcsecClass.HIGH
+
+    def test_okamura_channel_is_moderate(self):
+        # The paper cites Okamura et al.'s 0.49 bps memory channel.
+        assert classify_bandwidth(0.49) is TcsecClass.MODERATE
+
+    def test_ristenpart_channel_is_moderate(self):
+        # ...and Ristenpart et al.'s 0.2 bps EC2 channel.
+        assert classify_bandwidth(0.2) is TcsecClass.MODERATE
+
+    def test_below_floor_infeasible(self):
+        assert classify_bandwidth(0.01) is TcsecClass.INFEASIBLE
+
+    def test_boundaries(self):
+        assert classify_bandwidth(HIGH_BANDWIDTH_BPS) is TcsecClass.MODERATE
+        assert (
+            classify_bandwidth(FEASIBILITY_FLOOR_BPS) is TcsecClass.MODERATE
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(DetectionError):
+            classify_bandwidth(-1.0)
+
+
+class TestEntropyAndCapacity:
+    def test_entropy_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == 1.0
+
+    def test_entropy_symmetry(self):
+        assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+
+    def test_entropy_bounds(self):
+        with pytest.raises(DetectionError):
+            binary_entropy(1.5)
+
+    def test_capacity_perfect_channel(self):
+        assert bsc_capacity(0.0) == 1.0
+
+    def test_capacity_useless_channel(self):
+        assert bsc_capacity(0.5) == pytest.approx(0.0)
+
+    def test_capacity_monotone(self):
+        assert bsc_capacity(0.05) > bsc_capacity(0.2) > bsc_capacity(0.4)
+
+
+class TestAssessment:
+    def test_clean_fast_channel_is_high(self):
+        assessment = assess_channel(1000.0, ber=0.0)
+        assert assessment.tcsec_class is TcsecClass.HIGH
+        assert assessment.effective_bandwidth_bps == 1000.0
+
+    def test_fuzzing_downgrades_class(self):
+        """A 1000 bps channel driven to BER 0.45 carries < 10 bps."""
+        assessment = assess_channel(1000.0, ber=0.45)
+        assert assessment.effective_bandwidth_bps < 10.0
+        assert assessment.tcsec_class is TcsecClass.MODERATE
+
+    def test_coinflip_ber_zero_effective(self):
+        assessment = assess_channel(10.0, ber=0.5)
+        assert assessment.effective_bandwidth_bps == pytest.approx(0.0)
+        assert assessment.tcsec_class is TcsecClass.INFEASIBLE
+
+    def test_ber_above_half_clamped(self):
+        assessment = assess_channel(10.0, ber=0.9)
+        assert assessment.effective_bandwidth_bps == pytest.approx(0.0)
+
+    def test_summary_mentions_class(self):
+        assert "high" in assess_channel(500.0, 0.0).summary()
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(DetectionError):
+            assess_channel(0.0, 0.1)

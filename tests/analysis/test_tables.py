@@ -1,0 +1,27 @@
+"""Tests for Table I generation."""
+
+import pytest
+
+from repro.analysis.tables import table1_rows, table1_text
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = {name: (a, p, l) for name, a, p, l in table1_rows()}
+        assert rows["histogram_buffers"] == pytest.approx((0.0028, 2.8, 0.17))
+        assert rows["registers"] == pytest.approx((0.0011, 0.8, 0.17))
+        assert rows["conflict_miss_detector"] == pytest.approx(
+            (0.004, 5.4, 0.12)
+        )
+
+    def test_row_order(self):
+        names = [name for name, *_ in table1_rows()]
+        assert names == [
+            "histogram_buffers", "registers", "conflict_miss_detector",
+        ]
+
+    def test_text_rendering(self):
+        text = table1_text()
+        assert "Table I" in text
+        assert "0.0028" in text
+        assert "i7" in text

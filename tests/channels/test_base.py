@@ -1,0 +1,95 @@
+"""Tests for shared covert-channel machinery."""
+
+import pytest
+
+from repro.channels.base import ChannelConfig, CovertChannel
+from repro.errors import ChannelError
+from repro.sim.process import Compute
+from repro.util.bitstream import Message
+
+
+class MiniChannel(CovertChannel):
+    name = "mini"
+
+    def _trojan_body(self, proc):
+        yield Compute(10)
+
+    def _spy_body(self, proc):
+        yield Compute(10)
+
+
+class TestChannelConfig:
+    def test_bad_bandwidth(self, message8):
+        with pytest.raises(ChannelError):
+            ChannelConfig(message=message8, bandwidth_bps=0)
+
+    def test_bad_active_cap(self, message8):
+        with pytest.raises(ChannelError):
+            ChannelConfig(message=message8, max_active_cycles=0)
+
+    def test_bad_start_time(self, message8):
+        with pytest.raises(ChannelError):
+            ChannelConfig(message=message8, start_time=-1)
+
+
+class TestPhaseTiming:
+    def test_bit_period_from_bandwidth(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8, bandwidth_bps=10))
+        assert ch.bit_period == 250_000_000
+
+    def test_active_capped(self, machine, message8):
+        ch = MiniChannel(
+            machine,
+            ChannelConfig(message8, bandwidth_bps=1.0,
+                          max_active_cycles=1_000_000),
+        )
+        assert ch.active_cycles == 1_000_000
+
+    def test_default_cap_applies(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8, bandwidth_bps=0.1))
+        assert ch.active_cycles == MiniChannel.default_active_cap
+
+    def test_high_bandwidth_uses_whole_bit(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8, bandwidth_bps=1000))
+        assert ch.active_cycles == ch.bit_period
+
+    def test_bit_start(self, machine, message8):
+        ch = MiniChannel(
+            machine, ChannelConfig(message8, bandwidth_bps=10, start_time=500)
+        )
+        assert ch.bit_start(0) == 500
+        assert ch.bit_start(2) == 500 + 2 * 250_000_000
+
+    def test_negative_bit_rejected(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8))
+        with pytest.raises(ChannelError):
+            ch.bit_start(-1)
+
+    def test_quanta_needed(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8, bandwidth_bps=10))
+        # 8 bits at 10 bps = 0.8 s = 8 quanta.
+        assert ch.quanta_needed() == 8
+
+
+class TestDeploy:
+    def test_deploy_assigns_contexts(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8))
+        ch.deploy(trojan_ctx=0, spy_ctx=2)
+        assert ch.trojan_ctx == 0
+        assert ch.spy_ctx == 2
+
+    def test_double_deploy_rejected(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8))
+        ch.deploy(trojan_ctx=0, spy_ctx=2)
+        with pytest.raises(ChannelError):
+            ch.deploy(trojan_ctx=1, spy_ctx=3)
+
+    def test_results_before_deploy_rejected(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8))
+        with pytest.raises(ChannelError):
+            _ = ch.trojan_ctx
+
+    def test_ber_counts_missing_bits(self, machine, message8):
+        ch = MiniChannel(machine, ChannelConfig(message8))
+        ch.decoded_bits = list(message8.bits[:4])
+        assert ch.bit_error_rate() == pytest.approx(0.5)

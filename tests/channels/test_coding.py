@@ -1,0 +1,115 @@
+"""Tests for repetition coding (covert reliability mechanics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.coding import RepetitionCode, coded_session_bits
+from repro.errors import ChannelError
+from repro.util.bitstream import Message, bit_error_rate
+
+
+class TestEncodeDecode:
+    def test_encode(self):
+        code = RepetitionCode(3)
+        assert code.encode(Message.from_bits([1, 0])).bits == (
+            1, 1, 1, 0, 0, 0,
+        )
+
+    def test_decode_clean(self):
+        code = RepetitionCode(3)
+        assert code.decode([1, 1, 1, 0, 0, 0]) == [1, 0]
+
+    def test_decode_corrects_single_flip(self):
+        code = RepetitionCode(3)
+        assert code.decode([1, 0, 1, 0, 1, 0]) == [1, 0]
+
+    def test_decode_drops_partial_group(self):
+        code = RepetitionCode(3)
+        assert code.decode([1, 1, 1, 0]) == [1]
+
+    def test_even_factor_rejected(self):
+        with pytest.raises(ChannelError):
+            RepetitionCode(2)
+
+    def test_factor_one_identity(self):
+        code = RepetitionCode(1)
+        msg = Message.from_bits([1, 0, 1])
+        assert code.decode(list(code.encode(msg))) == list(msg)
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=32),
+        st.sampled_from([1, 3, 5, 7]),
+    )
+    def test_roundtrip(self, bits, factor):
+        code = RepetitionCode(factor)
+        msg = Message.from_bits(bits)
+        assert code.decode(list(code.encode(msg))) == bits
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=16),
+        st.integers(0, 10_000),
+    )
+    def test_single_error_per_group_corrected(self, bits, seed):
+        code = RepetitionCode(3)
+        rng = np.random.default_rng(seed)
+        raw = list(code.encode(Message.from_bits(bits)))
+        # Flip exactly one repetition of one bit.
+        target = int(rng.integers(0, len(bits)))
+        flip = target * 3 + int(rng.integers(0, 3))
+        raw[flip] ^= 1
+        assert code.decode(raw) == bits
+
+
+class TestReliabilityMath:
+    def test_residual_ber_improves_below_half(self):
+        code = RepetitionCode(5)
+        assert code.residual_ber(0.1) < 0.1
+
+    def test_residual_ber_at_half_stays_half(self):
+        for factor in (3, 5, 7):
+            assert RepetitionCode(factor).residual_ber(0.5) == pytest.approx(
+                0.5
+            )
+
+    def test_bandwidth_cost(self):
+        assert RepetitionCode(5).effective_bandwidth(100.0) == 20.0
+
+    def test_known_value(self):
+        # n=3, p=0.1: 3*0.01*0.9 + 0.001 = 0.028
+        assert RepetitionCode(3).residual_ber(0.1) == pytest.approx(0.028)
+
+    def test_bad_ber(self):
+        with pytest.raises(ChannelError):
+            RepetitionCode(3).residual_ber(1.5)
+
+
+class TestEndToEnd:
+    def test_coded_transmission_survives_fuzzing_partially(self):
+        """Moderate clock fuzzing: repetition recovers the payload the raw
+        channel garbles; heavy fuzzing (BER ~ 0.5) stays unrecoverable."""
+        from repro.channels.base import ChannelConfig
+        from repro.channels.membus import MemoryBusCovertChannel
+        from repro.mitigation import apply_clock_fuzzing
+        from repro.sim.machine import Machine
+
+        payload = Message.from_bits([1, 0, 1, 1, 0, 0])
+        code = RepetitionCode(5)
+        on_channel = coded_session_bits(payload, factor=5)
+
+        machine = Machine(seed=9)
+        apply_clock_fuzzing(machine, fuzz_cycles=1200)  # moderate
+        channel = MemoryBusCovertChannel(
+            machine,
+            ChannelConfig(message=on_channel, bandwidth_bps=1000.0),
+        )
+        channel.deploy(trojan_ctx=0, spy_ctx=2)
+        machine.run_until(channel.transmission_end + 1)
+
+        raw_ber = channel.bit_error_rate()
+        decoded = code.decode(channel.decoded_bits)
+        coded_ber = bit_error_rate(tuple(payload), decoded)
+        assert coded_ber <= raw_ber

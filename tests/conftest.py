@@ -1,0 +1,33 @@
+"""Shared fixtures: small, fast machine/channel configurations.
+
+Tests favour tiny covert configurations (few bits, few cache sets, high
+bandwidths) so the whole suite stays fast; the benchmarks run the
+paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.util.bitstream import Message
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A default paper-configured machine with a fixed seed."""
+    return Machine(seed=1234)
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A machine with a short OS quantum for fast multi-quantum tests."""
+    config = MachineConfig(os_quantum_seconds=0.002)
+    return Machine(config=config, seed=99)
+
+
+@pytest.fixture
+def message8() -> Message:
+    """An 8-bit message with both values present."""
+    return Message.from_bits([1, 0, 1, 1, 0, 0, 1, 0])

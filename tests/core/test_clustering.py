@@ -1,0 +1,135 @@
+"""Tests for k-means and recurrence analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import analyze_recurrence, kmeans
+from repro.errors import DetectionError
+
+
+def covert_hist(seed=0):
+    rng = np.random.default_rng(seed)
+    hist = np.zeros(128, dtype=np.int64)
+    hist[0] = 2000 + int(rng.integers(0, 100))
+    hist[20] = 200 + int(rng.integers(0, 30))
+    return hist
+
+
+def quiet_hist(seed=0):
+    rng = np.random.default_rng(seed)
+    hist = np.zeros(128, dtype=np.int64)
+    hist[0] = 2400
+    hist[1] = int(rng.integers(0, 5))
+    return hist
+
+
+class TestKMeans:
+    def test_separates_two_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.5, (20, 3))
+        b = rng.normal(10, 0.5, (20, 3))
+        X = np.vstack([a, b])
+        labels, centroids, inertia = kmeans(X, 2, rng=1)
+        assert len(set(labels[:20].tolist())) == 1
+        assert len(set(labels[20:].tolist())) == 1
+        assert labels[0] != labels[20]
+
+    def test_k_one(self):
+        X = np.arange(12, dtype=float).reshape(6, 2)
+        labels, centroids, _ = kmeans(X, 1)
+        assert (labels == 0).all()
+        assert centroids[0].tolist() == X.mean(axis=0).tolist()
+
+    def test_k_equals_n(self):
+        X = np.array([[0.0], [10.0], [20.0]])
+        labels, _, inertia = kmeans(X, 3)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+        assert inertia == pytest.approx(0.0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(30, 4))
+        a = kmeans(X, 3, rng=7)[0]
+        b = kmeans(X, 3, rng=7)[0]
+        assert a.tolist() == b.tolist()
+
+    def test_bad_k(self):
+        with pytest.raises(DetectionError):
+            kmeans(np.zeros((3, 2)), 4)
+
+    def test_bad_shape(self):
+        with pytest.raises(DetectionError):
+            kmeans(np.zeros(5), 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(2, 5))
+    def test_inertia_non_negative_and_labels_valid(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(24, 3))
+        labels, centroids, inertia = kmeans(X, k, rng=seed)
+        assert inertia >= 0
+        assert labels.min() >= 0
+        assert labels.max() < k
+        assert centroids.shape == (k, 3)
+
+
+class TestRecurrence:
+    def test_recurrent_channel_pattern(self):
+        """Covert quanta interleaved with quiet quanta recur."""
+        hists = []
+        for i in range(16):
+            hists.append(covert_hist(i) if i % 2 == 0 else quiet_hist(i))
+        result = analyze_recurrence(hists)
+        assert result.recurrent
+        assert result.burst_clusters
+        assert result.burst_window_fraction == pytest.approx(0.5, abs=0.15)
+
+    def test_continuous_channel_recurrent(self):
+        hists = [covert_hist(i) for i in range(8)]
+        result = analyze_recurrence(hists)
+        assert result.recurrent
+
+    def test_quiet_windows_not_recurrent(self):
+        hists = [quiet_hist(i) for i in range(16)]
+        result = analyze_recurrence(hists)
+        assert not result.recurrent
+        assert not result.burst_clusters
+
+    def test_single_burst_episode_not_recurrent(self):
+        """One isolated bursty quantum among many quiet ones: no recurrence."""
+        hists = [quiet_hist(i) for i in range(15)]
+        hists.insert(7, covert_hist(0))
+        result = analyze_recurrence(hists)
+        assert not result.recurrent
+
+    def test_low_lr_bursts_not_flagged(self):
+        """Mailserver-like windows: second mode with LR < 0.5."""
+        hist = np.zeros(128, dtype=np.int64)
+        hist[0] = 20_000
+        hist[1] = 200
+        hist[2] = 60
+        hist[3] = 30
+        hist[6] = 8
+        result = analyze_recurrence([hist.copy() for _ in range(8)])
+        assert not result.burst_clusters
+        assert not result.recurrent
+
+    def test_window_cap_keeps_recent(self):
+        hists = [covert_hist(i) for i in range(8)]
+        result = analyze_recurrence(hists, max_windows=4)
+        assert result.n_windows == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(DetectionError):
+            analyze_recurrence([])
+
+    def test_mismatched_bins_rejected(self):
+        with pytest.raises(DetectionError):
+            analyze_recurrence([np.zeros(128), np.zeros(64)])
+
+    def test_explicit_k(self):
+        hists = [covert_hist(i) for i in range(6)]
+        result = analyze_recurrence(hists, k=2)
+        assert len(set(result.cluster_labels.tolist())) <= 2

@@ -1,0 +1,115 @@
+"""Cross-cutting property tests on the detection pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.autocorr import autocorrelogram
+from repro.core.clustering import analyze_recurrence
+from repro.core.density import build_density_histogram
+from repro.core.event_train import (
+    EventTrain,
+    compact_pair_identifiers,
+    dominant_pair_series,
+)
+from repro.core.oscillation import analyze_autocorrelogram
+
+
+class TestDensityInvariants:
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.integers(0, 100_000), max_size=300),
+        st.integers(16, 5_000),
+    )
+    def test_histogram_counts_every_window(self, times, dt):
+        train = EventTrain(np.array(times, dtype=np.int64))
+        dh = build_density_histogram(train, dt, 0, 100_001)
+        assert dh.n_windows == -(-100_001 // dt)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 9_999), min_size=1, max_size=300))
+    def test_no_events_lost_below_clamp(self, times):
+        train = EventTrain(np.array(times, dtype=np.int64))
+        dh = build_density_histogram(train, 10_000, 0, 10_000, n_bins=1024)
+        # A single window wide enough for everything: exact count.
+        assert dh.total_events_lower_bound == len(times)
+
+
+class TestPairSeriesInvariants:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=200,
+        )
+    )
+    def test_dominant_pair_subsequence_well_formed(self, pairs):
+        reps = np.array([p[0] for p in pairs], dtype=np.int64)
+        vics = np.array([p[1] for p in pairs], dtype=np.int64)
+        labels, idx, pair = dominant_pair_series(reps, vics)
+        assert labels.size == idx.size
+        assert set(np.unique(labels).tolist()) <= {0, 1}
+        if labels.size:
+            a, b = pair
+            assert a != b
+            for i, label in zip(idx, labels):
+                assert {int(reps[i]), int(vics[i])} == {a, b}
+                assert (int(reps[i]) == a) == bool(label)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_compact_ids_affine_safe(self, pairs):
+        """Compact identifiers are bounded by the number of distinct pairs
+        (never the raw packed values)."""
+        reps = np.array([p[0] for p in pairs], dtype=np.int64)
+        vics = np.array([p[1] for p in pairs], dtype=np.int64)
+        ids = compact_pair_identifiers(reps, vics)
+        assert ids.max() < len(set(pairs))
+
+
+class TestAnalysisRobustness:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(8, 400))
+    def test_oscillation_analysis_never_crashes(self, seed, n):
+        rng = np.random.default_rng(seed)
+        series = rng.integers(0, 3, size=max(n, 8)).astype(float)
+        acf = autocorrelogram(series, 200)
+        analysis = analyze_autocorrelogram(acf)
+        assert 0.0 <= analysis.coverage <= 1.0
+        assert analysis.max_peak <= 1.0 + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 24))
+    def test_recurrence_never_crashes(self, seed, n_windows):
+        rng = np.random.default_rng(seed)
+        hists = [
+            rng.integers(0, 50, 128).astype(np.int64)
+            for _ in range(n_windows)
+        ]
+        result = analyze_recurrence(hists, rng=seed)
+        assert result.n_windows == n_windows
+        assert result.cluster_labels.size == n_windows
+        assert 0.0 <= result.burst_window_fraction <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdict(self):
+        from repro.analysis.figures import run_channel_session
+        from repro.util.bitstream import Message
+
+        def verdict():
+            run = run_channel_session(
+                "membus", Message.random(20, 5), bandwidth_bps=100.0, seed=5
+            )
+            v = run.hunter.report().verdicts[0]
+            return (v.detected, v.max_likelihood_ratio,
+                    run.machine.bus_lock_tap.count)
+
+        assert verdict() == verdict()

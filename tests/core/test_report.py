@@ -1,0 +1,78 @@
+"""Tests for detection reports and rendering."""
+
+import pytest
+
+from repro.core.report import DetectionReport, UnitVerdict
+
+
+def burst_verdict(detected=True):
+    return UnitVerdict(
+        unit="membus",
+        method="burst",
+        detected=detected,
+        quanta_analyzed=8,
+        max_likelihood_ratio=0.97,
+        recurrent=detected,
+        burst_window_fraction=0.5,
+    )
+
+
+def osc_verdict(detected=False):
+    return UnitVerdict(
+        unit="cache",
+        method="oscillation",
+        detected=detected,
+        quanta_analyzed=4,
+        oscillating_windows=2 if detected else 0,
+        max_peak=0.91 if detected else 0.2,
+        dominant_period=512.0 if detected else None,
+    )
+
+
+class TestUnitVerdict:
+    def test_burst_summary_mentions_lr(self):
+        text = burst_verdict().summary()
+        assert "membus" in text
+        assert "0.970" in text
+        assert "COVERT TIMING CHANNEL LIKELY" in text
+
+    def test_clear_summary(self):
+        text = burst_verdict(detected=False).summary()
+        assert "clear" in text
+
+    def test_oscillation_summary_mentions_peak(self):
+        text = osc_verdict(detected=True).summary()
+        assert "0.910" in text
+        assert "512" in text
+
+    def test_notes_rendered(self):
+        verdict = UnitVerdict(
+            unit="x", method="burst", detected=False, quanta_analyzed=0,
+            notes=("no quanta observed",),
+        )
+        assert "no quanta observed" in verdict.summary()
+
+
+class TestDetectionReport:
+    def test_any_detected(self):
+        report = DetectionReport((burst_verdict(True), osc_verdict(False)))
+        assert report.any_detected
+
+    def test_none_detected(self):
+        report = DetectionReport((burst_verdict(False), osc_verdict(False)))
+        assert not report.any_detected
+
+    def test_verdict_lookup(self):
+        report = DetectionReport((burst_verdict(), osc_verdict()))
+        assert report.verdict_for("cache").method == "oscillation"
+        with pytest.raises(KeyError):
+            report.verdict_for("gpu")
+
+    def test_render_empty(self):
+        assert "no units" in DetectionReport(()).render()
+
+    def test_render_contains_all_units(self):
+        text = DetectionReport((burst_verdict(), osc_verdict())).render()
+        assert "membus" in text
+        assert "cache" in text
+        assert "overall" in text

@@ -1,0 +1,90 @@
+"""Tests for the Table I cost model (calibrated to the paper's Cacti runs)."""
+
+import pytest
+
+from repro.config import AuditorConfig, CacheConfig
+from repro.errors import HardwareError
+from repro.hardware.cost_model import (
+    detector_bits,
+    estimate_auditor_costs,
+    estimate_structure,
+    histogram_buffer_bits,
+    register_bits,
+    total_area_mm2,
+    total_power_mw,
+)
+
+
+class TestStructureSizes:
+    def test_histogram_buffer_bits(self):
+        # 2 slots x 128 entries x 16 bits
+        assert histogram_buffer_bits(AuditorConfig()) == 4096
+
+    def test_register_bits(self):
+        # 2 x 128-byte vectors + 2 x 16-bit accumulators + 2 x 32-bit countdowns
+        assert register_bits(AuditorConfig()) == 2048 + 32 + 64
+
+    def test_detector_bits(self):
+        # 4 x 4096 bloom bits + 7 metadata bits x 4096 blocks
+        assert detector_bits(AuditorConfig(), CacheConfig()) == 45056
+
+
+class TestTable1Values:
+    """With default configs, the model reproduces the paper's Table I."""
+
+    def test_histogram_buffers(self):
+        costs = estimate_auditor_costs()
+        c = costs["histogram_buffers"]
+        assert c.area_mm2 == pytest.approx(0.0028, rel=1e-6)
+        assert c.power_mw == pytest.approx(2.8, rel=1e-6)
+        assert c.latency_ns == pytest.approx(0.17, rel=1e-6)
+
+    def test_registers(self):
+        c = estimate_auditor_costs()["registers"]
+        assert c.area_mm2 == pytest.approx(0.0011, rel=1e-6)
+        assert c.power_mw == pytest.approx(0.8, rel=1e-6)
+        assert c.latency_ns == pytest.approx(0.17, rel=1e-6)
+
+    def test_conflict_miss_detector(self):
+        c = estimate_auditor_costs()["conflict_miss_detector"]
+        assert c.area_mm2 == pytest.approx(0.004, rel=1e-6)
+        assert c.power_mw == pytest.approx(5.4, rel=1e-6)
+        assert c.latency_ns == pytest.approx(0.12, rel=1e-6)
+
+    def test_total_insignificant_vs_i7(self):
+        costs = estimate_auditor_costs()
+        assert total_area_mm2(costs) < 0.01  # vs 263 mm^2 die
+        assert total_power_mw(costs) < 10.0  # vs 130 W peak
+
+    def test_latency_below_clock_period(self):
+        """All structures respond within a 3 GHz clock period (0.33 ns)."""
+        for cost in estimate_auditor_costs().values():
+            assert cost.latency_ns < 0.33
+
+
+class TestScaling:
+    def test_area_scales_linearly(self):
+        small = estimate_structure("buffer", "s", 1024)
+        large = estimate_structure("buffer", "l", 4096)
+        assert large.area_mm2 == pytest.approx(4 * small.area_mm2)
+
+    def test_latency_grows_with_size(self):
+        small = estimate_structure("detector", "s", 45056)
+        large = estimate_structure("detector", "l", 45056 * 8)
+        assert large.latency_ns > small.latency_ns
+
+    def test_bigger_cache_costs_more(self):
+        big_cache = CacheConfig(size_bytes=1024 * 1024)
+        default = estimate_auditor_costs()["conflict_miss_detector"]
+        scaled = estimate_auditor_costs(cache=big_cache)[
+            "conflict_miss_detector"
+        ]
+        assert scaled.area_mm2 == pytest.approx(4 * default.area_mm2)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(HardwareError):
+            estimate_structure("nonsense", "x", 100)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(HardwareError):
+            estimate_structure("buffer", "x", 0)

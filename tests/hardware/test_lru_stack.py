@@ -1,0 +1,72 @@
+"""Tests for the fully-associative LRU shadow stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hardware.lru_stack import LRUStack
+
+
+class TestLRUStack:
+    def test_touch_and_hit(self):
+        stack = LRUStack(4)
+        stack.touch(1)
+        assert stack.would_hit(1)
+        assert not stack.would_hit(2)
+
+    def test_capacity_eviction(self):
+        stack = LRUStack(2)
+        stack.touch(1)
+        stack.touch(2)
+        stack.touch(3)  # evicts 1
+        assert not stack.would_hit(1)
+        assert stack.would_hit(2)
+        assert stack.would_hit(3)
+
+    def test_touch_refreshes_recency(self):
+        stack = LRUStack(2)
+        stack.touch(1)
+        stack.touch(2)
+        stack.touch(1)  # 2 is now LRU
+        stack.touch(3)  # evicts 2
+        assert stack.would_hit(1)
+        assert not stack.would_hit(2)
+
+    def test_depth(self):
+        stack = LRUStack(4)
+        stack.touch(1)
+        stack.touch(2)
+        stack.touch(3)
+        assert stack.depth(3) == 0
+        assert stack.depth(1) == 2
+        assert stack.depth(99) == -1
+
+    def test_len_and_clear(self):
+        stack = LRUStack(4)
+        stack.touch(1)
+        stack.touch(2)
+        assert len(stack) == 2
+        stack.clear()
+        assert len(stack) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(HardwareError):
+            LRUStack(0)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 30), max_size=200), st.integers(1, 16))
+    def test_holds_most_recent_distinct(self, accesses, capacity):
+        """Invariant: the stack holds exactly the ``capacity`` most recently
+        accessed distinct keys."""
+        stack = LRUStack(capacity)
+        for key in accesses:
+            stack.touch(key)
+        recent = []
+        for key in reversed(accesses):
+            if key not in recent:
+                recent.append(key)
+            if len(recent) == capacity:
+                break
+        for key in set(accesses):
+            assert stack.would_hit(key) == (key in recent)

@@ -1,0 +1,44 @@
+"""Tests for the privileged audit API."""
+
+import pytest
+
+from repro.core.detector import AuditUnit, CCHunter
+from repro.errors import AuthorizationError, HardwareError
+from repro.osmodel.api import AuditAPI, User
+
+
+@pytest.fixture
+def api(small_machine):
+    return AuditAPI(CCHunter(small_machine))
+
+
+ADMIN = User("root", is_admin=True)
+MALLORY = User("mallory", is_admin=False)
+
+
+class TestAuthorization:
+    def test_admin_allowed(self, api):
+        grant = api.request_audit(ADMIN, AuditUnit.MEMORY_BUS)
+        assert grant.unit == "membus"
+        assert grant.user == "root"
+
+    def test_non_admin_rejected(self, api):
+        with pytest.raises(AuthorizationError):
+            api.request_audit(MALLORY, AuditUnit.MEMORY_BUS)
+
+    def test_rejected_request_leaves_no_grant(self, api):
+        with pytest.raises(AuthorizationError):
+            api.request_audit(MALLORY, AuditUnit.MEMORY_BUS)
+        assert api.grants == ()
+
+    def test_grants_accumulate(self, api):
+        api.request_audit(ADMIN, AuditUnit.MEMORY_BUS)
+        api.request_audit(ADMIN, AuditUnit.DIVIDER, core=1)
+        assert len(api.grants) == 2
+        assert api.grants[1].core == 1
+
+    def test_hardware_limit_still_applies(self, api):
+        api.request_audit(ADMIN, AuditUnit.MEMORY_BUS)
+        api.request_audit(ADMIN, AuditUnit.DIVIDER, core=0)
+        with pytest.raises(HardwareError):
+            api.request_audit(ADMIN, AuditUnit.CACHE)

@@ -1,0 +1,80 @@
+"""Tests for the CC-Hunter daemon's bookkeeping."""
+
+import pytest
+
+from repro.core.detector import AuditUnit, CCHunter
+from repro.errors import SchedulingError
+from repro.osmodel.daemon import (
+    AUTOCORR_COST_S,
+    CLUSTERING_COST_REDUCED_S,
+    CLUSTERING_COST_S,
+    CCHunterDaemon,
+)
+
+
+def make_daemon(machine, **kwargs):
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.MEMORY_BUS)
+    return CCHunterDaemon(machine, hunter, **kwargs)
+
+
+class TestAccounting:
+    def test_quanta_observed(self, small_machine):
+        daemon = make_daemon(small_machine)
+        small_machine.run_quanta(5)
+        assert daemon.stats.quanta_observed == 5
+        assert daemon.stats.autocorr_invocations == 5
+
+    def test_clustering_cadence(self, small_machine):
+        daemon = make_daemon(small_machine, clustering_period_quanta=4)
+        small_machine.run_quanta(9)
+        assert daemon.stats.clustering_invocations == 2
+
+    def test_analysis_cost_reduced(self, small_machine):
+        daemon = make_daemon(
+            small_machine, clustering_period_quanta=2,
+            use_dimension_reduction=True,
+        )
+        small_machine.run_quanta(2)
+        expected = 2 * AUTOCORR_COST_S + CLUSTERING_COST_REDUCED_S
+        assert daemon.stats.analysis_cpu_seconds == pytest.approx(expected)
+
+    def test_analysis_cost_full(self, small_machine):
+        daemon = make_daemon(
+            small_machine, clustering_period_quanta=2,
+            use_dimension_reduction=False,
+        )
+        small_machine.run_quanta(2)
+        expected = 2 * AUTOCORR_COST_S + CLUSTERING_COST_S
+        assert daemon.stats.analysis_cpu_seconds == pytest.approx(expected)
+
+    def test_overhead_fraction_small_at_paper_cadence(self, machine):
+        """At the paper's numbers the daemon costs ~1% of wall time."""
+        daemon = make_daemon(machine)
+        machine.run_quanta(2)
+        assert daemon.overhead_fraction() < 0.02
+
+    def test_overhead_zero_before_run(self, small_machine):
+        daemon = make_daemon(small_machine)
+        assert daemon.overhead_fraction() == 0.0
+
+
+class TestMonitorPlacement:
+    def test_picks_unaudited_core(self, small_machine):
+        daemon = make_daemon(small_machine)
+        core = daemon.place_monitor(audited_cores={0, 1})
+        assert core == 2
+        assert daemon.stats.monitor_core == 2
+
+    def test_all_cores_audited(self, small_machine):
+        daemon = make_daemon(small_machine)
+        with pytest.raises(SchedulingError):
+            daemon.place_monitor(audited_cores={0, 1, 2, 3})
+
+
+class TestReport:
+    def test_report_delegates(self, small_machine):
+        daemon = make_daemon(small_machine)
+        small_machine.run_quanta(1)
+        report = daemon.report()
+        assert report.verdicts[0].unit == "membus"

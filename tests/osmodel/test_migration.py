@@ -1,0 +1,111 @@
+"""Tests for migration-aware context unification."""
+
+import numpy as np
+import pytest
+
+from repro.channels.base import ChannelConfig
+from repro.channels.cache import CacheCovertChannel
+from repro.core.event_train import dominant_pair_series
+from repro.osmodel.migration import ContextTimeline, unify_conflict_records
+from repro.sim.machine import Machine
+from repro.sim.process import Compute, Process
+from repro.util.bitstream import Message
+
+
+class TestContextTimeline:
+    def test_initial_placement(self, machine):
+        proc = Process("a", body=lambda p: iter(()))
+        machine.spawn(proc, ctx=3)
+        timeline = ContextTimeline(machine)
+        assert timeline.process_of(3, 0) == "a"
+        assert timeline.process_of(5, 0) is None
+
+    def test_migration_switches_occupant(self, machine):
+        def body(proc):
+            yield Compute(1000)
+
+        proc = Process("mover", body=body)
+        machine.spawn(proc, ctx=0)
+        machine.engine.run()
+        machine.scheduler.migrate(proc, new_ctx=4, time=500)
+        timeline = ContextTimeline(machine)
+        assert timeline.process_of(0, 100) == "mover"
+        assert timeline.process_of(4, 600) == "mover"
+        assert timeline.process_of(4, 100) is None
+
+    def test_chained_migrations(self, machine):
+        proc = Process("hopper", body=lambda p: iter(()))
+        machine.spawn(proc, ctx=0)
+        machine.scheduler.migrate(proc, 2, time=100)
+        machine.scheduler.migrate(proc, 5, time=200)
+        timeline = ContextTimeline(machine)
+        assert timeline.process_of(0, 50) == "hopper"
+        assert timeline.process_of(2, 150) == "hopper"
+        assert timeline.process_of(5, 250) == "hopper"
+
+
+class TestUnifyConflictRecords:
+    def test_remaps_across_migration(self, machine):
+        proc_a = Process("trojan", body=lambda p: iter(()))
+        proc_b = Process("spy", body=lambda p: iter(()))
+        machine.spawn(proc_a, ctx=0)
+        machine.spawn(proc_b, ctx=2)
+        machine.scheduler.migrate(proc_a, 4, time=1_000)
+        times = np.array([500, 2_000])
+        reps = np.array([0, 4])   # same process, different contexts
+        vics = np.array([2, 2])
+        rep_pids, vic_pids, pid_of = unify_conflict_records(
+            machine, times, reps, vics
+        )
+        assert rep_pids[0] == rep_pids[1] == pid_of["trojan"]
+        assert (vic_pids == pid_of["spy"]).all()
+
+    def test_untracked_contexts_stable(self, machine):
+        machine.spawn(Process("p", body=lambda p: iter(())), ctx=0)
+        times = np.array([10, 20])
+        reps = np.array([6, 6])
+        vics = np.array([0, 0])
+        rep_pids, _, pid_of = unify_conflict_records(
+            machine, times, reps, vics
+        )
+        assert rep_pids[0] == rep_pids[1]
+        assert rep_pids[0] >= len(pid_of)
+
+
+class TestMigrationEndToEnd:
+    def test_channel_pair_unified_despite_migration(self):
+        """The covert pair stays identifiable after the trojan migrates
+        mid-transmission (the paper's Section V-A claim)."""
+        machine = Machine(seed=8)
+        channel = CacheCovertChannel(
+            machine,
+            ChannelConfig(message=Message.from_bits([1, 0] * 6),
+                          bandwidth_bps=500.0),
+            n_sets_total=32,
+        )
+        channel.deploy()  # trojan ctx 0, spy ctx 2
+        midpoint = channel.bit_start(6)
+        machine.engine.schedule(
+            midpoint,
+            lambda: machine.scheduler.migrate(
+                channel.trojan, new_ctx=4, time=midpoint
+            ),
+        )
+        machine.run_until(channel.transmission_end + 1)
+
+        times, reps, vics = machine.cache_miss_tap.records()
+        # Raw contexts: the trojan appears as ctx 0 then ctx 4.
+        raw_pairs = set(zip(reps.tolist(), vics.tolist()))
+        assert any(r == 4 or v == 4 for r, v in raw_pairs)
+
+        rep_pids, vic_pids, pid_of = unify_conflict_records(
+            machine, times, reps, vics
+        )
+        labels, idx, pair = dominant_pair_series(
+            rep_pids, vic_pids, context_id_bits=6
+        )
+        trojan_pid = pid_of[channel.trojan.name]
+        spy_pid = pid_of[channel.spy.name]
+        assert set(pair) == {trojan_pid, spy_pid}
+        # Unified, the pair's series covers (nearly) the whole train.
+        assert labels.size > 0.9 * times.size

@@ -1,0 +1,90 @@
+"""Tests for the memory bus / QPI lock model."""
+
+import numpy as np
+import pytest
+
+from repro.config import BusConfig
+from repro.errors import SimulationError
+from repro.sim.events import EventTap
+from repro.sim.resources.bus import MemoryBus
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def bus():
+    config = BusConfig(
+        base_latency=160,
+        locked_extra_latency=190,
+        lock_duration=3000,
+        latency_jitter=0,
+    )
+    return MemoryBus(config, EventTap("lock"), make_rng(0))
+
+
+class TestLockBurst:
+    def test_lock_events_recorded(self, bus):
+        end = bus.lock_burst(ctx=0, start=0, count=5, period=5000)
+        assert end == 25_000
+        assert bus.lock_tap.times().tolist() == [0, 5000, 10000, 15000, 20000]
+
+    def test_bad_burst_rejected(self, bus):
+        with pytest.raises(SimulationError):
+            bus.lock_burst(0, 0, count=0, period=100)
+
+    def test_locked_at_inside_window(self, bus):
+        bus.lock_burst(0, start=1000, count=1, period=5000)
+        times = np.array([999, 1000, 3999, 4000, 10_000])
+        assert bus.locked_at(times).tolist() == [
+            False, True, True, False, False,
+        ]
+
+    def test_unlocked_when_no_locks(self, bus):
+        assert not bus.locked_at(np.array([0, 100])).any()
+
+
+class TestSampling:
+    def test_uncontended_latency(self, bus):
+        _, latencies = bus.sample(ctx=1, start=0, count=10, period=1000)
+        assert (latencies == 160).all()
+
+    def test_contended_latency(self, bus):
+        bus.lock_burst(0, start=0, count=100, period=2000)
+        # Lock duration 3000 > period 2000: bus continuously locked.
+        _, latencies = bus.sample(ctx=1, start=1000, count=10, period=1000)
+        assert (latencies == 350).all()
+
+    def test_mixed_window(self, bus):
+        bus.lock_burst(0, start=0, count=1, period=5000)  # locked [0, 3000)
+        _, latencies = bus.sample(ctx=1, start=0, count=6, period=1000)
+        assert latencies.tolist() == [350, 350, 350, 160, 160, 160]
+
+    def test_sample_end_time(self, bus):
+        end, _ = bus.sample(ctx=1, start=100, count=4, period=500)
+        assert end == 2100
+
+    def test_jitter_bounded(self):
+        config = BusConfig(latency_jitter=10)
+        noisy = MemoryBus(config, EventTap("lock"), make_rng(3))
+        _, lat = noisy.sample(0, 0, 1000, 100)
+        assert (lat >= config.base_latency - 10).all()
+        assert (lat <= config.base_latency + 10).all()
+
+
+class TestNoiseLocks:
+    def test_poisson_noise_rate(self, bus):
+        # 1e-4 locks/cycle over 10M cycles -> ~1000 events.
+        bus.noise_locks(ctx=3, start=0, duration=10_000_000, rate_per_cycle=1e-4)
+        assert 800 <= bus.lock_tap.count <= 1200
+
+    def test_zero_rate_no_events(self, bus):
+        bus.noise_locks(ctx=3, start=0, duration=1_000_000, rate_per_cycle=0.0)
+        assert bus.lock_tap.count == 0
+
+    def test_negative_rate_rejected(self, bus):
+        with pytest.raises(SimulationError):
+            bus.noise_locks(0, 0, 100, -0.1)
+
+    def test_noise_locks_contend(self, bus):
+        bus.noise_locks(ctx=3, start=0, duration=100_000, rate_per_cycle=0.001)
+        times = bus.lock_tap.times()
+        assert bus.locked_at(times).all()

@@ -1,0 +1,30 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_quantum_in_cycles(self):
+        assert Clock(2.5e9).cycles(0.1) == 250_000_000
+
+    def test_seconds_roundtrip(self):
+        clock = Clock(2.5e9)
+        assert clock.seconds(clock.cycles(0.25)) == pytest.approx(0.25)
+
+    def test_cycles_per_bit(self):
+        assert Clock(2.5e9).cycles_per_bit(10.0) == 250_000_000
+        assert Clock(2.5e9).cycles_per_bit(1000.0) == 2_500_000
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            Clock(0)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            Clock(2.5e9).cycles_per_bit(0)
+
+    def test_repr_mentions_ghz(self):
+        assert "2.50 GHz" in repr(Clock(2.5e9))

@@ -1,0 +1,85 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Priority
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(20, lambda: order.append("b"))
+        engine.schedule(10, lambda: order.append("a"))
+        engine.schedule(30, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append("consumer"), Priority.CONSUMER)
+        engine.schedule(5, lambda: order.append("producer"), Priority.PRODUCER)
+        engine.schedule(5, lambda: order.append("daemon"), Priority.DAEMON)
+        engine.run()
+        assert order == ["producer", "consumer", "daemon"]
+
+    def test_fifo_within_same_priority(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append(1))
+        engine.schedule(5, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        assert engine.now == 10
+        with pytest.raises(SimulationError):
+            engine.schedule(5, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        engine = Engine()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                engine.schedule(engine.now + 10, lambda: chain(n + 1))
+
+        engine.schedule(0, lambda: chain(0))
+        engine.run()
+        assert seen == [0, 1, 2, 3]
+        assert engine.now == 30
+
+
+class TestRunUntil:
+    def test_stops_before_boundary(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, lambda: fired.append(10))
+        engine.schedule(20, lambda: fired.append(20))
+        engine.run_until(20)
+        assert fired == [10]
+        assert engine.now == 20  # time advances to the boundary
+
+    def test_time_jumps_when_idle(self):
+        engine = Engine()
+        engine.run_until(1000)
+        assert engine.now == 1000
+
+    def test_events_executed_counter(self):
+        engine = Engine()
+        for t in (1, 2, 3):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.events_executed == 3
+
+    def test_peek_time(self):
+        engine = Engine()
+        assert engine.peek_time() is None
+        engine.schedule(42, lambda: None)
+        assert engine.peek_time() == 42

@@ -1,0 +1,40 @@
+"""Tests for the DRAM latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.resources.memory import MainMemory
+from repro.util.rng import make_rng
+
+
+class TestMainMemory:
+    def test_latencies_within_jitter(self):
+        memory = MainMemory(access_latency=160, jitter=12)
+        latencies = memory.latencies(1000, make_rng(0))
+        assert latencies.min() >= 148
+        assert latencies.max() <= 172
+        assert latencies.shape == (1000,)
+
+    def test_no_jitter_constant(self):
+        memory = MainMemory(access_latency=100, jitter=0)
+        assert (memory.latencies(50, make_rng(0)) == 100).all()
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigError):
+            MainMemory(access_latency=0)
+
+    def test_jitter_bound(self):
+        with pytest.raises(ConfigError):
+            MainMemory(access_latency=10, jitter=10)
+
+
+def test_error_hierarchy():
+    """All library errors descend from ReproError (single catch point)."""
+    from repro import errors
+
+    for name in (
+        "ConfigError", "SimulationError", "SchedulingError", "ChannelError",
+        "DetectionError", "HardwareError", "AuthorizationError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+    assert issubclass(errors.SchedulingError, errors.SimulationError)

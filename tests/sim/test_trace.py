@@ -1,0 +1,86 @@
+"""Tests for windowed trace views."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import BusLockBurst, Process
+from repro.sim.trace import (
+    bus_lock_train,
+    conflict_miss_records,
+    quantum_windows,
+)
+
+
+class TestQuantumWindows:
+    def test_full_quanta(self, small_machine):
+        windows = quantum_windows(small_machine, 3)
+        width = small_machine.quantum_cycles
+        assert len(windows) == 3
+        assert windows[0].start == 0
+        assert windows[-1].end == 3 * width
+        assert all(w.length == width for w in windows)
+
+    def test_fractional_windows(self, small_machine):
+        windows = quantum_windows(small_machine, 2, fraction=0.5)
+        assert len(windows) == 4
+        assert windows[0].length == small_machine.quantum_cycles // 2
+
+    def test_indices_sequential(self, small_machine):
+        windows = quantum_windows(small_machine, 2, fraction=0.25)
+        assert [w.index for w in windows] == list(range(8))
+
+    def test_bad_fraction(self, small_machine):
+        with pytest.raises(SimulationError):
+            quantum_windows(small_machine, 1, fraction=0.0)
+
+    def test_bad_quanta(self, small_machine):
+        with pytest.raises(SimulationError):
+            quantum_windows(small_machine, 0)
+
+
+class TestTrainExtraction:
+    def test_bus_lock_train(self, small_machine):
+        def body(proc):
+            yield BusLockBurst(count=10, period=100)
+
+        small_machine.spawn(Process("t", body=body), ctx=0)
+        small_machine.run_quanta(1)
+        window = quantum_windows(small_machine, 1)[0]
+        assert bus_lock_train(small_machine, window).size == 10
+
+    def test_conflict_records_empty(self, small_machine):
+        small_machine.run_quanta(1)
+        window = quantum_windows(small_machine, 1)[0]
+        times, reps, vics = conflict_miss_records(small_machine, window)
+        assert times.size == reps.size == vics.size == 0
+
+
+class TestDividerWindows:
+    def test_divider_wait_counts(self, small_machine):
+        from repro.sim.process import DividerLoop, DividerSaturate
+        from repro.sim.engine import Priority
+        from repro.sim.trace import divider_wait_counts
+
+        def trojan(proc):
+            yield DividerSaturate(duration=100_000)
+
+        def spy(proc):
+            yield DividerLoop(iterations=800, divs_per_iter=4)
+
+        small_machine.spawn(Process("t", body=trojan), ctx=0)
+        small_machine.spawn(
+            Process("s", body=spy, priority=Priority.CONSUMER), ctx=1
+        )
+        small_machine.run_quanta(1)
+        window = quantum_windows(small_machine, 1)[0]
+        counts = divider_wait_counts(small_machine, 0, window, dt=500)
+        assert counts.sum() > 0
+        assert counts.size == -(-window.length // 500)
+
+
+def test_iter_windows_matches_list(small_machine):
+    from repro.sim.trace import iter_windows
+
+    assert list(iter_windows(small_machine, 2, fraction=0.5)) == (
+        quantum_windows(small_machine, 2, fraction=0.5)
+    )

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.channel == "membus"
+        assert args.bandwidth == 10.0
+
+    def test_figure_number(self):
+        args = build_parser().parse_args(["figure", "8"])
+        assert args.number == 8
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "0.0028" in out
+
+    def test_detect_small(self, capsys):
+        code = main([
+            "detect", "--channel", "membus", "--bandwidth", "1000",
+            "--bits", "8", "--no-noise",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit error rate: 0.000" in out
+        assert "CC-Hunter detection report" in out
+
+    def test_figure_6(self, capsys):
+        assert main(["figure", "6", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6a" in out
+        assert "Figure 6b" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+    def test_record_and_analyze_roundtrip(self, tmp_path, capsys):
+        archive_path = str(tmp_path / "session.npz")
+        assert main([
+            "record", archive_path, "--channel", "membus",
+            "--bandwidth", "100", "--bits", "30", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 3 quanta" in out
+        # analyze exits 3 when something was detected.
+        assert main(["analyze", archive_path]) == 3
+        out = capsys.readouterr().out
+        assert "membus" in out
+        assert "COVERT TIMING CHANNEL LIKELY" in out
+
+    def test_false_alarms_exit_code(self, capsys):
+        assert main(["false-alarms", "--quanta", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "false alarms: 0" in out

@@ -1,0 +1,116 @@
+"""Tests for trace export / offline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import run_channel_session
+from repro.errors import DetectionError
+from repro.sim.machine import Machine
+from repro.traces import analyze_traces, export_traces, load_traces
+from repro.util.bitstream import Message
+
+
+@pytest.fixture(scope="module")
+def bus_session(tmp_path_factory):
+    run = run_channel_session(
+        "membus", Message.random(30, 7), bandwidth_bps=100.0, seed=7
+    )
+    path = tmp_path_factory.mktemp("traces") / "bus.npz"
+    archive = export_traces(run.machine, path)
+    return run, path, archive
+
+
+class TestRoundTrip:
+    def test_archive_matches_live_taps(self, bus_session):
+        run, _path, archive = bus_session
+        horizon = archive.horizon
+        live = run.machine.bus_lock_tap.times_in(0, horizon)
+        assert archive.bus_lock_times.tolist() == live.tolist()
+        assert archive.n_quanta == run.quanta
+
+    def test_load_equals_export(self, bus_session):
+        _run, path, archive = bus_session
+        loaded = load_traces(path)
+        assert loaded.quantum_cycles == archive.quantum_cycles
+        assert loaded.bus_lock_times.tolist() == (
+            archive.bus_lock_times.tolist()
+        )
+        assert loaded.cache_times.size == archive.cache_times.size
+        assert set(loaded.divider_wait_counts) == {0, 1, 2, 3}
+
+    def test_export_requires_quanta(self, tmp_path):
+        with pytest.raises(DetectionError):
+            export_traces(Machine(seed=1), tmp_path / "x.npz")
+
+
+class TestOfflineAnalysis:
+    def test_bus_channel_detected_offline(self, bus_session):
+        _run, path, _archive = bus_session
+        report = analyze_traces(load_traces(path))
+        assert report.verdict_for("membus").detected
+        assert not report.verdict_for("cache").detected
+
+    def test_offline_covers_active_units(self, bus_session):
+        _run, path, _archive = bus_session
+        report = analyze_traces(load_traces(path))
+        units = {v.unit for v in report.verdicts}
+        assert "membus" in units
+        assert "cache" in units
+        # Idle units (no noise pair shared a core's divider) are skipped.
+        assert not any(u.startswith("divider") for u in units)
+
+    def test_offline_divider_unit_included_when_active(self, tmp_path):
+        run = run_channel_session(
+            "divider", Message.random(20, 4), bandwidth_bps=100.0, seed=4
+        )
+        path = tmp_path / "div.npz"
+        export_traces(run.machine, path)
+        report = analyze_traces(load_traces(path))
+        assert report.verdict_for("divider(core 0)").detected
+
+    def test_cache_channel_detected_offline(self, tmp_path):
+        run = run_channel_session(
+            "cache", Message.random(10, 3), bandwidth_bps=100.0, seed=3,
+            n_sets_total=64,
+        )
+        path = tmp_path / "cache.npz"
+        export_traces(run.machine, path)
+        report = analyze_traces(load_traces(path))
+        verdict = report.verdict_for("cache")
+        assert verdict.detected
+        assert verdict.dominant_period == pytest.approx(64, rel=0.3)
+
+    def test_custom_delta_t(self, bus_session):
+        _run, path, _archive = bus_session
+        report = analyze_traces(load_traces(path), bus_dt=1_000_000)
+        # Wider Δt still exposes the burst mode for this channel.
+        assert report.verdict_for("membus").max_likelihood_ratio > 0.8
+
+    def test_divider_rebinning(self, tmp_path):
+        run = run_channel_session(
+            "divider", Message.random(20, 4), bandwidth_bps=100.0, seed=4
+        )
+        path = tmp_path / "div.npz"
+        export_traces(run.machine, path)
+        archive = load_traces(path)
+        report = analyze_traces(archive, divider_dt=archive.divider_dt * 4)
+        assert report.verdict_for("divider(core 0)").detected
+
+    def test_non_multiple_dt_rejected(self, tmp_path):
+        run = run_channel_session(
+            "divider", Message.random(20, 4), bandwidth_bps=100.0, seed=4
+        )
+        path = tmp_path / "div2.npz"
+        export_traces(run.machine, path)
+        archive = load_traces(path)
+        with pytest.raises(DetectionError):
+            analyze_traces(archive, divider_dt=archive.divider_dt + 1)
+
+    def test_offline_matches_online_verdict(self, bus_session):
+        run, path, _archive = bus_session
+        online = run.hunter.report().verdict_for("membus")
+        offline = analyze_traces(load_traces(path)).verdict_for("membus")
+        assert online.detected == offline.detected
+        assert offline.max_likelihood_ratio == pytest.approx(
+            online.max_likelihood_ratio, abs=0.05
+        )

@@ -1,0 +1,96 @@
+"""Tests for histogram statistics and the Poisson reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DetectionError
+from repro.util.stats import (
+    histogram_mean,
+    histogram_variance,
+    index_of_dispersion,
+    poisson_fit_quality,
+    poisson_pmf,
+    sample_counts_to_histogram,
+)
+
+
+class TestSampleCountsToHistogram:
+    def test_basic(self):
+        hist = sample_counts_to_histogram([0, 0, 1, 3], 5)
+        assert hist.tolist() == [2, 1, 0, 1, 0]
+
+    def test_clamps_to_last_bin(self):
+        hist = sample_counts_to_histogram([2, 9, 100], 4)
+        assert hist.tolist() == [0, 0, 1, 2]
+
+    def test_negative_raises(self):
+        with pytest.raises(DetectionError):
+            sample_counts_to_histogram([-1], 4)
+
+    def test_zero_bins_raises(self):
+        with pytest.raises(DetectionError):
+            sample_counts_to_histogram([1], 0)
+
+    def test_empty_counts(self):
+        assert sample_counts_to_histogram([], 3).sum() == 0
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=100))
+    def test_total_preserved(self, counts):
+        hist = sample_counts_to_histogram(counts, 128)
+        assert hist.sum() == len(counts)
+
+
+class TestMoments:
+    def test_mean(self):
+        # 3 windows at density 0, 1 window at density 4 -> mean 1.0
+        assert histogram_mean([3, 0, 0, 0, 1]) == pytest.approx(1.0)
+
+    def test_mean_empty(self):
+        assert histogram_mean([0, 0, 0]) == 0.0
+
+    def test_variance_of_constant(self):
+        assert histogram_variance([0, 0, 10]) == pytest.approx(0.0)
+
+    def test_variance_known(self):
+        # densities 0 and 2, equally likely: mean 1, variance 1
+        assert histogram_variance([5, 0, 5]) == pytest.approx(1.0)
+
+    def test_dispersion_poisson_like(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(3.0, size=20_000)
+        hist = sample_counts_to_histogram(counts, 64)
+        assert index_of_dispersion(hist) == pytest.approx(1.0, abs=0.05)
+
+    def test_dispersion_bursty(self):
+        # Strong bimodality: dispersion far above 1.
+        hist = np.zeros(64, dtype=int)
+        hist[0] = 900
+        hist[40] = 100
+        assert index_of_dispersion(hist) > 10
+
+
+class TestPoisson:
+    def test_pmf_sums_to_one(self):
+        ks = np.arange(200)
+        assert poisson_pmf(ks, 5.0).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_lam_zero(self):
+        pmf = poisson_pmf(np.arange(5), 0.0)
+        assert pmf.tolist() == [1.0, 0.0, 0.0, 0.0, 0.0]
+
+    def test_negative_lam_raises(self):
+        with pytest.raises(DetectionError):
+            poisson_pmf(np.arange(3), -1.0)
+
+    def test_fit_quality_good_for_poisson(self):
+        rng = np.random.default_rng(1)
+        hist = sample_counts_to_histogram(rng.poisson(2.0, 50_000), 64)
+        assert poisson_fit_quality(hist) < 0.05
+
+    def test_fit_quality_bad_for_bimodal(self):
+        hist = np.zeros(64, dtype=int)
+        hist[0] = 500
+        hist[30] = 500
+        assert poisson_fit_quality(hist) > 0.5

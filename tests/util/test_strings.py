@@ -1,0 +1,80 @@
+"""Tests for histogram discretization (clustering front-end)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DetectionError
+from repro.util.strings import (
+    discretize_histogram,
+    levels_to_string,
+    symbol_distance,
+)
+
+
+class TestDiscretize:
+    def test_empty_bins_are_zero(self):
+        symbols = discretize_histogram([0, 10, 0, 1000])
+        assert symbols[0] == 0
+        assert symbols[2] == 0
+
+    def test_max_bin_gets_top_level(self):
+        symbols = discretize_histogram([0, 1, 1000], levels=4)
+        assert symbols[2] == 3
+
+    def test_log_scale_separates_magnitudes(self):
+        symbols = discretize_histogram([0, 2, 40, 4000], levels=4)
+        assert symbols[1] < symbols[2] < symbols[3]
+
+    def test_uniform_nonzero_maps_to_top(self):
+        symbols = discretize_histogram([5, 5, 5], levels=3)
+        assert symbols.tolist() == [2, 2, 2]
+
+    def test_all_zero(self):
+        assert discretize_histogram([0, 0, 0]).tolist() == [0, 0, 0]
+
+    def test_needs_two_levels(self):
+        with pytest.raises(DetectionError):
+            discretize_histogram([1], levels=1)
+
+    def test_negative_raises(self):
+        with pytest.raises(DetectionError):
+            discretize_histogram([-1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(DetectionError):
+            discretize_histogram([])
+
+    @given(
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=128),
+        st.integers(2, 8),
+    )
+    def test_symbols_in_range(self, hist, levels):
+        symbols = discretize_histogram(hist, levels=levels)
+        assert symbols.min() >= 0
+        assert symbols.max() <= levels - 1
+        # Zero bins always map to symbol 0; non-zero bins never do.
+        for value, symbol in zip(hist, symbols):
+            assert (symbol == 0) == (value == 0)
+
+
+class TestStringRendering:
+    def test_levels_to_string(self):
+        assert levels_to_string([0, 1, 3, 2]) == "0132"
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(DetectionError):
+            levels_to_string([99])
+
+
+class TestSymbolDistance:
+    def test_identical_is_zero(self):
+        assert symbol_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_distance(self):
+        assert symbol_distance([0, 0], [2, 4]) == pytest.approx(3.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DetectionError):
+            symbol_distance([1], [1, 2])

@@ -1,0 +1,109 @@
+"""Tests for the workload framework."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.base import (
+    ActivityProfile,
+    CacheLoopPattern,
+    workload_process,
+)
+
+
+class TestActivityProfile:
+    def test_defaults_valid(self):
+        profile = ActivityProfile(name="idle")
+        assert profile.divider_duty == 0.0
+
+    def test_bad_duty(self):
+        with pytest.raises(ConfigError):
+            ActivityProfile(name="x", divider_duty=1.5)
+
+    def test_bad_intensity(self):
+        with pytest.raises(ConfigError):
+            ActivityProfile(name="x", divider_intensity=0.0)
+
+    def test_bad_chunks(self):
+        with pytest.raises(ConfigError):
+            ActivityProfile(name="x", chunks_per_quantum=0)
+
+    def test_negative_rate(self):
+        with pytest.raises(ConfigError):
+            ActivityProfile(name="x", bus_lock_rate_per_s=-1)
+
+
+class TestCacheLoopPattern:
+    def test_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            CacheLoopPattern(ws_sets=0)
+
+    def test_bad_episodes(self):
+        with pytest.raises(ConfigError):
+            CacheLoopPattern(episodes_per_quantum=0)
+
+
+class TestWorkloadProcess:
+    def test_bus_activity_generated(self, small_machine):
+        profile = ActivityProfile(name="busy", bus_lock_rate_per_s=50_000.0)
+        proc = workload_process(profile, small_machine, n_quanta=2, seed=1)
+        small_machine.spawn(proc, ctx=0)
+        small_machine.run_quanta(2)
+        assert small_machine.bus_lock_tap.count > 0
+
+    def test_cache_activity_generated(self, small_machine):
+        profile = ActivityProfile(name="mem", cache_accesses_per_quantum=200)
+        proc = workload_process(profile, small_machine, n_quanta=1, seed=1)
+        small_machine.spawn(proc, ctx=0)
+        small_machine.run_quanta(1)
+        assert small_machine.l2.hits + small_machine.l2.misses >= 190
+
+    def test_divider_usage_registered(self, small_machine):
+        profile = ActivityProfile(name="div", divider_duty=0.3)
+        proc = workload_process(profile, small_machine, n_quanta=1, seed=1)
+        small_machine.spawn(proc, ctx=0)
+        small_machine.run_quanta(1)
+        unit = small_machine.dividers[0]
+        assert 0 in unit._usage and len(unit._usage[0]) > 0
+
+    def test_lock_bursts_clustered(self, small_machine):
+        profile = ActivityProfile(
+            name="mail", bus_lock_bursts=(3, 5, 8, 1000)
+        )
+        proc = workload_process(profile, small_machine, n_quanta=1, seed=1)
+        small_machine.spawn(proc, ctx=0)
+        small_machine.run_quanta(1)
+        # Bursts of 5-8 locks each; at least one burst fired.
+        assert small_machine.bus_lock_tap.count >= 5
+
+    def test_loop_pattern_touches_shared_region(self, small_machine):
+        pattern = CacheLoopPattern(
+            ws_sets=8, lines_per_set=2, repeats=1, episodes_per_quantum=10,
+            base_set=100, base_jitter=0,
+        )
+        profile = ActivityProfile(name="web", cache_loop_pattern=pattern)
+        proc = workload_process(profile, small_machine, n_quanta=1, seed=1)
+        small_machine.spawn(proc, ctx=0)
+        small_machine.run_quanta(1)
+        touched = [
+            s for s in range(100, 108)
+            if small_machine.l2.resident_tags(s)
+        ]
+        assert touched
+
+    def test_bad_quanta(self, small_machine):
+        with pytest.raises(ConfigError):
+            workload_process(ActivityProfile(name="x"), small_machine, 0)
+
+    def test_deterministic(self, small_machine):
+        from repro.sim.machine import Machine
+        from repro.config import MachineConfig
+
+        def locks(seed_machine):
+            profile = ActivityProfile(name="b", bus_lock_rate_per_s=10_000.0)
+            proc = workload_process(profile, seed_machine, 1, seed=5)
+            seed_machine.spawn(proc, ctx=0)
+            seed_machine.run_quanta(1)
+            return seed_machine.bus_lock_tap.times().tolist()
+
+        config = MachineConfig(os_quantum_seconds=0.002)
+        assert locks(Machine(config, seed=1)) == locks(Machine(config, seed=1))

@@ -1,0 +1,81 @@
+"""Tests for the named workload profiles and background noise."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.machine import Machine
+from repro.workloads import (
+    WORKLOADS,
+    background_noise_processes,
+    mailserver,
+    stream,
+    webserver,
+)
+from repro.workloads.spec import bzip2, gobmk, h264ref, sjeng
+
+
+class TestProfileRegistry:
+    def test_registry_members(self):
+        for name in ("gobmk", "sjeng", "bzip2", "h264ref"):
+            assert name in WORKLOADS
+
+    def test_bus_heavy_profiles(self):
+        """The paper pairs gobmk+sjeng for their memory-bus activity."""
+        assert gobmk.bus_lock_rate_per_s > bzip2.bus_lock_rate_per_s
+        assert sjeng.bus_lock_rate_per_s > h264ref.bus_lock_rate_per_s
+
+    def test_division_heavy_profiles(self):
+        """bzip2 and h264ref have significant integer division."""
+        assert bzip2.divider_duty > 0.1
+        assert h264ref.divider_duty > 0.1
+        assert gobmk.divider_duty == 0.0
+
+    def test_benign_divider_intensity_below_contention(self):
+        from repro.sim.resources.divider import CONTENTION_INTENSITY
+
+        for profile in (bzip2, h264ref):
+            assert profile.divider_intensity < CONTENTION_INTENSITY
+
+    def test_stream_is_streaming(self):
+        assert stream.cache_tag_space > 100_000
+        assert stream.divider_duty == 0.0
+
+    def test_mailserver_has_lock_clusters(self):
+        assert mailserver.bus_lock_bursts is not None
+        _n, lo, hi, _spacing = mailserver.bus_lock_bursts
+        assert (lo, hi) == (5, 8)  # the paper's bins #5-#8 mode
+
+    def test_webserver_has_loop_pattern(self):
+        assert webserver.cache_loop_pattern is not None
+
+
+class TestBackgroundNoise:
+    def test_spawns_default_three(self, small_machine):
+        procs = background_noise_processes(small_machine, n_quanta=1)
+        assert len(procs) == 3
+        assert len({p.ctx for p in procs}) == 3
+
+    def test_avoids_contexts(self, small_machine):
+        procs = background_noise_processes(
+            small_machine, n_quanta=1, avoid_contexts=(0, 1, 2)
+        )
+        assert all(p.ctx >= 3 for p in procs)
+
+    def test_too_many_requested(self, small_machine):
+        with pytest.raises(ConfigError):
+            background_noise_processes(small_machine, n_quanta=1, count=99)
+
+    def test_noise_generates_activity(self, small_machine):
+        background_noise_processes(small_machine, n_quanta=2, seed=3)
+        small_machine.run_quanta(2)
+        total_cache = small_machine.l2.hits + small_machine.l2.misses
+        assert total_cache > 0
+
+    def test_custom_profiles(self, small_machine):
+        from repro.workloads.base import ActivityProfile
+
+        quiet = (ActivityProfile(name="quiet"),)
+        procs = background_noise_processes(
+            small_machine, n_quanta=1, count=2, profiles=quiet
+        )
+        assert all(p.name.startswith("quiet") for p in procs)
