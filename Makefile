@@ -7,8 +7,10 @@ PYTHON ?= python
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# Matches the tier-1 invocation: runs straight from the source tree,
+# no editable install needed.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -20,6 +22,7 @@ examples:
 	$(PYTHON) examples/false_alarm_screening.py
 	$(PYTHON) examples/detect_and_respond.py
 	$(PYTHON) examples/offline_forensics.py
+	$(PYTHON) examples/streaming_audit.py
 
 figures:
 	$(PYTHON) -m repro figure 2

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Streaming audit: watch CC-Hunter's verdict evolve as quanta arrive.
+
+The detection pipeline is incremental — every analyzer folds each OS
+quantum's observation into bounded running state, so verdicts are
+available *during* the run, not only from the terminal ``report()``.
+This example attaches a collecting sink plus a live printer to a
+memory-bus covert session and shows the quantum at which the channel
+first becomes detectable versus the end-of-run report. Run with::
+
+    python examples/streaming_audit.py
+"""
+
+from repro import (
+    AuditUnit,
+    CCHunter,
+    ChannelConfig,
+    Machine,
+    MemoryBusCovertChannel,
+    Message,
+    background_noise_processes,
+)
+from repro.pipeline import CollectingSink, StreamPrinterSink
+
+
+def main() -> None:
+    machine = Machine(seed=77)
+
+    # Two sinks: one records every per-quantum report, one prints a
+    # one-line verdict update as each quantum completes.
+    collector = CollectingSink()
+    hunter = CCHunter(machine, sinks=[collector, StreamPrinterSink()])
+    hunter.audit(AuditUnit.MEMORY_BUS)
+
+    secret = Message.random(48, rng=5)
+    channel = MemoryBusCovertChannel(
+        machine, ChannelConfig(message=secret, bandwidth_bps=50.0)
+    )
+    channel.deploy(trojan_ctx=0, spy_ctx=2)
+
+    quanta = channel.quanta_needed()
+    background_noise_processes(
+        machine, n_quanta=quanta, avoid_contexts=(0, 2), seed=77
+    )
+
+    print(f"streaming {quanta} OS quanta (verdict updates below)...")
+    machine.run_quanta(quanta)
+
+    first = hunter.session.first_detection_quantum("membus")
+    print()
+    if first is None:
+        print("the channel was never flagged during the run")
+    else:
+        print(
+            f"first detection: quantum {first} "
+            f"({(first + 1) * machine.config.os_quantum_seconds:.1f} s into "
+            f"a {quanta * machine.config.os_quantum_seconds:.1f} s session"
+            " — no need to wait for the end-of-run report)"
+        )
+    online = collector.first_detection("membus")
+    assert online == first, (online, first)
+
+    print("\nend-of-run report for comparison:")
+    print(hunter.report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,8 @@ def run_channel_session(
     noise: bool = True,
     window_fraction: float = 1.0,
     max_quanta: Optional[int] = None,
+    sinks=(),
+    track_detection_latency: bool = False,
     **channel_kwargs,
 ) -> ChannelRun:
     """Run one covert transmission under CC-Hunter audit.
@@ -84,11 +86,18 @@ def run_channel_session(
     ``kind`` is 'membus', 'divider' or 'cache'. The session covers the
     whole transmission (or ``max_quanta`` if given), with the paper's
     "at least three other active processes" unless ``noise=False``.
+    ``sinks`` (verdict sinks) receive per-quantum verdict updates while
+    the session runs — the streaming pipeline's online view.
     """
     if kind not in _CHANNELS:
         raise ReproError(f"unknown channel kind {kind!r}")
     machine = Machine(seed=seed)
-    hunter = CCHunter(machine, window_fraction=window_fraction)
+    hunter = CCHunter(
+        machine,
+        window_fraction=window_fraction,
+        sinks=sinks,
+        track_detection_latency=track_detection_latency,
+    )
     config = ChannelConfig(message=message, bandwidth_bps=bandwidth_bps)
     channel = _CHANNELS[kind](machine, config, **channel_kwargs)
     if kind in ("divider", "multiplier"):

@@ -9,12 +9,16 @@ Usage::
 
 ``detect`` runs a covert session under audit and prints the channel's
 decode result, CC-Hunter's report, and the TCSEC bandwidth assessment;
-``figure N`` regenerates a paper figure at bench scale.
+with ``--stream`` it prints the pipeline's per-quantum verdict updates
+as the session runs, and with ``--json`` it emits a machine-readable
+report for downstream consumers. ``figure N`` regenerates a paper figure
+at bench scale.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -35,27 +39,60 @@ def _cmd_table1(_args) -> int:
 
 
 def _cmd_detect(args) -> int:
+    from repro.pipeline import StreamPrinterSink
+
     message = Message.random(args.bits, args.seed)
     kwargs = {}
     if args.channel == "cache":
         kwargs["n_sets_total"] = args.cache_sets
+    sinks = []
+    if args.stream:
+        sinks.append(StreamPrinterSink(jsonl=args.as_json))
     run = fig.run_channel_session(
         args.channel,
         message,
         bandwidth_bps=args.bandwidth,
         seed=args.seed,
         noise=not args.no_noise,
+        sinks=sinks,
+        track_detection_latency=True,
         **kwargs,
     )
     ber = run.ber
+    report = run.hunter.report()
+    assessment = assess_channel(args.bandwidth, ber)
+    first_detection = {
+        unit: run.hunter.session.first_detection_quantum(unit)
+        for unit in run.hunter.session.units
+    }
+    if args.as_json:
+        payload = {
+            "channel": args.channel,
+            "bandwidth_bps": args.bandwidth,
+            "bits": args.bits,
+            "quanta": run.quanta,
+            "bit_error_rate": float(ber),
+            "effective_bandwidth_bps": float(
+                assessment.effective_bandwidth_bps
+            ),
+            "tcsec_class": assessment.tcsec_class.value,
+            "first_detection_quantum": first_detection,
+            "report": report.to_dict(),
+        }
+        print(json.dumps(payload, sort_keys=True))
+        return 0
     print(
         f"channel: {args.channel} @ {args.bandwidth:g} bps, "
         f"{args.bits} bits over {run.quanta} quanta"
     )
     print(f"spy bit error rate: {ber:.3f}")
-    print(assess_channel(args.bandwidth, ber).summary())
+    print(assessment.summary())
+    if args.stream:
+        for unit, quantum in first_detection.items():
+            when = "never detected" if quantum is None else f"quantum {quantum}"
+            print(f"first detection [{unit}]: {when}")
     print()
-    print(run.hunter.report().render())
+    print(report.render())
     return 0
 
 
@@ -140,7 +177,10 @@ def _cmd_analyze(args) -> int:
     report = analyze_traces(
         archive, window_fraction=args.window_fraction
     )
-    print(report.render())
+    if args.as_json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
     return 0 if not report.any_detected else 3
 
 
@@ -170,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--no-noise", action="store_true",
         help="disable the background interference processes",
+    )
+    detect.add_argument(
+        "--stream", action="store_true",
+        help="print per-quantum verdict updates while the session runs",
+    )
+    detect.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report (JSON lines with --stream)",
     )
     detect.set_defaults(func=_cmd_detect)
 
@@ -204,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("path", help=".npz archive from `record`")
     analyze.add_argument("--window-fraction", type=float, default=1.0)
+    analyze.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as machine-readable JSON",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     return parser

@@ -14,8 +14,17 @@ Two detectors over indicator-event trains:
 attaches both to a simulated machine.
 """
 
-from repro.core.autocorr import autocorrelation, autocorrelogram
-from repro.core.burst import BurstAnalysis, analyze_histogram, find_threshold_bin
+from repro.core.autocorr import (
+    RunningAutocorrelogram,
+    autocorrelation,
+    autocorrelogram,
+)
+from repro.core.burst import (
+    BurstAnalysis,
+    StreamingBurstEstimator,
+    analyze_histogram,
+    find_threshold_bin,
+)
 from repro.core.calibration import (
     AlphaCalibration,
     DeltaTRegime,
@@ -25,21 +34,37 @@ from repro.core.calibration import (
 from repro.core.clustering import RecurrenceAnalysis, analyze_recurrence, kmeans
 from repro.core.density import (
     DensityHistogram,
+    StreamingDensityHistogram,
     build_density_histogram,
     choose_delta_t,
 )
-from repro.core.detector import AuditUnit, CCHunter
 from repro.core.event_train import EventTrain, LabeledEventTrain
 from repro.core.oscillation import OscillationAnalysis, analyze_autocorrelogram
 from repro.core.report import DetectionReport, UnitVerdict
+
+# CCHunter sits above the streaming pipeline (repro.pipeline), whose
+# analyzers import this package's estimator modules — so the facade is
+# resolved lazily to keep the package import acyclic.
+_LAZY_DETECTOR = ("AuditUnit", "CCHunter")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_DETECTOR:
+        from repro.core import detector
+
+        return getattr(detector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "EventTrain",
     "LabeledEventTrain",
     "DensityHistogram",
+    "StreamingDensityHistogram",
     "build_density_histogram",
     "choose_delta_t",
     "BurstAnalysis",
+    "StreamingBurstEstimator",
     "AlphaCalibration",
     "DeltaTRegime",
     "assess_delta_t",
@@ -51,6 +76,7 @@ __all__ = [
     "kmeans",
     "autocorrelation",
     "autocorrelogram",
+    "RunningAutocorrelogram",
     "OscillationAnalysis",
     "analyze_autocorrelogram",
     "AuditUnit",

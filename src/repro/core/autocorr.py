@@ -67,6 +67,93 @@ def autocorrelogram(x: np.ndarray, max_lag: int) -> np.ndarray:
     return acov / denom
 
 
+class RunningAutocorrelogram:
+    """Incrementally maintained autocorrelogram (running-sums estimator).
+
+    The streaming counterpart of :func:`autocorrelogram`: the series
+    arrives in arbitrary chunks and only *running sums* are kept — Σx,
+    the lagged cross products ``C_p = Σ_i x_i · x_{i-p}``, and the first
+    and last ``max_lag`` values (for the end-correction terms of the
+    paper's r_p). Appending ``m`` values costs one C-level sliding
+    correlation, O((max_lag + m) · m), independent of how long the series
+    already is; ``correlogram()`` reads the current r_0..r_max_lag in
+    O(max_lag). Memory is O(max_lag) no matter how many events stream in.
+
+    For integer-valued series (the detector's 0/1 identifier trains)
+    every running sum is exact, so the result matches the batch FFT
+    estimator to floating-point round-off; the FFT path stays available
+    as the batch cross-check.
+    """
+
+    def __init__(self, max_lag: int):
+        if max_lag < 0:
+            raise DetectionError(f"max_lag must be non-negative, got {max_lag}")
+        self.max_lag = max_lag
+        self._n = 0
+        self._sum = 0.0
+        #: cross[p] = Σ_{i > p} x_i · x_{i-p}; cross[0] = Σ x_i².
+        self._cross = np.zeros(max_lag + 1, dtype=np.float64)
+        self._head = np.zeros(0, dtype=np.float64)
+        self._tail = np.zeros(0, dtype=np.float64)
+
+    @property
+    def n(self) -> int:
+        """Number of samples consumed so far."""
+        return self._n
+
+    def push(self, value: float) -> None:
+        """Append a single sample."""
+        self.extend(np.array([value], dtype=np.float64))
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a chunk of samples (order is the series order)."""
+        y = np.asarray(values, dtype=np.float64).ravel()
+        if y.size == 0:
+            return
+        m = y.size
+        t = self._tail.size
+        z = np.concatenate([self._tail, y])
+        # ΔC_p = Σ_j y[j] · z[t + j − p]: one sliding correlation covers
+        # every lag at once. np.correlate(z, y, 'full')[k] = Σ_j z[j + k
+        # − (m−1)] y[j], so lag p lives at index k = m − 1 + t − p.
+        c = np.correlate(z, y, mode="full")
+        p_hi = min(self.max_lag, m - 1 + t)
+        self._cross[: p_hi + 1] += c[m - 1 + t - p_hi : m + t][::-1]
+        self._sum += float(y.sum())
+        self._n += m
+        if self._head.size < self.max_lag:
+            need = self.max_lag - self._head.size
+            self._head = np.concatenate([self._head, y[:need]])
+        self._tail = z[z.size - min(self._n, self.max_lag) :]
+
+    def correlogram(self) -> np.ndarray:
+        """Current r_p for p = 0 .. min(max_lag, n−1), as in the batch path.
+
+        Expanding ``Σ (x_i − x̄)(x_{i+p} − x̄)`` gives
+        ``C_p − x̄·(2Σx − head_p − tail_p) + (n−p)·x̄²`` where ``head_p`` /
+        ``tail_p`` are the sums of the first/last ``p`` samples — all held
+        as running state, so no sample replay is needed.
+        """
+        n = self._n
+        if n < 2:
+            raise DetectionError("autocorrelogram needs at least 2 samples")
+        max_lag = min(self.max_lag, n - 1)
+        mean = self._sum / n
+        denom = float(self._cross[0]) - n * mean * mean
+        if denom <= 0.0:
+            # Constant series: perfectly self-similar at every lag.
+            return np.ones(max_lag + 1, dtype=np.float64)
+        p = np.arange(max_lag + 1)
+        head_p = np.concatenate(([0.0], np.cumsum(self._head)))[p]
+        tail_p = np.concatenate(([0.0], np.cumsum(self._tail[::-1])))[p]
+        num = (
+            self._cross[: max_lag + 1]
+            - mean * (2.0 * self._sum - head_p - tail_p)
+            + (n - p) * mean * mean
+        )
+        return num / denom
+
+
 def dominant_lag(acf: np.ndarray, min_lag: int = 1) -> int:
     """Lag (>= min_lag) with the highest autocorrelation coefficient."""
     arr = np.asarray(acf, dtype=np.float64)

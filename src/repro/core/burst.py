@@ -101,6 +101,46 @@ class BurstAnalysis:
         return int(self.hist[self.threshold_bin:].sum())
 
 
+class StreamingBurstEstimator:
+    """Running aggregate of per-window density histograms.
+
+    Folding one histogram in is O(n_bins); :meth:`analysis` re-derives
+    steps 3-4 from the aggregate alone, also O(n_bins) — bounded work per
+    quantum, with a result identical to running :func:`analyze_histogram`
+    on the sum of every histogram seen so far.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 128,
+        lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,
+    ):
+        self.lr_threshold = lr_threshold
+        self._agg = np.zeros(n_bins, dtype=np.int64)
+        self.windows = 0
+        self._cached: Optional[BurstAnalysis] = None
+
+    @property
+    def aggregate(self) -> np.ndarray:
+        return self._agg.copy()
+
+    def update(self, hist: np.ndarray) -> "StreamingBurstEstimator":
+        arr = np.asarray(hist, dtype=np.int64)
+        if arr.shape != self._agg.shape:
+            raise DetectionError(
+                f"histogram shape {arr.shape} does not match {self._agg.shape}"
+            )
+        self._agg += arr
+        self.windows += 1
+        self._cached = None
+        return self
+
+    def analysis(self) -> BurstAnalysis:
+        if self._cached is None:
+            self._cached = analyze_histogram(self._agg, self.lr_threshold)
+        return self._cached
+
+
 def analyze_histogram(
     hist: np.ndarray,
     lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,

@@ -115,6 +115,122 @@ def build_density_histogram(
     return DensityHistogram(hist=hist, dt=dt, window_start=t0, window_end=t1)
 
 
+class StreamingDensityHistogram:
+    """Incremental density-histogram accumulation with bounded memory.
+
+    The streaming counterpart of :func:`build_density_histogram` and of
+    the CC-auditor's :class:`~repro.hardware.auditor.MonitorSlot`: event
+    counts (or raw timestamps) arrive in arbitrary chunks and are folded
+    straight into a fixed-size histogram. State is the histogram plus a
+    single partial-window accumulator, so memory is O(n_bins) regardless
+    of stream length, and the result is numerically identical to
+    histogramming the whole window sequence at once.
+
+    ``count_clamp`` / ``entry_max`` model the auditor's saturating
+    accumulator and 16-bit histogram entries; ``None`` disables them.
+    The ``ingest_window_counts`` / ``read_and_reset`` method pair matches
+    ``MonitorSlot``, so either can back a pipeline burst analyzer.
+    """
+
+    def __init__(
+        self,
+        dt: int,
+        n_bins: int = 128,
+        origin: int = 0,
+        count_clamp: Optional[int] = None,
+        entry_max: Optional[int] = None,
+    ):
+        if dt <= 0:
+            raise DetectionError(f"Δt must be positive, got {dt}")
+        if n_bins < 1:
+            raise DetectionError(f"need at least 1 bin, got {n_bins}")
+        self.dt = int(dt)
+        self.n_bins = int(n_bins)
+        self.count_clamp = count_clamp
+        self.entry_max = entry_max
+        self._hist = np.zeros(self.n_bins, dtype=np.int64)
+        self._pending = 0
+        self._cursor = int(origin)
+        self._window_start = int(origin)
+        self.windows_recorded = 0
+        self.events_seen = 0
+
+    def _fold(self, counts: np.ndarray) -> None:
+        if self.count_clamp is not None:
+            counts = np.minimum(counts, self.count_clamp)
+        bins = np.minimum(counts, self.n_bins - 1)
+        self._hist += np.bincount(bins, minlength=self.n_bins)
+        if self.entry_max is not None:
+            np.minimum(self._hist, self.entry_max, out=self._hist)
+        self.windows_recorded += int(counts.size)
+
+    def ingest_window_counts(self, counts: np.ndarray) -> None:
+        """Fold per-Δt-window event counts (whole windows) into the histogram."""
+        arr = np.asarray(counts, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return
+        if arr.min() < 0:
+            raise DetectionError("window counts cannot be negative")
+        if self._pending:
+            raise DetectionError(
+                "cannot ingest whole-window counts while a timestamp window "
+                "is open; call flush() first"
+            )
+        self.events_seen += int(arr.sum())
+        self._fold(arr)
+        self._cursor += arr.size * self.dt
+        self._window_start = self._cursor
+
+    push_counts = ingest_window_counts
+
+    def push_times(self, times: np.ndarray, up_to: int) -> None:
+        """Consume event timestamps covering ``[cursor, up_to)``.
+
+        ``times`` is any (sorted or not) chunk of event times in that
+        range; windows whose end falls at or before ``up_to`` are closed
+        into the histogram, and the trailing partial window is carried as
+        a single pending count for the next chunk.
+        """
+        up_to = int(up_to)
+        if up_to < self._cursor:
+            raise DetectionError(
+                f"stream cursor already at {self._cursor}, cannot rewind to {up_to}"
+            )
+        t = np.asarray(times, dtype=np.int64).ravel()
+        if t.size and (t.min() < self._window_start or t.max() >= up_to):
+            raise DetectionError(
+                f"timestamps outside the open range [{self._window_start}, {up_to})"
+            )
+        n_complete = (up_to - self._window_start) // self.dt
+        counts = np.bincount(
+            (t - self._window_start) // self.dt, minlength=n_complete + 1
+        )
+        counts[0] += self._pending
+        self.events_seen += int(t.size)
+        if n_complete:
+            self._fold(counts[:n_complete])
+        self._pending = int(counts[n_complete:].sum())
+        self._window_start += n_complete * self.dt
+        self._cursor = up_to
+
+    def flush(self) -> None:
+        """Close the open partial window, if one has started accruing."""
+        if self._cursor > self._window_start:
+            self._fold(np.array([self._pending], dtype=np.int64))
+            self._pending = 0
+            self._window_start = self._cursor
+
+    def histogram(self) -> np.ndarray:
+        """A copy of the current histogram (closed windows only)."""
+        return self._hist.copy()
+
+    def read_and_reset(self) -> np.ndarray:
+        """Atomically read the histogram and clear it (quantum boundary)."""
+        hist = self._hist.copy()
+        self._hist[:] = 0
+        return hist
+
+
 def default_delta_t(unit: str) -> int:
     """The paper's calibrated Δt for a named unit.
 

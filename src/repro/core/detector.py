@@ -10,32 +10,34 @@ Usage::
     machine.run_quanta(16)
     report = hunter.report()
 
-Per OS quantum, the hunter drives the modeled CC-auditor hardware —
-density counts flow through the monitor slots' saturating accumulators and
-histogram buffers; conflict-miss records flow through the alternating
-vector registers — and runs the per-window analyses. ``report()`` runs
-the cross-window steps (recurrence clustering for burst monitors) and
-returns the final verdicts.
+CCHunter is a thin facade over the streaming pipeline: a
+:class:`~repro.pipeline.source.MachineEventSource` reads the machine's
+taps each OS quantum — density counts flow through the modeled
+CC-auditor's monitor slots (saturating accumulators + histogram
+buffers), conflict-miss records through its alternating vector
+registers — and a :class:`~repro.pipeline.session.DetectionSession`
+folds each observation into per-unit incremental analyzers. Verdicts
+are therefore available *during* the run (``current_verdicts()``,
+verdict sinks), not just from the terminal ``report()`` call; the
+session can also be driven directly via ``push_quantum()`` by non-sim
+sources.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
-
-import numpy as np
+from typing import Iterable, List, Optional, Tuple
 
 from repro.config import LIKELIHOOD_RATIO_THRESHOLD
-from repro.core.autocorr import autocorrelogram
-from repro.core.burst import BurstAnalysis, analyze_histogram
-from repro.core.clustering import analyze_recurrence
 from repro.core.density import default_delta_t
-from repro.core.event_train import dominant_pair_series
-from repro.core.oscillation import OscillationAnalysis, analyze_autocorrelogram
-from repro.core.report import DetectionReport, UnitVerdict
+from repro.core.oscillation import OscillationAnalysis
+from repro.core.report import DetectionReport
 from repro.errors import DetectionError
 from repro.hardware.auditor import CCAuditor
+from repro.pipeline.analyzers import BurstAnalyzer, OscillationAnalyzer
+from repro.pipeline.session import DetectionSession
+from repro.pipeline.sinks import VerdictSink
+from repro.pipeline.source import MachineEventSource, QuantumObservation
 
 
 class AuditUnit(Enum):
@@ -45,36 +47,6 @@ class AuditUnit(Enum):
     DIVIDER = "divider"
     MULTIPLIER = "multiplier"
     CACHE = "cache"
-
-
-@dataclass
-class _BurstMonitor:
-    unit: AuditUnit
-    core: Optional[int]
-    slot_index: int
-    dt: int
-    histograms: List[np.ndarray] = field(default_factory=list)
-    analyses: List[BurstAnalysis] = field(default_factory=list)
-
-    @property
-    def name(self) -> str:
-        if self.core is not None:
-            return f"{self.unit.value}(core {self.core})"
-        return self.unit.value
-
-
-@dataclass
-class _CacheMonitor:
-    slot_index: int
-    analyses: List[OscillationAnalysis] = field(default_factory=list)
-    #: Quantum index each analysis came from (parallel to ``analyses``).
-    analysis_quanta: List[int] = field(default_factory=list)
-    windows_analyzed: int = 0
-    last_acf: Optional[np.ndarray] = None
-
-    @property
-    def name(self) -> str:
-        return AuditUnit.CACHE.value
 
 
 class CCHunter:
@@ -89,6 +61,8 @@ class CCHunter:
         max_lag: int = 1000,
         min_train_events: int = 64,
         min_peak_height: float = 0.45,
+        sinks: Iterable[VerdictSink] = (),
+        track_detection_latency: bool = False,
     ):
         if not 0 < window_fraction <= 1.0:
             raise DetectionError(
@@ -101,15 +75,19 @@ class CCHunter:
         self.max_lag = max_lag
         self.min_train_events = min_train_events
         self.min_peak_height = min_peak_height
-        self._burst_monitors: List[_BurstMonitor] = []
-        self._cache_monitor: Optional[_CacheMonitor] = None
-        machine.on_quantum_end(self._on_quantum_end)
+        self.source = MachineEventSource(machine, auditor=self.auditor)
+        self.session = DetectionSession(
+            sinks=sinks, track_detection_latency=track_detection_latency
+        )
+        self.source.subscribe(self.session)
+        #: (unit, core, channel name) per audit call, for facade lookups.
+        self._audits: List[Tuple[AuditUnit, Optional[int], str]] = []
 
     # ------------------------------------------------------------------ setup
 
     @property
     def monitors_in_use(self) -> int:
-        return len(self._burst_monitors) + (1 if self._cache_monitor else 0)
+        return len(self._audits)
 
     def audit(
         self,
@@ -124,150 +102,82 @@ class CCHunter:
         divider is per-core, so ``core`` is required for it.
         """
         slot_index = self.auditor.free_slot_index()
-        if unit is AuditUnit.MEMORY_BUS:
-            chosen_dt = dt or default_delta_t("membus")
-            self.auditor.program(slot_index, unit.value, chosen_dt)
-            self._burst_monitors.append(
-                _BurstMonitor(unit, None, slot_index, chosen_dt)
-            )
-        elif unit in (AuditUnit.DIVIDER, AuditUnit.MULTIPLIER):
-            if core is None:
-                raise DetectionError(f"{unit.value} audit needs a core index")
-            chosen_dt = dt or default_delta_t(unit.value)
-            self.auditor.program(slot_index, f"{unit.value}{core}", chosen_dt)
-            self._burst_monitors.append(
-                _BurstMonitor(unit, core, slot_index, chosen_dt)
-            )
-        elif unit is AuditUnit.CACHE:
-            if self._cache_monitor is not None:
+        if unit is AuditUnit.CACHE:
+            if any(u is AuditUnit.CACHE for u, _c, _n in self._audits):
                 raise DetectionError("cache is already being audited")
             self.auditor.program(
                 slot_index, unit.value, self.machine.quantum_cycles
             )
-            self._cache_monitor = _CacheMonitor(slot_index)
+            self.source.enable_conflict_channel(unit.value)
+            self.session.add_analyzer(
+                OscillationAnalyzer(
+                    unit=unit.value,
+                    window_fraction=self.window_fraction,
+                    max_lag=self.max_lag,
+                    min_train_events=self.min_train_events,
+                    min_peak_height=self.min_peak_height,
+                    context_id_bits=self.auditor.config.context_id_bits,
+                )
+            )
+            self._audits.append((unit, None, unit.value))
+            return
+        if unit is AuditUnit.MEMORY_BUS:
+            name = unit.value
+            tap = self.machine.bus_lock_tap
+            chosen_dt = dt or default_delta_t("membus")
+            self.auditor.program(slot_index, name, chosen_dt)
+        elif unit in (AuditUnit.DIVIDER, AuditUnit.MULTIPLIER):
+            if core is None:
+                raise DetectionError(f"{unit.value} audit needs a core index")
+            name = f"{unit.value}(core {core})"
+            tap = (
+                self.machine.multiplier_wait_tap_for(core)
+                if unit is AuditUnit.MULTIPLIER
+                else self.machine.divider_wait_tap_for(core)
+            )
+            chosen_dt = dt or default_delta_t(unit.value)
+            self.auditor.program(slot_index, f"{unit.value}{core}", chosen_dt)
         else:  # pragma: no cover - exhaustive enum
             raise DetectionError(f"unknown audit unit {unit!r}")
-
-    # ------------------------------------------------------------ per quantum
-
-    def _tap_for(self, monitor: _BurstMonitor):
-        if monitor.unit is AuditUnit.MEMORY_BUS:
-            return self.machine.bus_lock_tap
-        if monitor.unit is AuditUnit.MULTIPLIER:
-            return self.machine.multiplier_wait_tap_for(monitor.core)
-        return self.machine.divider_wait_tap_for(monitor.core)
-
-    def _on_quantum_end(self, quantum: int, t0: int, t1: int) -> None:
-        for monitor in self._burst_monitors:
-            counts = self._tap_for(monitor).density_counts(monitor.dt, t0, t1)
-            slot = self.auditor.slot(monitor.slot_index)
-            slot.ingest_window_counts(counts)
-            hist = slot.read_and_reset()
-            monitor.histograms.append(hist)
-            monitor.analyses.append(
-                analyze_histogram(hist, lr_threshold=self.lr_threshold)
+        self.source.add_burst_channel(name, tap, chosen_dt)
+        # The programmed slot *is* the analyzer's accumulator: counts pass
+        # through the hardware's saturating histogram buffer.
+        self.session.add_analyzer(
+            BurstAnalyzer(
+                unit=name,
+                dt=chosen_dt,
+                accumulator=self.auditor.slot(slot_index),
+                lr_threshold=self.lr_threshold,
+                n_bins=self.auditor.config.histogram_bins,
             )
-        if self._cache_monitor is not None:
-            self._analyze_cache_windows(quantum, t0, t1)
+        )
+        self._audits.append((unit, core, name))
 
-    def _analyze_cache_windows(self, quantum: int, t0: int, t1: int) -> None:
-        monitor = self._cache_monitor
-        width = max(1, int(round((t1 - t0) * self.window_fraction)))
-        start = t0
-        while start < t1:
-            end = min(start + width, t1)
-            _times, reps, vics = self.machine.cache_miss_tap.records_in(
-                start, end
-            )
-            # Route the records through the auditor's vector registers (the
-            # hardware path software actually reads).
-            self.auditor.vectors.record_batch(reps, vics)
-            drained_reps, drained_vics = self.auditor.vectors.drain()
-            monitor.windows_analyzed += 1
-            # Covert cache communication is a ping-pong between ONE pair of
-            # contexts; the analysis takes the dominant cross-context
-            # pair's events (both replacement directions, labeled 0/1, the
-            # paper's 'S→T'/'T→S') and autocorrelates that series. Other
-            # contexts' conflicts and same-context evictions carry no
-            # covert-pair information.
-            labels, _idx, _pair = dominant_pair_series(
-                drained_reps,
-                drained_vics,
-                self.auditor.config.context_id_bits,
-            )
-            both_directions = (
-                labels.size >= self.min_train_events
-                and 4 <= int(labels.sum()) <= labels.size - 4
-            )
-            if both_directions:
-                acf = autocorrelogram(labels, self.max_lag)
-                monitor.last_acf = acf
-                monitor.analyses.append(
-                    analyze_autocorrelogram(
-                        acf, min_peak_height=self.min_peak_height
-                    )
-                )
-                monitor.analysis_quanta.append(quantum)
-            start = end
+    # ------------------------------------------------------------ streaming
+
+    def push_quantum(self, obs: QuantumObservation) -> None:
+        """Feed an observation directly (for non-machine sources)."""
+        self.session.push_quantum(obs)
+
+    def current_verdicts(
+        self, min_oscillating_windows: Optional[int] = None
+    ) -> DetectionReport:
+        """Verdicts as of the quanta observed so far."""
+        return self.session.current_verdicts(min_oscillating_windows)
 
     # --------------------------------------------------------------- verdicts
 
     def report(self, min_oscillating_windows: int = 1) -> DetectionReport:
         """Run the cross-window analyses and return the final verdicts."""
-        verdicts = []
-        for monitor in self._burst_monitors:
-            verdicts.append(self._burst_verdict(monitor))
-        if self._cache_monitor is not None:
-            verdicts.append(
-                self._cache_verdict(self._cache_monitor, min_oscillating_windows)
-            )
-        return DetectionReport(verdicts=tuple(verdicts))
-
-    def _burst_verdict(self, monitor: _BurstMonitor) -> UnitVerdict:
-        if not monitor.histograms:
-            return UnitVerdict(
-                unit=monitor.name,
-                method="burst",
-                detected=False,
-                quanta_analyzed=0,
-                notes=("no quanta observed",),
-            )
-        recurrence = analyze_recurrence(
-            monitor.histograms, lr_threshold=self.lr_threshold
-        )
-        best_lr = max(
-            (a.likelihood_ratio for a in recurrence.burst_analyses),
-            default=0.0,
-        )
-        detected = bool(recurrence.recurrent and recurrence.burst_clusters)
-        return UnitVerdict(
-            unit=monitor.name,
-            method="burst",
-            detected=detected,
-            quanta_analyzed=len(monitor.histograms),
-            max_likelihood_ratio=best_lr,
-            recurrent=recurrence.recurrent,
-            burst_window_fraction=recurrence.burst_window_fraction,
-        )
-
-    def _cache_verdict(
-        self, monitor: _CacheMonitor, min_oscillating_windows: int
-    ) -> UnitVerdict:
-        significant = [a for a in monitor.analyses if a.significant]
-        max_peak = max((a.max_peak for a in monitor.analyses), default=0.0)
-        periods = [a.dominant_period for a in significant if a.dominant_period]
-        detected = len(significant) >= min_oscillating_windows
-        return UnitVerdict(
-            unit=monitor.name,
-            method="oscillation",
-            detected=detected,
-            quanta_analyzed=monitor.windows_analyzed,
-            oscillating_windows=len(significant),
-            max_peak=max_peak,
-            dominant_period=float(np.median(periods)) if periods else None,
-        )
+        return self.session.current_verdicts(min_oscillating_windows)
 
     # ------------------------------------------------------------- latency
+
+    def _channel_name(self, unit: AuditUnit, core: Optional[int]) -> str:
+        for audited_unit, audited_core, name in self._audits:
+            if audited_unit is unit and (core is None or audited_core == core):
+                return name
+        raise DetectionError(f"{unit.value} is not being audited")
 
     def first_detection_quantum(
         self, unit: AuditUnit, core: Optional[int] = None
@@ -276,44 +186,25 @@ class CCHunter:
 
         For oscillation monitoring this is the first significant window's
         quantum; for burst monitoring, the earliest prefix of per-quantum
-        histograms whose recurrence analysis detects (recomputed
-        incrementally — the analysis is milliseconds per call). Returns
-        None if the session never detects. Useful as a time-to-detection
-        metric: how long a channel runs before CC-Hunter calls it.
+        histograms whose recurrence analysis detects. Returns None if the
+        session never detects. Useful as a time-to-detection metric: how
+        long a channel runs before CC-Hunter calls it.
         """
-        if unit is AuditUnit.CACHE:
-            if self._cache_monitor is None:
-                raise DetectionError("cache is not being audited")
-            monitor = self._cache_monitor
-            for analysis, quantum in zip(
-                monitor.analyses, monitor.analysis_quanta
-            ):
-                if analysis.significant:
-                    return quantum
-            return None
-        for monitor in self._burst_monitors:
-            if monitor.unit is unit and (core is None or monitor.core == core):
-                for upto in range(1, len(monitor.histograms) + 1):
-                    recurrence = analyze_recurrence(
-                        monitor.histograms[:upto],
-                        lr_threshold=self.lr_threshold,
-                    )
-                    if recurrence.recurrent and recurrence.burst_clusters:
-                        return upto - 1
-                return None
-        raise DetectionError(f"{unit.value} is not being audited")
+        return self.session.first_detection_quantum(
+            self._channel_name(unit, core)
+        )
 
     # ------------------------------------------------------------- inspection
 
     def burst_histograms(self, unit: AuditUnit, core: Optional[int] = None):
         """Per-quantum histograms recorded for a burst-audited unit."""
-        for monitor in self._burst_monitors:
-            if monitor.unit is unit and (core is None or monitor.core == core):
-                return list(monitor.histograms)
-        raise DetectionError(f"{unit.value} is not being audited")
+        analyzer = self.session.analyzer_for(self._channel_name(unit, core))
+        if not isinstance(analyzer, BurstAnalyzer):
+            raise DetectionError(f"{unit.value} is not burst-audited")
+        return list(analyzer.histograms)
 
     def cache_analyses(self) -> List[OscillationAnalysis]:
         """Per-window oscillation analyses for the cache monitor."""
-        if self._cache_monitor is None:
-            raise DetectionError("cache is not being audited")
-        return list(self._cache_monitor.analyses)
+        analyzer = self.session.analyzer_for(AuditUnit.CACHE.value)
+        assert isinstance(analyzer, OscillationAnalyzer)
+        return list(analyzer.analyses)

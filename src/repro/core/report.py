@@ -9,7 +9,7 @@ cases, plus a plain-text rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,38 @@ class UnitVerdict:
     #: Oscillation method: estimated oscillation wavelength (events).
     dominant_period: Optional[float] = None
     notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (plain Python scalars only)."""
+        return {
+            "unit": self.unit,
+            "method": self.method,
+            "detected": bool(self.detected),
+            "quanta_analyzed": int(self.quanta_analyzed),
+            "max_likelihood_ratio": (
+                None
+                if self.max_likelihood_ratio is None
+                else float(self.max_likelihood_ratio)
+            ),
+            "recurrent": None if self.recurrent is None else bool(self.recurrent),
+            "burst_window_fraction": (
+                None
+                if self.burst_window_fraction is None
+                else float(self.burst_window_fraction)
+            ),
+            "oscillating_windows": (
+                None
+                if self.oscillating_windows is None
+                else int(self.oscillating_windows)
+            ),
+            "max_peak": None if self.max_peak is None else float(self.max_peak),
+            "dominant_period": (
+                None
+                if self.dominant_period is None
+                else float(self.dominant_period)
+            ),
+            "notes": list(self.notes),
+        }
 
     def summary(self) -> str:
         flag = "COVERT TIMING CHANNEL LIKELY" if self.detected else "clear"
@@ -81,6 +113,13 @@ class DetectionReport:
             if v.unit == unit:
                 return v
         raise KeyError(f"no verdict for unit {unit!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of every verdict."""
+        return {
+            "any_detected": bool(self.any_detected),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
 
     def render(self) -> str:
         """Human-readable multi-line report."""

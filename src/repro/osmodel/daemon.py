@@ -57,7 +57,13 @@ class CCHunterDaemon:
         self.use_dimension_reduction = use_dimension_reduction
         self.clustering_period = clustering_period_quanta
         self.stats = DaemonStats()
-        machine.on_quantum_end(self._account_quantum)
+        # The daemon is one more consumer of the hunter's event source —
+        # the same per-quantum observations the detection session folds.
+        hunter.source.subscribe(self)
+
+    def push_quantum(self, obs) -> None:
+        """Observation-consumer hook: account one quantum's analysis cost."""
+        self._account_quantum(obs.quantum, obs.t0, obs.t1)
 
     def place_monitor(self, audited_cores: Set[int]) -> int:
         """Pick an un-audited core for the daemon's analysis threads."""

@@ -1,0 +1,283 @@
+"""Per-unit analyzer stages: incremental detection state per channel.
+
+Each analyzer consumes :class:`~repro.pipeline.source.QuantumObservation`
+pushes for one named unit and keeps only bounded incremental state:
+
+- :class:`BurstAnalyzer` folds per-Δt counts through a saturating
+  histogram accumulator (the modeled :class:`MonitorSlot` when driven by
+  CC-auditor hardware, a :class:`StreamingDensityHistogram` otherwise)
+  and keeps the last ``CLUSTERING_WINDOW_QUANTA`` per-quantum histograms
+  — exactly the horizon recurrence clustering looks at.
+- :class:`OscillationAnalyzer` folds each observation window's dominant
+  pair train into per-pair running sums and a
+  :class:`RunningAutocorrelogram`, so closing a window costs O(max_lag)
+  instead of re-autocorrelating the window's whole event train.
+
+``verdict()`` may be called after any quantum; analyzers never replay
+history to answer it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.config import CLUSTERING_WINDOW_QUANTA, LIKELIHOOD_RATIO_THRESHOLD
+from repro.core.autocorr import RunningAutocorrelogram
+from repro.core.burst import BurstAnalysis, analyze_histogram
+from repro.core.clustering import analyze_recurrence
+from repro.core.density import StreamingDensityHistogram
+from repro.core.oscillation import (
+    DEFAULT_MIN_PEAK_HEIGHT,
+    OscillationAnalysis,
+    analyze_autocorrelogram,
+)
+from repro.core.report import UnitVerdict
+from repro.errors import DetectionError
+from repro.pipeline.source import QuantumObservation
+
+
+class Analyzer(Protocol):
+    """One detection stage bound to one named unit."""
+
+    unit: str
+    method: str
+
+    def push(self, obs: QuantumObservation) -> None: ...
+
+    def verdict(
+        self, min_oscillating_windows: Optional[int] = None
+    ) -> UnitVerdict: ...
+
+    def first_detection_quantum(self) -> Optional[int]: ...
+
+
+class BurstAnalyzer:
+    """Recurrent-burst detection for one combinational unit (IV-B).
+
+    ``accumulator`` is anything with the ``ingest_window_counts`` /
+    ``read_and_reset`` pair — a programmed auditor
+    :class:`~repro.hardware.auditor.MonitorSlot` for hardware-faithful
+    live sessions, or a :class:`StreamingDensityHistogram` for replay and
+    raw feeds. Per-quantum work is O(n_windows + bins); history is the
+    bounded histogram deque recurrence clustering consumes.
+    """
+
+    method = "burst"
+
+    def __init__(
+        self,
+        unit: str,
+        dt: int,
+        accumulator=None,
+        lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,
+        n_bins: int = 128,
+        max_windows: int = CLUSTERING_WINDOW_QUANTA,
+    ):
+        self.unit = unit
+        self.dt = int(dt)
+        self.lr_threshold = lr_threshold
+        self._acc = (
+            accumulator
+            if accumulator is not None
+            else StreamingDensityHistogram(dt=dt, n_bins=n_bins)
+        )
+        self.histograms: Deque[np.ndarray] = deque(maxlen=max_windows)
+        self.analyses: Deque[BurstAnalysis] = deque(maxlen=max_windows)
+        self.quanta_seen = 0
+
+    def push(self, obs: QuantumObservation) -> None:
+        counts = obs.counts.get(self.unit)
+        if counts is None:
+            raise DetectionError(
+                f"observation for quantum {obs.quantum} carries no counts "
+                f"for channel {self.unit!r}"
+            )
+        self._acc.ingest_window_counts(counts)
+        hist = self._acc.read_and_reset()
+        self.histograms.append(hist)
+        self.analyses.append(
+            analyze_histogram(hist, lr_threshold=self.lr_threshold)
+        )
+        self.quanta_seen += 1
+
+    def verdict(
+        self, min_oscillating_windows: Optional[int] = None
+    ) -> UnitVerdict:
+        if not self.histograms:
+            return UnitVerdict(
+                unit=self.unit,
+                method="burst",
+                detected=False,
+                quanta_analyzed=0,
+                notes=("no quanta observed",),
+            )
+        recurrence = analyze_recurrence(
+            list(self.histograms), lr_threshold=self.lr_threshold
+        )
+        best_lr = max(
+            (a.likelihood_ratio for a in recurrence.burst_analyses),
+            default=0.0,
+        )
+        return UnitVerdict(
+            unit=self.unit,
+            method="burst",
+            detected=bool(recurrence.recurrent and recurrence.burst_clusters),
+            quanta_analyzed=self.quanta_seen,
+            max_likelihood_ratio=best_lr,
+            recurrent=recurrence.recurrent,
+            burst_window_fraction=recurrence.burst_window_fraction,
+        )
+
+    def first_detection_quantum(self) -> Optional[int]:
+        """Earliest retained quantum whose histogram prefix detects."""
+        hists: List[np.ndarray] = list(self.histograms)
+        offset = self.quanta_seen - len(hists)
+        for upto in range(1, len(hists) + 1):
+            recurrence = analyze_recurrence(
+                hists[:upto], lr_threshold=self.lr_threshold
+            )
+            if recurrence.recurrent and recurrence.burst_clusters:
+                return offset + upto - 1
+        return None
+
+
+class _PairState:
+    """Running state for one cross-context (replacer, victim) pair."""
+
+    __slots__ = ("count", "ones", "acf")
+
+    def __init__(self, max_lag: int):
+        self.count = 0
+        self.ones = 0
+        self.acf = RunningAutocorrelogram(max_lag)
+
+
+class OscillationAnalyzer:
+    """Oscillatory-pattern detection for the shared cache (IV-D).
+
+    Observation windows tile each quantum at ``window_fraction`` of its
+    width. Within an open window every cross-context pair keeps a
+    running identifier-train autocorrelogram, so closing the window reads
+    the dominant pair's correlogram in O(max_lag) — no event replay.
+    """
+
+    method = "oscillation"
+
+    def __init__(
+        self,
+        unit: str = "cache",
+        window_fraction: float = 1.0,
+        max_lag: int = 1000,
+        min_train_events: int = 64,
+        min_peak_height: float = DEFAULT_MIN_PEAK_HEIGHT,
+        min_oscillating_windows: int = 1,
+        context_id_bits: int = 3,
+    ):
+        if not 0 < window_fraction <= 1.0:
+            raise DetectionError(
+                f"window fraction must be in (0, 1], got {window_fraction}"
+            )
+        self.unit = unit
+        self.window_fraction = window_fraction
+        self.max_lag = max_lag
+        self.min_train_events = min_train_events
+        self.min_peak_height = min_peak_height
+        self.min_oscillating_windows = min_oscillating_windows
+        self.context_id_bits = context_id_bits
+        self.analyses: List[OscillationAnalysis] = []
+        #: Quantum index each analysis came from (parallel to ``analyses``).
+        self.analysis_quanta: List[int] = []
+        self.windows_analyzed = 0
+        self.last_acf: Optional[np.ndarray] = None
+        self._pairs: Dict[int, _PairState] = {}
+
+    def push(self, obs: QuantumObservation) -> None:
+        recs = obs.conflicts
+        width = max(1, int(round((obs.t1 - obs.t0) * self.window_fraction)))
+        start = obs.t0
+        while start < obs.t1:
+            end = min(start + width, obs.t1)
+            if recs is not None and recs.times.size:
+                lo = np.searchsorted(recs.times, start, side="left")
+                hi = np.searchsorted(recs.times, end, side="left")
+                self._ingest(recs.replacers[lo:hi], recs.victims[lo:hi])
+            self._close_window(obs.quantum)
+            start = end
+
+    def _ingest(self, replacers: np.ndarray, victims: np.ndarray) -> None:
+        reps = np.asarray(replacers, dtype=np.int64)
+        vics = np.asarray(victims, dtype=np.int64)
+        cross = reps != vics
+        if not cross.any():
+            return
+        reps = reps[cross]
+        vics = vics[cross]
+        lo = np.minimum(reps, vics)
+        hi = np.maximum(reps, vics)
+        packed = (lo << self.context_id_bits) | hi
+        for key in np.unique(packed):
+            sel = packed == key
+            # Identifier 1 ⟺ the lower context id of the pair replaced
+            # (the paper's S→T direction) — same labeling as
+            # dominant_pair_series.
+            labels = (reps[sel] == (int(key) >> self.context_id_bits)).astype(
+                np.int64
+            )
+            state = self._pairs.get(int(key))
+            if state is None:
+                state = self._pairs[int(key)] = _PairState(self.max_lag)
+            state.count += labels.size
+            state.ones += int(labels.sum())
+            state.acf.extend(labels)
+
+    def _close_window(self, quantum: int) -> None:
+        self.windows_analyzed += 1
+        pairs, self._pairs = self._pairs, {}
+        if not pairs:
+            return
+        # Covert cache communication is a ping-pong between ONE pair of
+        # contexts; analyze the dominant pair's labeled train (ties break
+        # toward the smallest packed pair id, matching the batch path).
+        key = min(pairs, key=lambda k: (-pairs[k].count, k))
+        state = pairs[key]
+        both_directions = (
+            state.count >= self.min_train_events
+            and 4 <= state.ones <= state.count - 4
+        )
+        if not both_directions:
+            return
+        acf = state.acf.correlogram()
+        self.last_acf = acf
+        self.analyses.append(
+            analyze_autocorrelogram(acf, min_peak_height=self.min_peak_height)
+        )
+        self.analysis_quanta.append(quantum)
+
+    def verdict(
+        self, min_oscillating_windows: Optional[int] = None
+    ) -> UnitVerdict:
+        needed = (
+            min_oscillating_windows
+            if min_oscillating_windows is not None
+            else self.min_oscillating_windows
+        )
+        significant = [a for a in self.analyses if a.significant]
+        periods = [a.dominant_period for a in significant if a.dominant_period]
+        return UnitVerdict(
+            unit=self.unit,
+            method="oscillation",
+            detected=len(significant) >= needed,
+            quanta_analyzed=self.windows_analyzed,
+            oscillating_windows=len(significant),
+            max_peak=max((a.max_peak for a in self.analyses), default=0.0),
+            dominant_period=float(np.median(periods)) if periods else None,
+        )
+
+    def first_detection_quantum(self) -> Optional[int]:
+        for analysis, quantum in zip(self.analyses, self.analysis_quanta):
+            if analysis.significant:
+                return quantum
+        return None

@@ -1,0 +1,171 @@
+"""Detection sessions: fan observations out, render verdicts any time.
+
+A :class:`DetectionSession` owns one analyzer per audited unit and is
+itself an :class:`~repro.pipeline.source.ObservationConsumer`, so it can
+subscribe to any EventSource. Verdicts are available after every quantum
+via :meth:`current_verdicts`; when sinks are attached (or first-detection
+tracking is on) the session evaluates them eagerly each quantum and
+notifies the sinks.
+
+:func:`build_session` wires a session straight from an EventSource's
+channel specs with the CC-auditor's histogram geometry — the path trace
+replay and raw feeds use; :class:`~repro.core.detector.CCHunter` builds
+its analyzers around programmed auditor slots instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.config import LIKELIHOOD_RATIO_THRESHOLD, AuditorConfig
+from repro.core.density import StreamingDensityHistogram
+from repro.core.oscillation import DEFAULT_MIN_PEAK_HEIGHT
+from repro.core.report import DetectionReport
+from repro.errors import DetectionError
+from repro.pipeline.analyzers import Analyzer, BurstAnalyzer, OscillationAnalyzer
+from repro.pipeline.sinks import VerdictSink
+from repro.pipeline.source import ChannelKind, EventSource, QuantumObservation
+
+
+class DetectionSession:
+    """An online CC-Hunter detection pipeline, decoupled from any source."""
+
+    def __init__(
+        self,
+        sinks: Iterable[VerdictSink] = (),
+        track_detection_latency: bool = False,
+    ):
+        self._analyzers: Dict[str, Analyzer] = {}
+        self.sinks = list(sinks)
+        self.track_detection_latency = track_detection_latency
+        self.quanta_pushed = 0
+        self._first_detection: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def analyzers(self) -> Tuple[Analyzer, ...]:
+        return tuple(self._analyzers.values())
+
+    @property
+    def units(self) -> Tuple[str, ...]:
+        return tuple(self._analyzers)
+
+    def add_analyzer(self, analyzer: Analyzer) -> Analyzer:
+        if analyzer.unit in self._analyzers:
+            raise DetectionError(
+                f"unit {analyzer.unit!r} already has an analyzer"
+            )
+        self._analyzers[analyzer.unit] = analyzer
+        return analyzer
+
+    def analyzer_for(self, unit: str) -> Analyzer:
+        try:
+            return self._analyzers[unit]
+        except KeyError:
+            raise DetectionError(f"{unit} is not being audited") from None
+
+    # ------------------------------------------------------------- streaming
+
+    @property
+    def _eager(self) -> bool:
+        return bool(self.sinks) or self.track_detection_latency
+
+    def push_quantum(self, obs: QuantumObservation) -> None:
+        """Fold one quantum's observation into every analyzer."""
+        for analyzer in self._analyzers.values():
+            analyzer.push(obs)
+        self.quanta_pushed += 1
+        if not self._eager:
+            return
+        report = self.current_verdicts()
+        for verdict in report.verdicts:
+            if verdict.detected and verdict.unit not in self._first_detection:
+                self._first_detection[verdict.unit] = obs.quantum
+        for sink in self.sinks:
+            sink.on_quantum(obs.quantum, report)
+
+    def current_verdicts(
+        self, min_oscillating_windows: Optional[int] = None
+    ) -> DetectionReport:
+        """Verdicts as of the quanta pushed so far."""
+        return DetectionReport(
+            verdicts=tuple(
+                analyzer.verdict(min_oscillating_windows=min_oscillating_windows)
+                for analyzer in self._analyzers.values()
+            )
+        )
+
+    def close(
+        self, min_oscillating_windows: Optional[int] = None
+    ) -> DetectionReport:
+        """Final verdicts; notifies every sink's ``on_close``."""
+        report = self.current_verdicts(min_oscillating_windows)
+        for sink in self.sinks:
+            sink.on_close(report)
+        return report
+
+    def first_detection_quantum(self, unit: str) -> Optional[int]:
+        """First quantum at which ``unit``'s verdict fired, or None.
+
+        Exact when the session evaluates eagerly (sinks attached or
+        ``track_detection_latency``); otherwise reconstructed from the
+        analyzer's retained incremental state.
+        """
+        if unit in self._first_detection:
+            return self._first_detection[unit]
+        analyzer = self.analyzer_for(unit)
+        if self._eager and self.quanta_pushed:
+            return None
+        return analyzer.first_detection_quantum()
+
+
+def build_session(
+    source: EventSource,
+    lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,
+    window_fraction: float = 1.0,
+    max_lag: int = 1000,
+    min_train_events: int = 64,
+    min_peak_height: float = DEFAULT_MIN_PEAK_HEIGHT,
+    auditor_config: Optional[AuditorConfig] = None,
+    sinks: Iterable[VerdictSink] = (),
+    track_detection_latency: bool = False,
+) -> DetectionSession:
+    """A session with one analyzer per channel the source offers.
+
+    Burst channels get streaming density accumulators with the auditor's
+    saturation limits (same numerics as the hardware monitor slots);
+    the conflict channel gets an incremental oscillation analyzer.
+    """
+    cfg = auditor_config or AuditorConfig()
+    session = DetectionSession(
+        sinks=sinks, track_detection_latency=track_detection_latency
+    )
+    for spec in source.channels():
+        if spec.kind is ChannelKind.BURST:
+            session.add_analyzer(
+                BurstAnalyzer(
+                    unit=spec.name,
+                    dt=spec.dt,
+                    accumulator=StreamingDensityHistogram(
+                        dt=spec.dt,
+                        n_bins=cfg.histogram_bins,
+                        count_clamp=cfg.accumulator_max,
+                        entry_max=cfg.histogram_entry_max,
+                    ),
+                    lr_threshold=lr_threshold,
+                    n_bins=cfg.histogram_bins,
+                )
+            )
+        else:
+            session.add_analyzer(
+                OscillationAnalyzer(
+                    unit=spec.name,
+                    window_fraction=window_fraction,
+                    max_lag=max_lag,
+                    min_train_events=min_train_events,
+                    min_peak_height=min_peak_height,
+                    context_id_bits=cfg.context_id_bits,
+                )
+            )
+    return session

@@ -1,0 +1,105 @@
+"""Verdict sinks: downstream consumers of per-quantum verdict updates.
+
+Sinks receive the full :class:`~repro.core.report.DetectionReport` after
+every quantum (``on_quantum``) and once when the session closes
+(``on_close``). They are the pipeline's integration points: collect for
+tests and notebooks, print text or JSON lines for operators and log
+shippers, or call back into arbitrary code.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, List, Optional, Protocol, TextIO, Tuple
+
+from repro.core.report import DetectionReport, UnitVerdict
+
+
+class VerdictSink(Protocol):
+    """A consumer of per-quantum verdict updates."""
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None: ...
+
+    def on_close(self, report: DetectionReport) -> None: ...
+
+
+class CollectingSink:
+    """Keeps every per-quantum report in memory (tests, notebooks)."""
+
+    def __init__(self):
+        self.reports: List[Tuple[int, DetectionReport]] = []
+        self.final: Optional[DetectionReport] = None
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None:
+        self.reports.append((quantum, report))
+
+    def on_close(self, report: DetectionReport) -> None:
+        self.final = report
+
+    def first_detection(self, unit: str) -> Optional[int]:
+        """First collected quantum at which ``unit`` was detected."""
+        for quantum, report in self.reports:
+            verdict = report.verdict_for(unit)
+            if verdict.detected:
+                return quantum
+        return None
+
+
+def _verdict_line(verdict: UnitVerdict) -> str:
+    flag = "LIKELY" if verdict.detected else "clear"
+    if verdict.method == "burst":
+        lr = (
+            f"{verdict.max_likelihood_ratio:.3f}"
+            if verdict.max_likelihood_ratio is not None
+            else "n/a"
+        )
+        return f"{verdict.unit}: {flag} lr={lr}"
+    peak = f"{verdict.max_peak:.3f}" if verdict.max_peak is not None else "n/a"
+    return (
+        f"{verdict.unit}: {flag} oscillating={verdict.oscillating_windows}"
+        f" peak={peak}"
+    )
+
+
+class StreamPrinterSink:
+    """Writes one line per quantum — human-readable or JSON lines."""
+
+    def __init__(self, stream: Optional[TextIO] = None, jsonl: bool = False):
+        self.stream = stream if stream is not None else sys.stdout
+        self.jsonl = jsonl
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None:
+        if self.jsonl:
+            line = json.dumps(
+                {"quantum": quantum, "report": report.to_dict()},
+                sort_keys=True,
+            )
+        else:
+            line = f"[quantum {quantum:4d}] " + " | ".join(
+                _verdict_line(v) for v in report.verdicts
+            )
+        print(line, file=self.stream, flush=True)
+
+    def on_close(self, report: DetectionReport) -> None:
+        pass
+
+
+class CallbackSink:
+    """Adapts plain callables to the sink protocol."""
+
+    def __init__(
+        self,
+        on_quantum: Optional[Callable[[int, DetectionReport], None]] = None,
+        on_close: Optional[Callable[[DetectionReport], None]] = None,
+    ):
+        self._on_quantum = on_quantum
+        self._on_close = on_close
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None:
+        if self._on_quantum is not None:
+            self._on_quantum(quantum, report)
+
+    def on_close(self, report: DetectionReport) -> None:
+        if self._on_close is not None:
+            self._on_close(report)

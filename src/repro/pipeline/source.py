@@ -1,0 +1,161 @@
+"""Event sources: where per-quantum observations come from.
+
+An :class:`EventSource` describes the channels it can observe (burst
+channels carry per-Δt event counts; a conflict channel carries labeled
+cache conflict-miss records) and pushes one :class:`QuantumObservation`
+per OS quantum to every subscribed consumer. Any number of
+:class:`~repro.pipeline.session.DetectionSession` instances — e.g. one
+per audited core pair — can subscribe to the same source.
+
+:class:`MachineEventSource` adapts the simulator: it registers a single
+quantum hook on the :class:`~repro.sim.machine.Machine` and reads the
+taps at each boundary. ``repro.traces.ArchiveEventSource`` is the second
+implementation, replaying recorded archives through the same interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.errors import DetectionError
+
+
+class ChannelKind(enum.Enum):
+    """What kind of observation stream a channel carries."""
+
+    #: Per-Δt-window event counts (memory bus locks, divider/multiplier
+    #: wait events) feeding burst-pattern analysis.
+    BURST = "burst"
+    #: Labeled (replacer, victim) conflict-miss records feeding
+    #: oscillatory-pattern analysis.
+    CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One named observation channel an EventSource produces.
+
+    ``name`` is the unit name verdicts are reported under (e.g.
+    ``"membus"``, ``"divider(core 0)"``, ``"cache"``); ``dt`` is the
+    Δt window width for burst channels (None for conflict channels).
+    """
+
+    name: str
+    kind: ChannelKind
+    dt: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ConflictRecords:
+    """Conflict-miss records observed during one quantum, in time order."""
+
+    times: np.ndarray
+    replacers: np.ndarray
+    victims: np.ndarray
+
+
+@dataclass(frozen=True)
+class QuantumObservation:
+    """Everything an EventSource saw during one OS quantum.
+
+    ``counts`` maps each burst channel name to its per-Δt-window event
+    counts over ``[t0, t1)``; ``conflicts`` carries the quantum's
+    conflict-miss records when a conflict channel is enabled.
+    """
+
+    quantum: int
+    t0: int
+    t1: int
+    counts: Dict[str, np.ndarray] = field(default_factory=dict)
+    conflicts: Optional[ConflictRecords] = None
+
+
+class ObservationConsumer(Protocol):
+    """Anything that accepts per-quantum observations."""
+
+    def push_quantum(self, obs: QuantumObservation) -> None: ...
+
+
+class EventSource(Protocol):
+    """A stream of per-quantum observations over named channels."""
+
+    @property
+    def quantum_cycles(self) -> int: ...
+
+    def channels(self) -> Tuple[ChannelSpec, ...]: ...
+
+    def subscribe(self, consumer: ObservationConsumer) -> None: ...
+
+
+class MachineEventSource:
+    """Live EventSource reading a simulated machine's taps each quantum.
+
+    One hook on the machine serves every subscriber; channels are
+    registered before (or between) runs with :meth:`add_burst_channel` /
+    :meth:`enable_conflict_channel`. When an ``auditor`` is attached,
+    conflict records are routed through its alternating vector registers
+    — the hardware path software actually reads — before being handed to
+    consumers.
+    """
+
+    def __init__(self, machine, auditor=None):
+        self.machine = machine
+        self.auditor = auditor
+        self._burst_taps: Dict[str, Tuple[ChannelSpec, object]] = {}
+        self._conflict_spec: Optional[ChannelSpec] = None
+        self._consumers: List[ObservationConsumer] = []
+        machine.on_quantum_end(self._emit)
+
+    @property
+    def quantum_cycles(self) -> int:
+        return self.machine.quantum_cycles
+
+    def channels(self) -> Tuple[ChannelSpec, ...]:
+        specs = [spec for spec, _tap in self._burst_taps.values()]
+        if self._conflict_spec is not None:
+            specs.append(self._conflict_spec)
+        return tuple(specs)
+
+    def subscribe(self, consumer: ObservationConsumer) -> None:
+        self._consumers.append(consumer)
+
+    def add_burst_channel(self, name: str, tap, dt: int) -> ChannelSpec:
+        """Register a density tap (anything with ``density_counts``)."""
+        if name in self._burst_taps:
+            raise DetectionError(f"channel {name!r} is already registered")
+        if dt <= 0:
+            raise DetectionError(f"Δt must be positive, got {dt}")
+        spec = ChannelSpec(name=name, kind=ChannelKind.BURST, dt=int(dt))
+        self._burst_taps[name] = (spec, tap)
+        return spec
+
+    def enable_conflict_channel(self, name: str = "cache") -> ChannelSpec:
+        """Start emitting cache conflict-miss records each quantum."""
+        if self._conflict_spec is not None:
+            raise DetectionError("conflict channel is already enabled")
+        self._conflict_spec = ChannelSpec(name=name, kind=ChannelKind.CONFLICT)
+        return self._conflict_spec
+
+    def _emit(self, quantum: int, t0: int, t1: int) -> None:
+        if not self._consumers:
+            return
+        counts = {
+            name: tap.density_counts(spec.dt, t0, t1)
+            for name, (spec, tap) in self._burst_taps.items()
+        }
+        conflicts = None
+        if self._conflict_spec is not None:
+            times, reps, vics = self.machine.cache_miss_tap.records_in(t0, t1)
+            if self.auditor is not None:
+                self.auditor.vectors.record_batch(reps, vics)
+                reps, vics = self.auditor.vectors.drain()
+            conflicts = ConflictRecords(times=times, replacers=reps, victims=vics)
+        obs = QuantumObservation(
+            quantum=quantum, t0=t0, t1=t1, counts=counts, conflicts=conflicts
+        )
+        for consumer in self._consumers:
+            consumer.push_quantum(obs)

@@ -4,28 +4,32 @@ In a real deployment the CC-Hunter daemon records the auditor's buffers
 online and the (cheap) analyses run in the background; for forensics and
 tuning, operators also want to *persist* a session's indicator events and
 re-run detection offline with different parameters. This module
-round-trips a machine's taps through a single ``.npz`` archive and runs
-the detectors on the stored trains — no simulator required on the
-analysis side.
+round-trips a machine's taps through a single ``.npz`` archive and
+replays the stored trains through the same streaming pipeline the live
+detector uses (:class:`ArchiveEventSource`) — no simulator required on
+the analysis side, and no second analysis code path to drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.autocorr import autocorrelogram
-from repro.core.clustering import analyze_recurrence
 from repro.core.density import default_delta_t
-from repro.core.event_train import dominant_pair_series
-from repro.core.oscillation import OscillationAnalysis, analyze_autocorrelogram
-from repro.core.report import DetectionReport, UnitVerdict
+from repro.core.report import DetectionReport
 from repro.errors import DetectionError
+from repro.pipeline.session import build_session
+from repro.pipeline.source import (
+    ChannelKind,
+    ChannelSpec,
+    ConflictRecords,
+    ObservationConsumer,
+    QuantumObservation,
+)
 from repro.sim.machine import Machine
-from repro.util.stats import sample_counts_to_histogram
 
 _FORMAT_VERSION = 1
 
@@ -138,115 +142,125 @@ def load_traces(path: Union[str, Path]) -> TraceArchive:
         )
 
 
-# ---------------------------------------------------------------- analysis
+# ----------------------------------------------------------------- replay
 
 
-def _burst_verdict_from_times(
-    unit_name: str,
-    times: np.ndarray,
-    archive: TraceArchive,
-    dt: int,
-) -> UnitVerdict:
-    histograms: List[np.ndarray] = []
-    for q in range(archive.n_quanta):
-        t0 = q * archive.quantum_cycles
-        t1 = t0 + archive.quantum_cycles
-        window = times[(times >= t0) & (times < t1)]
-        counts = np.bincount(
-            (window - t0) // dt,
-            minlength=-(-archive.quantum_cycles // dt),
+def _rebin_counts(counts: np.ndarray, base_dt: int, dt: int) -> np.ndarray:
+    """Sum adjacent per-Δt windows to a coarser Δt (integer multiple)."""
+    if dt % base_dt != 0:
+        raise DetectionError(
+            f"offline Δt {dt} must be a multiple of the recorded "
+            f"base Δt {base_dt}"
         )
-        histograms.append(sample_counts_to_histogram(counts, 128))
-    return _burst_verdict_from_histograms(unit_name, histograms, archive)
+    factor = dt // base_dt
+    if factor == 1:
+        return counts
+    trim = (counts.size // factor) * factor
+    return counts[:trim].reshape(-1, factor).sum(axis=1)
 
 
-def _burst_verdict_from_counts(
-    unit_name: str,
-    counts: np.ndarray,
-    archive: TraceArchive,
-    base_dt: int,
-    dt: Optional[int],
-) -> UnitVerdict:
-    """Burst verdict from stored per-Δt counts (optionally rebinned).
+class ArchiveEventSource:
+    """EventSource replaying a :class:`TraceArchive` quantum by quantum.
 
-    A custom ``dt`` must be an integer multiple of the recorded base Δt;
-    adjacent windows are summed to rebin.
+    The second implementation of the pipeline's source contract (the
+    simulator's :class:`~repro.pipeline.source.MachineEventSource` is the
+    first): each recorded unit becomes a burst channel at its stored (or
+    rebinned) Δt, plus the conflict channel, so archives flow through the
+    *same* analyzers as live sessions. Unlike the online auditor (limited
+    to two monitor slots), replay offers every recorded unit — the
+    "super-secure" configuration the paper mentions, affordable offline
+    because the data is already captured.
+
+    ``include_idle`` keeps functional-unit channels that recorded no
+    events at all (by default they are skipped, matching the report
+    layout of live two-slot sessions).
     """
-    if dt is not None and dt != base_dt:
-        if dt % base_dt != 0:
-            raise DetectionError(
-                f"offline Δt {dt} must be a multiple of the recorded "
-                f"base Δt {base_dt}"
-            )
-        factor = dt // base_dt
-        trim = (counts.size // factor) * factor
-        counts = counts[:trim].reshape(-1, factor).sum(axis=1)
-        base_dt = dt
-    per_quantum = -(-archive.quantum_cycles // base_dt)
-    histograms: List[np.ndarray] = []
-    for q in range(archive.n_quanta):
-        window = counts[q * per_quantum:(q + 1) * per_quantum]
-        histograms.append(sample_counts_to_histogram(window, 128))
-    return _burst_verdict_from_histograms(unit_name, histograms, archive)
 
+    def __init__(
+        self,
+        archive: TraceArchive,
+        bus_dt: Optional[int] = None,
+        divider_dt: Optional[int] = None,
+        multiplier_dt: Optional[int] = None,
+        include_idle: bool = False,
+    ):
+        self.archive = archive
+        self._specs: List[ChannelSpec] = []
+        #: name -> (dt, whole-horizon per-Δt counts) for dense channels.
+        self._dense: Dict[str, Tuple[int, np.ndarray]] = {}
+        self._consumers: List[ObservationConsumer] = []
 
-def _burst_verdict_from_histograms(
-    unit_name: str,
-    histograms: List[np.ndarray],
-    archive: TraceArchive,
-) -> UnitVerdict:
-    recurrence = analyze_recurrence(histograms)
-    best_lr = max(
-        (a.likelihood_ratio for a in recurrence.burst_analyses), default=0.0
-    )
-    return UnitVerdict(
-        unit=unit_name,
-        method="burst",
-        detected=bool(recurrence.recurrent and recurrence.burst_clusters),
-        quanta_analyzed=archive.n_quanta,
-        max_likelihood_ratio=best_lr,
-        recurrent=recurrence.recurrent,
-        burst_window_fraction=recurrence.burst_window_fraction,
-    )
-
-
-def _cache_verdict(
-    archive: TraceArchive,
-    max_lag: int,
-    min_train_events: int,
-    window_fraction: float,
-) -> UnitVerdict:
-    width = max(1, int(round(archive.quantum_cycles * window_fraction)))
-    analyses: List[OscillationAnalysis] = []
-    windows = 0
-    start = 0
-    while start < archive.horizon:
-        end = min(start + width, archive.horizon)
-        lo = np.searchsorted(archive.cache_times, start, side="left")
-        hi = np.searchsorted(archive.cache_times, end, side="left")
-        windows += 1
-        labels, _idx, _pair = dominant_pair_series(
-            archive.cache_replacers[lo:hi], archive.cache_victims[lo:hi]
+        self._bus_dt = bus_dt or default_delta_t("membus")
+        self._specs.append(
+            ChannelSpec("membus", ChannelKind.BURST, self._bus_dt)
         )
-        if (
-            labels.size >= min_train_events
-            and 4 <= int(labels.sum()) <= labels.size - 4
-        ):
-            analyses.append(
-                analyze_autocorrelogram(autocorrelogram(labels, max_lag))
-            )
-        start = end
-    significant = [a for a in analyses if a.significant]
-    periods = [a.dominant_period for a in significant if a.dominant_period]
-    return UnitVerdict(
-        unit="cache",
-        method="oscillation",
-        detected=bool(significant),
-        quanta_analyzed=windows,
-        oscillating_windows=len(significant),
-        max_peak=max((a.max_peak for a in analyses), default=0.0),
-        dominant_period=float(np.median(periods)) if periods else None,
-    )
+        for core, counts in sorted(archive.divider_wait_counts.items()):
+            if counts.sum() or include_idle:
+                dt = divider_dt or archive.divider_dt
+                self._add_dense(
+                    f"divider(core {core})",
+                    _rebin_counts(counts, archive.divider_dt, dt),
+                    dt,
+                )
+        for core, counts in sorted(archive.multiplier_wait_counts.items()):
+            if counts.sum() or include_idle:
+                dt = multiplier_dt or archive.multiplier_dt
+                self._add_dense(
+                    f"multiplier(core {core})",
+                    _rebin_counts(counts, archive.multiplier_dt, dt),
+                    dt,
+                )
+        self._specs.append(ChannelSpec("cache", ChannelKind.CONFLICT))
+
+    def _add_dense(self, name: str, counts: np.ndarray, dt: int) -> None:
+        self._specs.append(ChannelSpec(name, ChannelKind.BURST, dt))
+        self._dense[name] = (dt, counts)
+
+    @property
+    def quantum_cycles(self) -> int:
+        return self.archive.quantum_cycles
+
+    def channels(self) -> Tuple[ChannelSpec, ...]:
+        return tuple(self._specs)
+
+    def subscribe(self, consumer: ObservationConsumer) -> None:
+        self._consumers.append(consumer)
+
+    def _observation(self, quantum: int) -> QuantumObservation:
+        archive = self.archive
+        t0 = quantum * archive.quantum_cycles
+        t1 = t0 + archive.quantum_cycles
+        counts: Dict[str, np.ndarray] = {}
+        times = archive.bus_lock_times
+        lo = np.searchsorted(times, t0, side="left")
+        hi = np.searchsorted(times, t1, side="left")
+        counts["membus"] = np.bincount(
+            (times[lo:hi] - t0) // self._bus_dt,
+            minlength=-(-archive.quantum_cycles // self._bus_dt),
+        )
+        for name, (dt, dense) in self._dense.items():
+            per_quantum = -(-archive.quantum_cycles // dt)
+            counts[name] = dense[quantum * per_quantum:(quantum + 1) * per_quantum]
+        lo = np.searchsorted(archive.cache_times, t0, side="left")
+        hi = np.searchsorted(archive.cache_times, t1, side="left")
+        conflicts = ConflictRecords(
+            times=archive.cache_times[lo:hi],
+            replacers=archive.cache_replacers[lo:hi],
+            victims=archive.cache_victims[lo:hi],
+        )
+        return QuantumObservation(
+            quantum=quantum, t0=t0, t1=t1, counts=counts, conflicts=conflicts
+        )
+
+    def __iter__(self) -> Iterator[QuantumObservation]:
+        for quantum in range(self.archive.n_quanta):
+            yield self._observation(quantum)
+
+    def replay(self) -> None:
+        """Push every recorded quantum to the subscribed consumers."""
+        for obs in self:
+            for consumer in self._consumers:
+                consumer.push_quantum(obs)
 
 
 def analyze_traces(
@@ -260,41 +274,23 @@ def analyze_traces(
 ) -> DetectionReport:
     """Run the full CC-Hunter analysis offline over a trace archive.
 
-    Unlike the online auditor (limited to two monitors), offline analysis
-    covers every recorded unit — the "super-secure" configuration the
-    paper mentions, affordable here because the data is already captured.
+    Builds an :class:`ArchiveEventSource` and replays it through a
+    standard :func:`~repro.pipeline.session.build_session` pipeline — the
+    identical analyzer code path live sessions use, so offline verdicts
+    cannot drift from online ones.
     """
-    verdicts = [
-        _burst_verdict_from_times(
-            "membus",
-            archive.bus_lock_times,
-            archive,
-            bus_dt or default_delta_t("membus"),
-        )
-    ]
-    for core, counts in sorted(archive.divider_wait_counts.items()):
-        if counts.sum():
-            verdicts.append(
-                _burst_verdict_from_counts(
-                    f"divider(core {core})",
-                    counts,
-                    archive,
-                    archive.divider_dt,
-                    divider_dt,
-                )
-            )
-    for core, counts in sorted(archive.multiplier_wait_counts.items()):
-        if counts.sum():
-            verdicts.append(
-                _burst_verdict_from_counts(
-                    f"multiplier(core {core})",
-                    counts,
-                    archive,
-                    archive.multiplier_dt,
-                    multiplier_dt,
-                )
-            )
-    verdicts.append(
-        _cache_verdict(archive, max_lag, min_train_events, window_fraction)
+    source = ArchiveEventSource(
+        archive,
+        bus_dt=bus_dt,
+        divider_dt=divider_dt,
+        multiplier_dt=multiplier_dt,
     )
-    return DetectionReport(verdicts=tuple(verdicts))
+    session = build_session(
+        source,
+        window_fraction=window_fraction,
+        max_lag=max_lag,
+        min_train_events=min_train_events,
+    )
+    source.subscribe(session)
+    source.replay()
+    return session.current_verdicts()

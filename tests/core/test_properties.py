@@ -5,15 +5,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.autocorr import autocorrelogram
+from repro.core.autocorr import RunningAutocorrelogram, autocorrelogram
+from repro.core.burst import StreamingBurstEstimator, analyze_histogram
 from repro.core.clustering import analyze_recurrence
-from repro.core.density import build_density_histogram
+from repro.core.density import StreamingDensityHistogram, build_density_histogram
 from repro.core.event_train import (
     EventTrain,
     compact_pair_identifiers,
     dominant_pair_series,
 )
 from repro.core.oscillation import analyze_autocorrelogram
+from repro.util.stats import sample_counts_to_histogram
 
 
 class TestDensityInvariants:
@@ -97,6 +99,122 @@ class TestAnalysisRobustness:
         assert result.n_windows == n_windows
         assert result.cluster_labels.size == n_windows
         assert 0.0 <= result.burst_window_fraction <= 1.0
+
+
+def _chunked(rng, arr):
+    """Split an array into random-size chunks (including empty ones)."""
+    chunks = []
+    i = 0
+    while i < len(arr):
+        step = int(rng.integers(0, 9))
+        chunks.append(arr[i:i + step])
+        i += step
+    return chunks
+
+
+class TestStreamingEqualsBatch:
+    """The pipeline's incremental estimators must match the batch ones."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(2, 300),
+        st.integers(0, 80),
+    )
+    def test_running_autocorrelogram_matches_fft(self, seed, n, max_lag):
+        rng = np.random.default_rng(seed)
+        series = rng.integers(0, 2, size=n).astype(np.int64)
+        running = RunningAutocorrelogram(max_lag)
+        for chunk in _chunked(rng, series):
+            running.extend(chunk)
+        batch = autocorrelogram(series, max_lag)
+        streamed = running.correlogram()
+        assert streamed.shape == batch.shape
+        # Integer series: both paths sum exact integers; only the FFT's
+        # own float round-off separates them.
+        assert np.allclose(streamed, batch, atol=1e-9, rtol=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 200))
+    def test_running_autocorrelogram_float_series(self, seed, n):
+        rng = np.random.default_rng(seed)
+        series = rng.normal(scale=5.0, size=n)
+        running = RunningAutocorrelogram(50)
+        running.extend(series)
+        assert np.allclose(
+            running.correlogram(), autocorrelogram(series, 50), atol=1e-7
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100_000), max_size=300),
+        st.integers(16, 5_000),
+        st.integers(0, 10_000),
+    )
+    def test_streaming_density_from_times_bit_exact(self, times, dt, seed):
+        rng = np.random.default_rng(seed)
+        horizon = 100_001
+        train = EventTrain(np.array(times, dtype=np.int64))
+        batch = sample_counts_to_histogram(
+            train.density_counts(dt, 0, horizon), 128
+        )
+        streaming = StreamingDensityHistogram(dt=dt)
+        sorted_times = np.sort(np.array(times, dtype=np.int64))
+        cuts = np.sort(rng.integers(0, horizon, size=3)).tolist() + [horizon]
+        prev = 0
+        for cut in cuts:
+            chunk = sorted_times[(sorted_times >= prev) & (sorted_times < cut)]
+            streaming.push_times(chunk, cut)
+            prev = cut
+        streaming.flush()
+        assert np.array_equal(streaming.histogram(), batch)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=400),
+        st.integers(0, 10_000),
+    )
+    def test_streaming_density_from_counts_bit_exact(self, counts, seed):
+        rng = np.random.default_rng(seed)
+        arr = np.array(counts, dtype=np.int64)
+        batch = sample_counts_to_histogram(arr, 128)
+        streaming = StreamingDensityHistogram(dt=100)
+        for chunk in _chunked(rng, arr):
+            streaming.ingest_window_counts(chunk)
+        assert np.array_equal(streaming.read_and_reset(), batch)
+
+    def test_streaming_density_matches_monitor_slot_saturation(self):
+        from repro.config import AuditorConfig
+        from repro.hardware.auditor import MonitorSlot
+
+        cfg = AuditorConfig()
+        slot = MonitorSlot(unit_name="x", dt=100, config=cfg)
+        streaming = StreamingDensityHistogram(
+            dt=100,
+            n_bins=cfg.histogram_bins,
+            count_clamp=cfg.accumulator_max,
+            entry_max=cfg.histogram_entry_max,
+        )
+        rng = np.random.default_rng(3)
+        counts = rng.integers(0, 200_000, size=5_000)
+        slot.ingest_window_counts(counts)
+        streaming.ingest_window_counts(counts)
+        assert np.array_equal(slot.read_and_reset(), streaming.read_and_reset())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 30))
+    def test_streaming_burst_estimator_matches_batch(self, seed, n_hists):
+        rng = np.random.default_rng(seed)
+        hists = rng.integers(0, 40, size=(n_hists, 128)).astype(np.int64)
+        estimator = StreamingBurstEstimator()
+        for hist in hists:
+            estimator.update(hist)
+        streamed = estimator.analysis()
+        batch = analyze_histogram(hists.sum(axis=0))
+        assert streamed.threshold_bin == batch.threshold_bin
+        assert streamed.likelihood_ratio == batch.likelihood_ratio
+        assert streamed.significant == batch.significant
+        assert np.array_equal(streamed.hist, batch.hist)
 
 
 class TestDeterminism:

@@ -1,0 +1,214 @@
+"""Tests for the streaming detection pipeline (sources → session → sinks)."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import CLUSTERING_WINDOW_QUANTA
+from repro.core.detector import AuditUnit, CCHunter
+from repro.errors import DetectionError
+from repro.pipeline import (
+    BurstAnalyzer,
+    ChannelKind,
+    CollectingSink,
+    DetectionSession,
+    MachineEventSource,
+    OscillationAnalyzer,
+    QuantumObservation,
+    StreamPrinterSink,
+    build_session,
+)
+from repro.sim.process import BusLockBurst, Process
+from repro.traces import ArchiveEventSource, export_traces
+
+
+def _obs(quantum, counts, t0=None, t1=None, width=1000):
+    t0 = quantum * width if t0 is None else t0
+    t1 = t0 + width if t1 is None else t1
+    return QuantumObservation(
+        quantum=quantum, t0=t0, t1=t1, counts=counts, conflicts=None
+    )
+
+
+class TestSession:
+    def test_duplicate_unit_rejected(self):
+        session = DetectionSession()
+        session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
+        with pytest.raises(DetectionError):
+            session.add_analyzer(BurstAnalyzer(unit="membus", dt=200))
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(DetectionError):
+            DetectionSession().analyzer_for("membus")
+
+    def test_missing_channel_counts_rejected(self):
+        session = DetectionSession()
+        session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
+        with pytest.raises(DetectionError):
+            session.push_quantum(_obs(0, counts={}))
+
+    def test_verdicts_available_every_quantum(self):
+        session = DetectionSession()
+        session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
+        for quantum in range(3):
+            session.push_quantum(
+                _obs(quantum, {"membus": np.zeros(10, dtype=np.int64)})
+            )
+            report = session.current_verdicts()
+            assert report.verdict_for("membus").quanta_analyzed == quantum + 1
+
+    def test_burst_history_is_bounded(self):
+        analyzer = BurstAnalyzer(unit="membus", dt=100)
+        session = DetectionSession()
+        session.add_analyzer(analyzer)
+        for quantum in range(CLUSTERING_WINDOW_QUANTA + 40):
+            session.push_quantum(
+                _obs(quantum, {"membus": np.zeros(4, dtype=np.int64)})
+            )
+        assert len(analyzer.histograms) == CLUSTERING_WINDOW_QUANTA
+        assert analyzer.quanta_seen == CLUSTERING_WINDOW_QUANTA + 40
+        verdict = session.current_verdicts().verdict_for("membus")
+        assert verdict.quanta_analyzed == CLUSTERING_WINDOW_QUANTA + 40
+
+
+class TestSinks:
+    def test_collecting_sink_sees_every_quantum(self, small_machine):
+        sink = CollectingSink()
+        hunter = CCHunter(small_machine, sinks=[sink])
+        hunter.audit(AuditUnit.MEMORY_BUS, dt=1000)
+
+        def trojan(proc):
+            yield BusLockBurst(count=100, period=100)
+
+        small_machine.spawn(Process("t", body=trojan), ctx=0)
+        small_machine.run_quanta(3)
+        assert [q for q, _r in sink.reports] == [0, 1, 2]
+        final = hunter.session.close()
+        assert sink.final is final
+
+    def test_stream_printer_text_lines(self):
+        buffer = io.StringIO()
+        session = DetectionSession(sinks=[StreamPrinterSink(stream=buffer)])
+        session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
+        for quantum in range(2):
+            session.push_quantum(
+                _obs(quantum, {"membus": np.zeros(4, dtype=np.int64)})
+            )
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "membus" in lines[0]
+
+    def test_stream_printer_jsonl(self):
+        buffer = io.StringIO()
+        session = DetectionSession(
+            sinks=[StreamPrinterSink(stream=buffer, jsonl=True)]
+        )
+        session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
+        session.push_quantum(_obs(0, {"membus": np.zeros(4, dtype=np.int64)}))
+        payload = json.loads(buffer.getvalue())
+        assert payload["quantum"] == 0
+        assert payload["report"]["verdicts"][0]["unit"] == "membus"
+
+
+class TestMachineEventSource:
+    def test_duplicate_channel_rejected(self, small_machine):
+        source = MachineEventSource(small_machine)
+        source.add_burst_channel("membus", small_machine.bus_lock_tap, 1000)
+        with pytest.raises(DetectionError):
+            source.add_burst_channel("membus", small_machine.bus_lock_tap, 500)
+
+    def test_many_sessions_off_one_source(self, small_machine):
+        """Concurrent audit sessions share one source's observations."""
+        source = MachineEventSource(small_machine)
+        source.add_burst_channel("membus", small_machine.bus_lock_tap, 1000)
+        sessions = [build_session(source) for _ in range(3)]
+        for session in sessions:
+            source.subscribe(session)
+
+        def trojan(proc):
+            yield BusLockBurst(count=200, period=100)
+
+        small_machine.spawn(Process("t", body=trojan), ctx=0)
+        small_machine.run_quanta(2)
+        verdicts = [
+            s.current_verdicts().verdict_for("membus") for s in sessions
+        ]
+        assert all(v == verdicts[0] for v in verdicts)
+        assert verdicts[0].quanta_analyzed == 2
+
+
+class TestArchiveEventSource:
+    def test_channels_cover_recorded_units(self, small_machine, tmp_path):
+        hunter = CCHunter(small_machine)
+        hunter.audit(AuditUnit.MEMORY_BUS)
+
+        def trojan(proc):
+            yield BusLockBurst(count=50, period=200)
+
+        small_machine.spawn(Process("t", body=trojan), ctx=0)
+        small_machine.run_quanta(2)
+        archive = export_traces(small_machine, tmp_path / "s.npz")
+        source = ArchiveEventSource(archive)
+        kinds = {spec.name: spec.kind for spec in source.channels()}
+        assert kinds["membus"] is ChannelKind.BURST
+        assert kinds["cache"] is ChannelKind.CONFLICT
+
+    def test_observations_cover_every_quantum(self, small_machine, tmp_path):
+        hunter = CCHunter(small_machine)
+        hunter.audit(AuditUnit.MEMORY_BUS)
+        small_machine.run_quanta(3)
+        archive = export_traces(small_machine, tmp_path / "s.npz")
+        observations = list(ArchiveEventSource(archive))
+        assert [obs.quantum for obs in observations] == [0, 1, 2]
+        assert observations[0].t1 == small_machine.quantum_cycles
+
+
+class TestDetectionLatencyTracking:
+    def test_eager_first_detection_matches_lazy(self):
+        from repro.analysis.figures import run_channel_session
+        from repro.util.bitstream import Message
+
+        message = Message.from_bits([1, 0] * 15)
+        lazy = run_channel_session(
+            "membus", message, bandwidth_bps=100.0, seed=91, noise=False
+        )
+        eager = run_channel_session(
+            "membus", message, bandwidth_bps=100.0, seed=91, noise=False,
+            track_detection_latency=True,
+        )
+        lazy_q = lazy.hunter.first_detection_quantum(AuditUnit.MEMORY_BUS)
+        eager_q = eager.hunter.first_detection_quantum(AuditUnit.MEMORY_BUS)
+        assert lazy_q is not None
+        assert eager_q == lazy_q
+
+
+class TestOscillationAnalyzerIncremental:
+    def test_matches_batch_detector_path(self, small_machine):
+        """The incremental cache analyzer must agree with a replayed batch
+        computation of the same windows."""
+        from repro.core.autocorr import autocorrelogram
+        from repro.core.event_train import dominant_pair_series
+        from repro.core.oscillation import analyze_autocorrelogram
+
+        hunter = CCHunter(small_machine, min_train_events=64, max_lag=400)
+        hunter.audit(AuditUnit.CACHE)
+        from tests.core.test_detector import TestCacheFlow
+
+        TestCacheFlow()._pingpong(small_machine)
+        small_machine.run_quanta(1)
+        incremental = hunter.cache_analyses()
+        assert incremental
+
+        times, reps, vics = small_machine.cache_miss_tap.records_in(
+            0, small_machine.quantum_cycles
+        )
+        labels, _idx, _pair = dominant_pair_series(reps, vics)
+        batch = analyze_autocorrelogram(
+            autocorrelogram(labels, 400), min_peak_height=0.45
+        )
+        assert incremental[0].significant == batch.significant
+        assert incremental[0].max_peak == pytest.approx(
+            batch.max_peak, abs=1e-9
+        )

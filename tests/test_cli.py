@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,43 @@ class TestCommands:
         assert "bit error rate: 0.000" in out
         assert "CC-Hunter detection report" in out
 
+    def test_detect_json(self, capsys):
+        code = main([
+            "detect", "--channel", "membus", "--bandwidth", "1000",
+            "--bits", "8", "--no-noise", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["channel"] == "membus"
+        assert payload["bit_error_rate"] == 0.0
+        verdicts = payload["report"]["verdicts"]
+        assert verdicts[0]["unit"] == "membus"
+        assert "first_detection_quantum" in payload
+
+    def test_detect_stream_prints_per_quantum(self, capsys):
+        code = main([
+            "detect", "--channel", "membus", "--bandwidth", "100",
+            "--bits", "20", "--no-noise", "--stream",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        quantum_lines = [l for l in out.splitlines()
+                         if l.startswith("[quantum")]
+        assert len(quantum_lines) >= 2  # one verdict line per quantum
+        assert "first detection [membus]" in out
+
+    def test_detect_stream_jsonl(self, capsys):
+        code = main([
+            "detect", "--channel", "membus", "--bandwidth", "1000",
+            "--bits", "8", "--no-noise", "--stream", "--json",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) >= 2  # per-quantum lines plus the final report
+        for line in lines:
+            payload = json.loads(line)
+            assert "report" in payload
+
     def test_figure_6(self, capsys):
         assert main(["figure", "6", "--seed", "2"]) == 0
         out = capsys.readouterr().out
@@ -59,6 +98,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "membus" in out
         assert "COVERT TIMING CHANNEL LIKELY" in out
+
+    def test_analyze_json(self, tmp_path, capsys):
+        archive_path = str(tmp_path / "session.npz")
+        assert main([
+            "record", archive_path, "--channel", "membus",
+            "--bandwidth", "100", "--bits", "30", "--seed", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", archive_path, "--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["any_detected"] is True
+        assert any(
+            v["unit"] == "membus" and v["detected"]
+            for v in payload["verdicts"]
+        )
 
     def test_false_alarms_exit_code(self, capsys):
         assert main(["false-alarms", "--quanta", "2"]) == 0

@@ -114,3 +114,37 @@ class TestOfflineAnalysis:
         assert offline.max_likelihood_ratio == pytest.approx(
             online.max_likelihood_ratio, abs=0.05
         )
+
+
+class TestLiveReplayParity:
+    """Replay goes through the same pipeline as live sessions, so the
+    verdicts must be *identical*, not merely close."""
+
+    def test_bus_replay_verdict_identical(self, bus_session):
+        run, path, _archive = bus_session
+        live = run.hunter.report().verdict_for("membus")
+        replayed = analyze_traces(load_traces(path)).verdict_for("membus")
+        assert replayed == live
+
+    def test_cache_replay_verdict_identical(self, tmp_path):
+        run = run_channel_session(
+            "cache", Message.random(10, 3), bandwidth_bps=100.0, seed=3,
+            n_sets_total=64,
+        )
+        path = tmp_path / "cache.npz"
+        export_traces(run.machine, path)
+        live = run.hunter.report().verdict_for("cache")
+        replayed = analyze_traces(load_traces(path)).verdict_for("cache")
+        assert replayed == live
+
+    def test_divider_replay_verdict_identical(self, tmp_path):
+        run = run_channel_session(
+            "divider", Message.random(20, 4), bandwidth_bps=100.0, seed=4
+        )
+        path = tmp_path / "div.npz"
+        export_traces(run.machine, path)
+        live = run.hunter.report().verdict_for("divider(core 0)")
+        replayed = analyze_traces(load_traces(path)).verdict_for(
+            "divider(core 0)"
+        )
+        assert replayed == live
