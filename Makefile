@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test lint bench examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,6 +11,10 @@ install:
 # no editable install needed.
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Same invocation as the CI lint job (requires `pip install ruff`).
+lint:
+	ruff check src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -23,6 +27,7 @@ examples:
 	$(PYTHON) examples/detect_and_respond.py
 	$(PYTHON) examples/offline_forensics.py
 	$(PYTHON) examples/streaming_audit.py
+	$(PYTHON) examples/metrics_dashboard.py
 
 figures:
 	$(PYTHON) -m repro figure 2

@@ -7,7 +7,6 @@ separates the bus channel from the mailserver pair, so 0.5 sits in the
 middle of a wide margin.
 """
 
-import numpy as np
 from conftest import record
 
 from repro.analysis.figures import aggregate_histogram, run_channel_session

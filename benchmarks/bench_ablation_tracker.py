@@ -7,7 +7,6 @@ practical tracker must preserve the oscillation signal the ideal one
 exposes.
 """
 
-import numpy as np
 from conftest import record
 
 from repro.channels.base import ChannelConfig

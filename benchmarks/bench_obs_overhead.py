@@ -1,0 +1,111 @@
+"""Extension: what does the instrumentation layer itself cost?
+
+CC-Hunter's pitch is low-overhead online monitoring, so the software
+reproduction holds itself to the same standard. This bench drives the
+identical audited workload through three instrumentation modes:
+
+- ``off``       — :data:`NULL_REGISTRY`: no counters, no timers;
+- ``counters``  — a live :class:`MetricsRegistry` (the default mode:
+  counters, gauges, and latency histograms all enabled);
+- ``spans``     — counters plus opt-in span tracing (ring buffer).
+
+Trials are interleaved (off/counters/spans, repeated) so drift in the
+host machine hits every mode equally, and medians damp outliers. The
+default mode must stay within 10% of fully-off — that bound is the
+contract docs/OBSERVABILITY.md advertises — and the measured numbers are
+committed to ``BENCH_obs.json`` at the repo root.
+"""
+
+import json
+import os
+import statistics
+from time import perf_counter
+
+from conftest import record
+
+from repro.config import MachineConfig
+from repro.core.detector import AuditUnit, CCHunter
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import disable_tracing, enable_tracing
+from repro.sim.machine import Machine
+from repro.sim.process import BusLockBurst, Process
+
+N_QUANTA = 30
+N_TRIALS = 5
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_obs.json",
+)
+
+
+def _run_audited(metrics, n_quanta=N_QUANTA):
+    """One audited run: machine + bus monitor + sustained trojan."""
+    config = MachineConfig(os_quantum_seconds=0.002)
+    machine = Machine(config=config, seed=7, metrics=metrics)
+    hunter = CCHunter(machine, track_detection_latency=True, metrics=metrics)
+    hunter.audit(AuditUnit.MEMORY_BUS, dt=1000)
+
+    def trojan(proc):
+        while True:
+            yield BusLockBurst(count=300, period=200)
+
+    machine.spawn(Process("trojan", body=trojan), ctx=0)
+    t0 = perf_counter()
+    machine.run_quanta(n_quanta)
+    return perf_counter() - t0
+
+
+def _trial(mode):
+    if mode == "off":
+        return _run_audited(NULL_REGISTRY)
+    if mode == "counters":
+        return _run_audited(MetricsRegistry())
+    enable_tracing(capacity=8192)
+    try:
+        return _run_audited(MetricsRegistry())
+    finally:
+        disable_tracing()
+
+
+def measure_overhead():
+    modes = ("off", "counters", "spans")
+    timings = {mode: [] for mode in modes}
+    _trial("off")  # warm caches/JIT-free but import- and allocator-warm
+    for _ in range(N_TRIALS):
+        for mode in modes:  # interleaved: drift hits every mode equally
+            timings[mode].append(_trial(mode))
+    medians = {mode: statistics.median(timings[mode]) for mode in modes}
+    return {
+        "n_quanta": N_QUANTA,
+        "n_trials": N_TRIALS,
+        "median_seconds": medians,
+        "quanta_per_second": {
+            mode: N_QUANTA / sec for mode, sec in medians.items()
+        },
+        "overhead_vs_off": {
+            mode: medians[mode] / medians["off"] - 1.0
+            for mode in ("counters", "spans")
+        },
+    }
+
+
+def test_obs_overhead(benchmark):
+    results = benchmark.pedantic(measure_overhead, rounds=1, iterations=1)
+    with open(_OUT_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    lines = [
+        f"{mode:<9} {results['quanta_per_second'][mode]:8.1f} quanta/s "
+        f"(median of {N_TRIALS})"
+        for mode in ("off", "counters", "spans")
+    ]
+    lines.append(
+        "overhead vs off: counters "
+        f"{results['overhead_vs_off']['counters'] * 100:+.1f}%, spans "
+        f"{results['overhead_vs_off']['spans'] * 100:+.1f}%"
+    )
+    lines.append(f"(written to {_OUT_PATH})")
+    record("Extension: instrumentation overhead", *lines)
+    # The default mode (counters) must stay within 10% of fully off.
+    assert results["overhead_vs_off"]["counters"] < 0.10, results

@@ -11,7 +11,6 @@ full 64-bit credit-card transmission at the exact paper framing — without
 any downsizing.
 """
 
-import numpy as np
 import pytest
 from conftest import record
 

@@ -10,7 +10,6 @@ and its decode collapses, while CC-Hunter confirms silence. Run with::
     python examples/detect_and_respond.py
 """
 
-import numpy as np
 
 from repro import (
     AuditUnit,

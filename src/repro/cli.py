@@ -13,6 +13,14 @@ with ``--stream`` it prints the pipeline's per-quantum verdict updates
 as the session runs, and with ``--json`` it emits a machine-readable
 report for downstream consumers. ``figure N`` regenerates a paper figure
 at bench scale.
+
+Observability surface: every command starts from a fresh metrics
+registry; ``detect``/``analyze`` accept ``--metrics-out metrics.json``
+(JSON snapshot of all counters/gauges/histograms), ``detect`` accepts
+``--trace-out trace.json`` (opt-in spans, Chrome-trace format), and
+``repro metrics metrics.json`` re-renders a snapshot as Prometheus text
+exposition. ``--log-level``/``--log-json`` configure the structured
+``repro.*`` loggers.
 """
 
 from __future__ import annotations
@@ -30,12 +38,39 @@ from repro.analysis.ascii_plot import (
 )
 from repro.analysis.capacity import assess_channel
 from repro.analysis.tables import table1_text
+from repro.obs import (
+    configure_logging,
+    disable_tracing,
+    enable_tracing,
+    get_default,
+    load_snapshot,
+    new_default,
+    render_prometheus,
+)
 from repro.util.bitstream import Message
 
 
 def _cmd_table1(_args) -> int:
     print(table1_text())
     return 0
+
+
+def _write_obs_artifacts(args, recorder=None) -> None:
+    """Persist the run's metrics snapshot / span trace, if requested."""
+    if getattr(args, "metrics_out", None):
+        get_default().write_json(args.metrics_out)
+        print(
+            f"metrics snapshot written to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    if recorder is not None:
+        recorder.write_chrome_trace(args.trace_out)
+        disable_tracing()
+        print(
+            f"chrome trace ({len(recorder.spans())} spans) written to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_detect(args) -> int:
@@ -48,6 +83,7 @@ def _cmd_detect(args) -> int:
     sinks = []
     if args.stream:
         sinks.append(StreamPrinterSink(jsonl=args.as_json))
+    recorder = enable_tracing() if args.trace_out else None
     run = fig.run_channel_session(
         args.channel,
         message,
@@ -80,6 +116,7 @@ def _cmd_detect(args) -> int:
             "report": report.to_dict(),
         }
         print(json.dumps(payload, sort_keys=True))
+        _write_obs_artifacts(args, recorder)
         return 0
     print(
         f"channel: {args.channel} @ {args.bandwidth:g} bps, "
@@ -93,6 +130,7 @@ def _cmd_detect(args) -> int:
             print(f"first detection [{unit}]: {when}")
     print()
     print(report.render())
+    _write_obs_artifacts(args, recorder)
     return 0
 
 
@@ -171,23 +209,51 @@ def _cmd_record(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    from repro.pipeline import MetricsSink
     from repro.traces import analyze_traces, load_traces
 
     archive = load_traces(args.path)
+    # --metrics-out turns the replayed session eager (MetricsSink +
+    # first-detection tracking) so the snapshot carries the same
+    # per-quantum latency and detection metrics a live session would.
+    wants_metrics = bool(args.metrics_out)
     report = analyze_traces(
-        archive, window_fraction=args.window_fraction
+        archive,
+        window_fraction=args.window_fraction,
+        sinks=[MetricsSink()] if wants_metrics else (),
+        track_detection_latency=wants_metrics,
     )
     if args.as_json:
         print(json.dumps(report.to_dict(), sort_keys=True))
     else:
         print(report.render())
+    _write_obs_artifacts(args)
     return 0 if not report.any_detected else 3
+
+
+def _cmd_metrics(args) -> int:
+    snapshot = load_snapshot(args.path)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(snapshot), end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CC-Hunter reproduction command line",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="threshold for the structured repro.* loggers",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -218,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit a machine-readable JSON report (JSON lines with --stream)",
+    )
+    detect.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot of the run to PATH",
+    )
+    detect.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record spans and write a Chrome-trace JSON file to PATH",
     )
     detect.set_defaults(func=_cmd_detect)
 
@@ -256,13 +330,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the report as machine-readable JSON",
     )
+    analyze.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot of the replay to PATH",
+    )
     analyze.set_defaults(func=_cmd_analyze)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="re-render a --metrics-out snapshot (Prometheus text or JSON)",
+    )
+    metrics.add_argument("path", help="metrics.json from --metrics-out")
+    metrics.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="output format (default: Prometheus text exposition)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
+    # Each invocation gets a fresh default registry so --metrics-out
+    # snapshots cover exactly this run.
+    new_default()
     return args.func(args)
 
 

@@ -14,7 +14,7 @@ CC-auditor's 128-entry buffer format.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence
+from typing import Optional, Protocol
 
 import numpy as np
 
@@ -154,14 +154,25 @@ class StreamingDensityHistogram:
         self._window_start = int(origin)
         self.windows_recorded = 0
         self.events_seen = 0
+        #: Windows whose raw count exceeded ``count_clamp`` (cumulative,
+        #: never reset — the auditor-fidelity signal operators watch).
+        self.clamp_events = 0
+        #: Histogram entries that hit ``entry_max`` saturation (cumulative).
+        self.entry_saturations = 0
 
     def _fold(self, counts: np.ndarray) -> None:
         if self.count_clamp is not None:
-            counts = np.minimum(counts, self.count_clamp)
+            over = counts > self.count_clamp
+            if over.any():
+                self.clamp_events += int(over.sum())
+                counts = np.minimum(counts, self.count_clamp)
         bins = np.minimum(counts, self.n_bins - 1)
         self._hist += np.bincount(bins, minlength=self.n_bins)
         if self.entry_max is not None:
-            np.minimum(self._hist, self.entry_max, out=self._hist)
+            over_entries = self._hist > self.entry_max
+            if over_entries.any():
+                self.entry_saturations += int(over_entries.sum())
+                np.minimum(self._hist, self.entry_max, out=self._hist)
         self.windows_recorded += int(counts.size)
 
     def ingest_window_counts(self, counts: np.ndarray) -> None:

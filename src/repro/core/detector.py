@@ -34,6 +34,7 @@ from repro.core.oscillation import OscillationAnalysis
 from repro.core.report import DetectionReport
 from repro.errors import DetectionError
 from repro.hardware.auditor import CCAuditor
+from repro.obs.metrics import MetricsRegistry, get_default
 from repro.pipeline.analyzers import BurstAnalyzer, OscillationAnalyzer
 from repro.pipeline.session import DetectionSession
 from repro.pipeline.sinks import VerdictSink
@@ -63,6 +64,7 @@ class CCHunter:
         min_peak_height: float = 0.45,
         sinks: Iterable[VerdictSink] = (),
         track_detection_latency: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not 0 < window_fraction <= 1.0:
             raise DetectionError(
@@ -75,9 +77,14 @@ class CCHunter:
         self.max_lag = max_lag
         self.min_train_events = min_train_events
         self.min_peak_height = min_peak_height
-        self.source = MachineEventSource(machine, auditor=self.auditor)
+        self.metrics = metrics if metrics is not None else get_default()
+        self.source = MachineEventSource(
+            machine, auditor=self.auditor, metrics=self.metrics
+        )
         self.session = DetectionSession(
-            sinks=sinks, track_detection_latency=track_detection_latency
+            sinks=sinks,
+            track_detection_latency=track_detection_latency,
+            metrics=self.metrics,
         )
         self.source.subscribe(self.session)
         #: (unit, core, channel name) per audit call, for facade lookups.
@@ -117,6 +124,7 @@ class CCHunter:
                     min_train_events=self.min_train_events,
                     min_peak_height=self.min_peak_height,
                     context_id_bits=self.auditor.config.context_id_bits,
+                    metrics=self.metrics,
                 )
             )
             self._audits.append((unit, None, unit.value))
@@ -149,6 +157,7 @@ class CCHunter:
                 accumulator=self.auditor.slot(slot_index),
                 lr_threshold=self.lr_threshold,
                 n_bins=self.auditor.config.histogram_bins,
+                metrics=self.metrics,
             )
         )
         self._audits.append((unit, core, name))

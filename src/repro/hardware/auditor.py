@@ -42,6 +42,11 @@ class MonitorSlot:
     countdown: int = field(init=False)
     windows_recorded: int = field(init=False, default=0)
     events_seen: int = field(init=False, default=0)
+    #: Windows whose raw count saturated the 16-bit accumulator
+    #: (cumulative across ``read_and_reset`` — drains don't clear it).
+    clamp_events: int = field(init=False, default=0)
+    #: Histogram entries that saturated at ``histogram_entry_max``.
+    entry_saturations: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -62,12 +67,17 @@ class MonitorSlot:
         if arr.min() < 0:
             raise HardwareError("event counts cannot be negative")
         self.events_seen += int(arr.sum())
+        over = arr > self.config.accumulator_max
+        if over.any():
+            self.clamp_events += int(over.sum())
         clamped = np.minimum(arr, self.config.accumulator_max)
         bins = np.minimum(clamped, self.config.histogram_bins - 1)
         increments = np.bincount(bins, minlength=self.config.histogram_bins)
-        self.histogram = np.minimum(
-            self.histogram + increments, self.config.histogram_entry_max
-        )
+        raw = self.histogram + increments
+        saturated = raw > self.config.histogram_entry_max
+        if saturated.any():
+            self.entry_saturations += int(saturated.sum())
+        self.histogram = np.minimum(raw, self.config.histogram_entry_max)
         self.windows_recorded += int(arr.size)
 
     def read_and_reset(self) -> np.ndarray:

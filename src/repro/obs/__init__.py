@@ -1,0 +1,75 @@
+"""Observability: metrics, span tracing, and structured logging.
+
+The reproduction's self-measurement layer, mirroring the paper's own
+emphasis on low-overhead online monitoring:
+
+- ``repro.obs.metrics`` — a dependency-free :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms with JSON snapshots and
+  Prometheus text exposition. Always on (counters-only by default);
+  pass :data:`NULL_REGISTRY` to a component to switch it off entirely.
+- ``repro.obs.tracing`` — opt-in ``trace_span`` spans into a bounded
+  ring buffer, exportable as Chrome-trace JSON.
+- ``repro.obs.log`` — per-component structured loggers under the
+  ``repro`` tree, with plain-text or JSON-lines output.
+
+Metric names, label conventions, the span taxonomy, and the exposition
+format are documented in docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.log import (
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    get_default,
+    load_snapshot,
+    metric_names,
+    new_default,
+    render_prometheus,
+    set_default,
+)
+from repro.obs.tracing import (
+    SpanRecord,
+    SpanRecorder,
+    disable_tracing,
+    enable_tracing,
+    get_recorder,
+    trace_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_default",
+    "set_default",
+    "new_default",
+    "render_prometheus",
+    "load_snapshot",
+    "metric_names",
+    "SpanRecord",
+    "SpanRecorder",
+    "trace_span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_recorder",
+    "JsonLineFormatter",
+    "configure_logging",
+    "get_logger",
+]

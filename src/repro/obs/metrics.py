@@ -1,0 +1,431 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+CC-Hunter's pitch is *low-overhead online monitoring*, so the
+reproduction has to be able to report its own cost: quanta/sec
+sustained, per-analyzer push latency, accumulator saturation. This
+module is the single place those numbers live — a dependency-free
+registry of named metric families in the Prometheus data model:
+
+- :class:`Counter` — monotonically increasing totals (``*_total``);
+- :class:`Gauge` — last-written values (throughput, first detection);
+- :class:`Histogram` — fixed upper-bound buckets plus sum/count, for
+  latency distributions (the software analog of the auditor's own
+  fixed 128-entry histogram buffers).
+
+Families are get-or-create: asking for an existing ``(name, labels)``
+series returns the same object, so any component can instrument itself
+against the process-wide default registry without coordination. The
+snapshot (:meth:`MetricsRegistry.to_dict`) serializes to plain JSON and
+:func:`render_prometheus` renders either a live registry or a loaded
+snapshot to the text exposition format — the identical metric names in
+both is an explicit contract (see docs/OBSERVABILITY.md).
+
+Instrumentation defaults to **counters-only**: updating a counter or
+histogram is a few dict/float operations, and the hot paths additionally
+branch on :attr:`MetricsRegistry.enabled` so benchmarks can eliminate
+even the ``perf_counter`` calls by passing :data:`NULL_REGISTRY`.
+Spans (``repro.obs.tracing``) are a separate, opt-in layer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """A metric was registered or used inconsistently."""
+
+
+#: Default upper bounds (seconds) for latency histograms: 1 µs .. 5 s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+    1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise MetricsError(f"invalid label name {key!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit +Inf bucket catches the overflow, mirroring Prometheus
+    (and the CC-auditor's clamp-at-last-bin histogram buffers).
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bucket (Prometheus ``_bucket`` series)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class _Family:
+    """One named metric family: shared type/help/buckets, many series."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.series: Dict[LabelPairs, Any] = {}
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families.
+
+    All accessors are get-or-create and idempotent: two components
+    asking for the same ``(name, labels)`` share one series. Asking for
+    an existing name with a conflicting type (or conflicting histogram
+    buckets) raises :class:`MetricsError` — silent type drift is how
+    dashboards lie.
+    """
+
+    #: Real registries time their callers; the null registry does not.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------- creation
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind, help_text, buckets)
+            return family
+        if family.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}"
+            )
+        if kind == "histogram" and buckets is not None and family.buckets != buckets:
+            raise MetricsError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return family
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        family = self._family(name, "counter", help_text)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Counter()
+        return series
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        family = self._family(name, "gauge", help_text)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Gauge()
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise MetricsError(
+                f"histogram buckets must be strictly increasing, got {buckets}"
+            )
+        family = self._family(name, "histogram", help_text, buckets)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Histogram(family.buckets or buckets)
+        return series
+
+    # ------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of every family and series."""
+        metrics: Dict[str, Any] = {}
+        for name, family in sorted(self._families.items()):
+            series_out = []
+            for key, series in sorted(family.series.items()):
+                entry: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry["buckets"] = [
+                        [_format_bound(le), c]
+                        for le, c in zip(
+                            list(series.buckets) + [math.inf],
+                            series.cumulative(),
+                        )
+                    ]
+                    entry["sum"] = series.sum
+                    entry["count"] = series.count
+                else:
+                    entry["value"] = series.value
+                series_out.append(entry)
+            metrics[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": series_out,
+            }
+        return {"format": "repro.obs.metrics/v1", "metrics": metrics}
+
+    def render_prometheus(self) -> str:
+        """Text exposition of the current state (same names as JSON)."""
+        return render_prometheus(self.to_dict())
+
+    def write_json(self, path: str) -> None:
+        """Write the snapshot to ``path`` as a JSON document."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# --------------------------------------------------------------- null sinks
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__((math.inf,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing — instrumentation fully off.
+
+    Components check :attr:`enabled` before calling ``perf_counter``,
+    so passing this registry removes the timing overhead too (the
+    benchmark baseline in ``benchmarks/bench_obs_overhead.py``).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter()
+        self._gauge = _NullGauge()
+        self._histogram = _NullHistogram()
+
+    def counter(self, name, help_text="", labels=None):  # noqa: D102
+        return self._counter
+
+    def gauge(self, name, help_text="", labels=None):  # noqa: D102
+        return self._gauge
+
+    def histogram(
+        self, name, help_text="", labels=None, buckets=DEFAULT_LATENCY_BUCKETS
+    ):  # noqa: D102
+        return self._histogram
+
+
+#: Shared do-nothing registry for disabling instrumentation entirely.
+NULL_REGISTRY = NullRegistry()
+
+_default_registry = MetricsRegistry()
+
+
+def get_default() -> MetricsRegistry:
+    """The process-wide registry components instrument against."""
+    return _default_registry
+
+
+def set_default(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide default."""
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+def new_default() -> MetricsRegistry:
+    """Install and return a fresh default registry (one per CLI run)."""
+    return set_default(MetricsRegistry())
+
+
+# ------------------------------------------------------------- exposition
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.to_dict` snapshot to text exposition.
+
+    Works on a live snapshot or one loaded back from ``--metrics-out``
+    JSON, so ``repro metrics metrics.json`` and a live scrape produce
+    byte-identical metric names.
+    """
+    if snapshot.get("format") != "repro.obs.metrics/v1":
+        raise MetricsError(
+            f"not a repro.obs metrics snapshot: format={snapshot.get('format')!r}"
+        )
+    lines: List[str] = []
+    for name, family in sorted(snapshot["metrics"].items()):
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for entry in family["series"]:
+            labels = entry.get("labels", {})
+            if family["type"] == "histogram":
+                for le, cum in entry["buckets"]:
+                    sel = _render_labels(labels, f'le="{le}"')
+                    lines.append(f"{name}_bucket{sel} {int(cum)}")
+                sel = _render_labels(labels)
+                lines.append(f"{name}_sum{sel} {repr(float(entry['sum']))}")
+                lines.append(f"{name}_count{sel} {int(entry['count'])}")
+            else:
+                sel = _render_labels(labels)
+                lines.append(f"{name}{sel} {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Load a snapshot previously written by :meth:`write_json`."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if snapshot.get("format") != "repro.obs.metrics/v1":
+        raise MetricsError(f"{path} is not a repro.obs metrics snapshot")
+    return snapshot
+
+
+def metric_names(snapshot: Mapping[str, Any]) -> Iterable[str]:
+    """The family names present in a snapshot (for tests and tooling)."""
+    return sorted(snapshot["metrics"])

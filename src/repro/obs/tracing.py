@@ -1,0 +1,167 @@
+"""Lightweight span tracing with a ring-buffer recorder.
+
+Where the metrics registry answers *how much* (counters, latency
+distributions), spans answer *where the time went* on a concrete run:
+each ``with trace_span("analyzer.push", unit="membus"):`` block records
+one timed interval into a bounded ring buffer, exportable as plain JSON
+or as a Chrome-trace (``chrome://tracing`` / Perfetto) document.
+
+Tracing is **opt-in** and off by default. When disabled, ``trace_span``
+returns a shared no-op context manager without reading the clock, so
+leaving the ``with`` blocks in hot paths costs one global read and one
+function call per span — measured in ``benchmarks/bench_obs_overhead.py``.
+
+Span taxonomy (see docs/OBSERVABILITY.md): dotted lowercase names,
+``component.operation`` — ``sim.quantum``, ``source.emit``,
+``analyzer.push``, ``session.verdicts``, ``session.sinks``,
+``replay.run``. Attributes are small scalars (unit names, quantum
+indices), never bulk data.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from time import perf_counter
+from typing import Any, Deque, Dict, List, NamedTuple, Optional
+
+
+class SpanRecord(NamedTuple):
+    """One completed span: name, start (s, recorder-relative), duration."""
+
+    name: str
+    start: float
+    duration: float
+    attrs: Dict[str, Any]
+
+
+class SpanRecorder:
+    """Bounded in-memory store of completed spans (newest kept)."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"span capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.origin = perf_counter()
+        self._spans: Deque[SpanRecord] = deque(maxlen=capacity)
+        self.spans_recorded = 0
+        self.spans_dropped = 0
+
+    def record(
+        self, name: str, start: float, duration: float, attrs: Dict[str, Any]
+    ) -> None:
+        if len(self._spans) == self.capacity:
+            self.spans_dropped += 1
+        self._spans.append(
+            SpanRecord(name, start - self.origin, duration, attrs)
+        )
+        self.spans_recorded += 1
+
+    def spans(self) -> List[SpanRecord]:
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    # ------------------------------------------------------------- export
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Spans as plain dicts (JSON lines, tests, notebooks)."""
+        return [
+            {
+                "name": s.name,
+                "start_s": s.start,
+                "duration_s": s.duration,
+                "attrs": s.attrs,
+            }
+            for s in self._spans
+        ]
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """A Chrome-trace document (load in chrome://tracing or Perfetto)."""
+        events = [
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": s.attrs,
+            }
+            for s in self._spans
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+            handle.write("\n")
+
+
+class _Span:
+    """A live span: times its ``with`` block into a recorder."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_t0")
+
+    def __init__(self, recorder: SpanRecorder, name: str, attrs: Dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder.record(
+            self.name, self._t0, perf_counter() - self._t0, self.attrs
+        )
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+_recorder: Optional[SpanRecorder] = None
+
+
+def enable_tracing(capacity: int = 4096) -> SpanRecorder:
+    """Start recording spans into a fresh ring buffer; returns it."""
+    global _recorder
+    _recorder = SpanRecorder(capacity)
+    return _recorder
+
+
+def disable_tracing() -> None:
+    """Stop recording; subsequent ``trace_span`` calls are no-ops."""
+    global _recorder
+    _recorder = None
+
+
+def tracing_enabled() -> bool:
+    return _recorder is not None
+
+
+def get_recorder() -> Optional[SpanRecorder]:
+    """The active recorder, or None when tracing is disabled."""
+    return _recorder
+
+
+def trace_span(name: str, **attrs: Any):
+    """Context manager timing one operation (no-op unless tracing is on)."""
+    recorder = _recorder
+    if recorder is None:
+        return _NOOP_SPAN
+    return _Span(recorder, name, attrs)

@@ -28,6 +28,7 @@ from repro.pipeline.session import DetectionSession, build_session
 from repro.pipeline.sinks import (
     CallbackSink,
     CollectingSink,
+    MetricsSink,
     StreamPrinterSink,
     VerdictSink,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "build_session",
     "VerdictSink",
     "CollectingSink",
+    "MetricsSink",
     "StreamPrinterSink",
     "CallbackSink",
     "ChannelKind",

@@ -36,6 +36,7 @@ from repro.core.oscillation import (
 )
 from repro.core.report import UnitVerdict
 from repro.errors import DetectionError
+from repro.obs.metrics import MetricsRegistry, get_default
 from repro.pipeline.source import QuantumObservation
 
 
@@ -75,6 +76,7 @@ class BurstAnalyzer:
         lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,
         n_bins: int = 128,
         max_windows: int = CLUSTERING_WINDOW_QUANTA,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.unit = unit
         self.dt = int(dt)
@@ -87,6 +89,31 @@ class BurstAnalyzer:
         self.histograms: Deque[np.ndarray] = deque(maxlen=max_windows)
         self.analyses: Deque[BurstAnalysis] = deque(maxlen=max_windows)
         self.quanta_seen = 0
+        m = metrics if metrics is not None else get_default()
+        labels = {"unit": unit}
+        self._m_windows = m.counter(
+            "cchunter_analyzer_windows_total",
+            "Δt windows folded into burst histograms",
+            labels,
+        )
+        self._m_events = m.counter(
+            "cchunter_analyzer_events_total",
+            "indicator events folded into burst histograms",
+            labels,
+        )
+        self._m_clamps = m.counter(
+            "cchunter_analyzer_clamp_events_total",
+            "Δt windows clamped by the saturating accumulator",
+            labels,
+        )
+        self._m_saturations = m.counter(
+            "cchunter_analyzer_entry_saturation_total",
+            "histogram entries saturated at the 16-bit entry maximum",
+            labels,
+        )
+        self._seen_events = 0
+        self._seen_clamps = 0
+        self._seen_saturations = 0
 
     def push(self, obs: QuantumObservation) -> None:
         counts = obs.counts.get(self.unit)
@@ -102,6 +129,22 @@ class BurstAnalyzer:
             analyze_histogram(hist, lr_threshold=self.lr_threshold)
         )
         self.quanta_seen += 1
+        self._m_windows.inc(len(counts))
+        # The accumulator (MonitorSlot or StreamingDensityHistogram) keeps
+        # cumulative event/clamp/saturation tallies; export per-push deltas
+        # rather than re-reducing the (possibly huge) counts array.
+        events = getattr(self._acc, "events_seen", 0)
+        if events != self._seen_events:
+            self._m_events.inc(events - self._seen_events)
+            self._seen_events = events
+        clamps = getattr(self._acc, "clamp_events", 0)
+        saturations = getattr(self._acc, "entry_saturations", 0)
+        if clamps != self._seen_clamps:
+            self._m_clamps.inc(clamps - self._seen_clamps)
+            self._seen_clamps = clamps
+        if saturations != self._seen_saturations:
+            self._m_saturations.inc(saturations - self._seen_saturations)
+            self._seen_saturations = saturations
 
     def verdict(
         self, min_oscillating_windows: Optional[int] = None
@@ -175,6 +218,7 @@ class OscillationAnalyzer:
         min_peak_height: float = DEFAULT_MIN_PEAK_HEIGHT,
         min_oscillating_windows: int = 1,
         context_id_bits: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not 0 < window_fraction <= 1.0:
             raise DetectionError(
@@ -193,6 +237,38 @@ class OscillationAnalyzer:
         self.windows_analyzed = 0
         self.last_acf: Optional[np.ndarray] = None
         self._pairs: Dict[int, _PairState] = {}
+        m = metrics if metrics is not None else get_default()
+        labels = {"unit": unit}
+        self._m_windows = m.counter(
+            "cchunter_analyzer_windows_total",
+            "observation windows closed by the oscillation analyzer",
+            labels,
+        )
+        self._m_windows_skipped = m.counter(
+            "cchunter_analyzer_windows_skipped_total",
+            "windows closed without an autocorrelogram (too few train events)",
+            labels,
+        )
+        self._m_windows_significant = m.counter(
+            "cchunter_analyzer_windows_significant_total",
+            "windows whose autocorrelogram showed significant oscillation",
+            labels,
+        )
+        self._m_train_events = m.counter(
+            "cchunter_analyzer_train_events_total",
+            "cross-context conflict events folded into pair trains",
+            labels,
+        )
+        self._m_train_length = m.gauge(
+            "cchunter_analyzer_last_train_length",
+            "length of the last analyzed dominant-pair train",
+            labels,
+        )
+        self._m_acf_lags = m.gauge(
+            "cchunter_analyzer_last_acf_lags",
+            "lag-window width of the last computed autocorrelogram",
+            labels,
+        )
 
     def push(self, obs: QuantumObservation) -> None:
         recs = obs.conflicts
@@ -232,11 +308,14 @@ class OscillationAnalyzer:
             state.count += labels.size
             state.ones += int(labels.sum())
             state.acf.extend(labels)
+            self._m_train_events.inc(labels.size)
 
     def _close_window(self, quantum: int) -> None:
         self.windows_analyzed += 1
+        self._m_windows.inc()
         pairs, self._pairs = self._pairs, {}
         if not pairs:
+            self._m_windows_skipped.inc()
             return
         # Covert cache communication is a ping-pong between ONE pair of
         # contexts; analyze the dominant pair's labeled train (ties break
@@ -248,13 +327,19 @@ class OscillationAnalyzer:
             and 4 <= state.ones <= state.count - 4
         )
         if not both_directions:
+            self._m_windows_skipped.inc()
             return
         acf = state.acf.correlogram()
         self.last_acf = acf
-        self.analyses.append(
-            analyze_autocorrelogram(acf, min_peak_height=self.min_peak_height)
+        analysis = analyze_autocorrelogram(
+            acf, min_peak_height=self.min_peak_height
         )
+        self.analyses.append(analysis)
         self.analysis_quanta.append(quantum)
+        self._m_train_length.set(state.count)
+        self._m_acf_lags.set(acf.size)
+        if analysis.significant:
+            self._m_windows_significant.inc()
 
     def verdict(
         self, min_oscillating_windows: Optional[int] = None

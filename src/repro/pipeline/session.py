@@ -15,6 +15,7 @@ its analyzers around programmed auditor slots instead.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import LIKELIHOOD_RATIO_THRESHOLD, AuditorConfig
@@ -22,9 +23,14 @@ from repro.core.density import StreamingDensityHistogram
 from repro.core.oscillation import DEFAULT_MIN_PEAK_HEIGHT
 from repro.core.report import DetectionReport
 from repro.errors import DetectionError
+from repro.obs.log import get_logger
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry, get_default
+from repro.obs.tracing import trace_span
 from repro.pipeline.analyzers import Analyzer, BurstAnalyzer, OscillationAnalyzer
 from repro.pipeline.sinks import VerdictSink
 from repro.pipeline.source import ChannelKind, EventSource, QuantumObservation
+
+_log = get_logger("pipeline.session")
 
 
 class DetectionSession:
@@ -34,12 +40,31 @@ class DetectionSession:
         self,
         sinks: Iterable[VerdictSink] = (),
         track_detection_latency: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._analyzers: Dict[str, Analyzer] = {}
         self.sinks = list(sinks)
         self.track_detection_latency = track_detection_latency
         self.quanta_pushed = 0
         self._first_detection: Dict[str, int] = {}
+        #: Quanta whose verdicts were evaluated eagerly (== quanta_pushed
+        #: iff the session has been eager for its whole life so far).
+        self._quanta_evaluated = 0
+        self.metrics = metrics if metrics is not None else get_default()
+        self._m_quanta = self.metrics.counter(
+            "cchunter_session_quanta_total",
+            "quantum observations folded into the session",
+        )
+        self._m_verdict = self.metrics.histogram(
+            "cchunter_session_verdict_seconds",
+            "wall time of one eager per-quantum verdict evaluation",
+        )
+        self._m_sinks = self.metrics.histogram(
+            "cchunter_session_sink_seconds",
+            "wall time of one per-quantum sink dispatch",
+        )
+        self._push_hists: Dict[str, Histogram] = {}
+        self._first_gauges: Dict[str, Gauge] = {}
 
     # ------------------------------------------------------------- topology
 
@@ -57,6 +82,18 @@ class DetectionSession:
                 f"unit {analyzer.unit!r} already has an analyzer"
             )
         self._analyzers[analyzer.unit] = analyzer
+        self._push_hists[analyzer.unit] = self.metrics.histogram(
+            "cchunter_analyzer_push_seconds",
+            "wall time of one analyzer push (one quantum observation)",
+            labels={"unit": analyzer.unit},
+        )
+        gauge = self.metrics.gauge(
+            "cchunter_first_detection_quantum",
+            "quantum index of the unit's first detection (-1: none yet)",
+            labels={"unit": analyzer.unit},
+        )
+        gauge.set(-1)
+        self._first_gauges[analyzer.unit] = gauge
         return analyzer
 
     def analyzer_for(self, unit: str) -> Analyzer:
@@ -73,17 +110,40 @@ class DetectionSession:
 
     def push_quantum(self, obs: QuantumObservation) -> None:
         """Fold one quantum's observation into every analyzer."""
-        for analyzer in self._analyzers.values():
-            analyzer.push(obs)
+        timed = self.metrics.enabled
+        for unit, analyzer in self._analyzers.items():
+            with trace_span("analyzer.push", unit=unit, quantum=obs.quantum):
+                if timed:
+                    t0 = perf_counter()
+                    analyzer.push(obs)
+                    self._push_hists[unit].observe(perf_counter() - t0)
+                else:
+                    analyzer.push(obs)
         self.quanta_pushed += 1
+        self._m_quanta.inc()
         if not self._eager:
             return
-        report = self.current_verdicts()
+        with trace_span("session.verdicts", quantum=obs.quantum):
+            t0 = perf_counter() if timed else 0.0
+            report = self.current_verdicts()
+            if timed:
+                self._m_verdict.observe(perf_counter() - t0)
         for verdict in report.verdicts:
             if verdict.detected and verdict.unit not in self._first_detection:
                 self._first_detection[verdict.unit] = obs.quantum
-        for sink in self.sinks:
-            sink.on_quantum(obs.quantum, report)
+                self._first_gauges[verdict.unit].set(obs.quantum)
+                _log.info(
+                    "first detection of unit %r at quantum %d",
+                    verdict.unit,
+                    obs.quantum,
+                )
+        self._quanta_evaluated += 1
+        with trace_span("session.sinks", quantum=obs.quantum):
+            t0 = perf_counter() if timed else 0.0
+            for sink in self.sinks:
+                sink.on_quantum(obs.quantum, report)
+            if timed:
+                self._m_sinks.observe(perf_counter() - t0)
 
     def current_verdicts(
         self, min_oscillating_windows: Optional[int] = None
@@ -108,14 +168,20 @@ class DetectionSession:
     def first_detection_quantum(self, unit: str) -> Optional[int]:
         """First quantum at which ``unit``'s verdict fired, or None.
 
-        Exact when the session evaluates eagerly (sinks attached or
-        ``track_detection_latency``); otherwise reconstructed from the
-        analyzer's retained incremental state.
+        Exact when the session evaluated eagerly (sinks attached or
+        ``track_detection_latency``) for every quantum pushed so far; a
+        tracked detection is always returned, and an empty tracking map
+        then means "genuinely nothing detected yet". If any quantum was
+        pushed while the session was lazy (e.g. sinks attached mid-run),
+        the answer is reconstructed from the analyzer's retained
+        incremental state instead.
         """
+        analyzer = self.analyzer_for(unit)
         if unit in self._first_detection:
             return self._first_detection[unit]
-        analyzer = self.analyzer_for(unit)
-        if self._eager and self.quanta_pushed:
+        if self._eager and self._quanta_evaluated == self.quanta_pushed:
+            # Eager for the whole session: the map is authoritative, so
+            # its silence means no detection yet — not "unknown".
             return None
         return analyzer.first_detection_quantum()
 
@@ -130,6 +196,7 @@ def build_session(
     auditor_config: Optional[AuditorConfig] = None,
     sinks: Iterable[VerdictSink] = (),
     track_detection_latency: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DetectionSession:
     """A session with one analyzer per channel the source offers.
 
@@ -139,7 +206,9 @@ def build_session(
     """
     cfg = auditor_config or AuditorConfig()
     session = DetectionSession(
-        sinks=sinks, track_detection_latency=track_detection_latency
+        sinks=sinks,
+        track_detection_latency=track_detection_latency,
+        metrics=metrics,
     )
     for spec in source.channels():
         if spec.kind is ChannelKind.BURST:
@@ -155,6 +224,7 @@ def build_session(
                     ),
                     lr_threshold=lr_threshold,
                     n_bins=cfg.histogram_bins,
+                    metrics=session.metrics,
                 )
             )
         else:
@@ -166,6 +236,7 @@ def build_session(
                     min_train_events=min_train_events,
                     min_peak_height=min_peak_height,
                     context_id_bits=cfg.context_id_bits,
+                    metrics=session.metrics,
                 )
             )
     return session

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Callable, List, Optional, Protocol, TextIO, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, TextIO, Tuple
 
 from repro.core.report import DetectionReport, UnitVerdict
+from repro.obs.metrics import MetricsRegistry, get_default
 
 
 class VerdictSink(Protocol):
@@ -83,6 +84,63 @@ class StreamPrinterSink:
 
     def on_close(self, report: DetectionReport) -> None:
         pass
+
+
+class MetricsSink:
+    """Folds per-quantum verdict updates into a metrics registry.
+
+    The observability counterpart of :class:`StreamPrinterSink`: instead
+    of printing each report it counts them, tallies per-unit detected
+    verdicts, and records each unit's first-detection quantum as a gauge
+    — so a dashboard scraping the registry sees detection state without
+    any report parsing. Attach it to any session (or pass it to
+    ``analyze_traces``) to make replayed archives export the same metric
+    names live sessions do.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else get_default()
+        self._m_reports = self.metrics.counter(
+            "cchunter_sink_reports_total",
+            "per-quantum verdict reports dispatched to sinks",
+        )
+        self._m_closes = self.metrics.counter(
+            "cchunter_sink_closes_total",
+            "session closes observed",
+        )
+        self._detected: Dict[str, object] = {}
+        self._first_seen: Dict[str, int] = {}
+
+    def _detected_counter(self, unit: str):
+        counter = self._detected.get(unit)
+        if counter is None:
+            counter = self._detected[unit] = self.metrics.counter(
+                "cchunter_sink_detected_verdicts_total",
+                "per-quantum reports in which the unit's verdict fired",
+                labels={"unit": unit},
+            )
+        return counter
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None:
+        self._m_reports.inc()
+        for verdict in report.verdicts:
+            if not verdict.detected:
+                continue
+            self._detected_counter(verdict.unit).inc()
+            if verdict.unit not in self._first_seen:
+                self._first_seen[verdict.unit] = quantum
+                self.metrics.gauge(
+                    "cchunter_sink_first_detection_quantum",
+                    "quantum of the first detected verdict this sink saw",
+                    labels={"unit": verdict.unit},
+                ).set(quantum)
+
+    def on_close(self, report: DetectionReport) -> None:
+        self._m_closes.inc()
+
+    def first_detection(self, unit: str) -> Optional[int]:
+        """First quantum at which ``unit`` was detected, or None."""
+        return self._first_seen.get(unit)
 
 
 class CallbackSink:

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
 from repro.errors import DetectionError
+from repro.obs.metrics import MetricsRegistry, get_default
+from repro.obs.tracing import trace_span
 
 
 class ChannelKind(enum.Enum):
@@ -102,12 +105,26 @@ class MachineEventSource:
     consumers.
     """
 
-    def __init__(self, machine, auditor=None):
+    def __init__(self, machine, auditor=None, metrics: Optional[MetricsRegistry] = None):
         self.machine = machine
         self.auditor = auditor
         self._burst_taps: Dict[str, Tuple[ChannelSpec, object]] = {}
         self._conflict_spec: Optional[ChannelSpec] = None
         self._consumers: List[ObservationConsumer] = []
+        self.metrics = metrics if metrics is not None else get_default()
+        self._m_observations = self.metrics.counter(
+            "cchunter_source_observations_total",
+            "quantum observations emitted to subscribed consumers",
+        )
+        self._m_emit = self.metrics.histogram(
+            "cchunter_source_emit_seconds",
+            "wall time of one quantum-boundary tap read + fan-out",
+        )
+        self._m_conflicts = self.metrics.counter(
+            "cchunter_source_conflict_records_total",
+            "cache conflict-miss records handed to consumers",
+        )
+        self._channel_counters: Dict[str, object] = {}
         machine.on_quantum_end(self._emit)
 
     @property
@@ -131,6 +148,11 @@ class MachineEventSource:
             raise DetectionError(f"Δt must be positive, got {dt}")
         spec = ChannelSpec(name=name, kind=ChannelKind.BURST, dt=int(dt))
         self._burst_taps[name] = (spec, tap)
+        self._channel_counters[name] = self.metrics.counter(
+            "cchunter_source_channel_events_total",
+            "indicator events observed per channel",
+            labels={"channel": name},
+        )
         return spec
 
     def enable_conflict_channel(self, name: str = "cache") -> ChannelSpec:
@@ -143,19 +165,30 @@ class MachineEventSource:
     def _emit(self, quantum: int, t0: int, t1: int) -> None:
         if not self._consumers:
             return
-        counts = {
-            name: tap.density_counts(spec.dt, t0, t1)
-            for name, (spec, tap) in self._burst_taps.items()
-        }
-        conflicts = None
-        if self._conflict_spec is not None:
-            times, reps, vics = self.machine.cache_miss_tap.records_in(t0, t1)
-            if self.auditor is not None:
-                self.auditor.vectors.record_batch(reps, vics)
-                reps, vics = self.auditor.vectors.drain()
-            conflicts = ConflictRecords(times=times, replacers=reps, victims=vics)
-        obs = QuantumObservation(
-            quantum=quantum, t0=t0, t1=t1, counts=counts, conflicts=conflicts
-        )
-        for consumer in self._consumers:
-            consumer.push_quantum(obs)
+        timed = self.metrics.enabled
+        t_start = perf_counter() if timed else 0.0
+        with trace_span("source.emit", quantum=quantum):
+            counts = {
+                name: tap.density_counts(spec.dt, t0, t1)
+                for name, (spec, tap) in self._burst_taps.items()
+            }
+            conflicts = None
+            if self._conflict_spec is not None:
+                times, reps, vics = self.machine.cache_miss_tap.records_in(t0, t1)
+                if self.auditor is not None:
+                    self.auditor.vectors.record_batch(reps, vics)
+                    reps, vics = self.auditor.vectors.drain()
+                conflicts = ConflictRecords(
+                    times=times, replacers=reps, victims=vics
+                )
+                self._m_conflicts.inc(int(times.size))
+            obs = QuantumObservation(
+                quantum=quantum, t0=t0, t1=t1, counts=counts, conflicts=conflicts
+            )
+            for consumer in self._consumers:
+                consumer.push_quantum(obs)
+        if timed:
+            self._m_observations.inc()
+            for name, counter in self._channel_counters.items():
+                counter.inc(int(counts[name].sum()))
+            self._m_emit.observe(perf_counter() - t_start)

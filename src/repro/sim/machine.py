@@ -8,18 +8,21 @@ the quantum loop that drives per-OS-quantum detection hooks.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.config import MachineConfig
 from repro.errors import SimulationError
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_default
+from repro.obs.tracing import trace_span
 from repro.hardware.conflict_tracker import (
     ConflictMissTracker,
     GenerationConflictTracker,
 )
 from repro.sim.clock import Clock
-from repro.sim.engine import Engine, Priority
+from repro.sim.engine import Engine
 from repro.sim.events import EventTap, LabeledEventTap, RateSegmentTap
 from repro.sim.process import (
     BusLockBurst,
@@ -43,6 +46,8 @@ from repro.util.rng import derive_rng
 #: Signature of per-quantum hooks: (quantum index, window start, window end).
 QuantumHook = Callable[[int, int, int], None]
 
+_log = get_logger("sim.machine")
+
 
 class Machine:
     """A quad-core, 2-way SMT machine with auditable shared resources."""
@@ -52,12 +57,39 @@ class Machine:
         config: Optional[MachineConfig] = None,
         seed: int = 0,
         tracker: Optional[ConflictMissTracker] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config or MachineConfig()
         self.seed = seed
         self.clock = Clock(self.config.frequency_hz)
         self.engine = Engine()
-        self.scheduler = Scheduler(self.config)
+        self.metrics = metrics if metrics is not None else get_default()
+        self.scheduler = Scheduler(self.config, metrics=self.metrics)
+        self._m_quanta = self.metrics.counter(
+            "cchunter_sim_quanta_total", "OS quanta simulated"
+        )
+        self._m_events = self.metrics.counter(
+            "cchunter_sim_events_total", "discrete-event callbacks executed"
+        )
+        self._m_cycles = self.metrics.counter(
+            "cchunter_sim_cycles_total", "simulated cycles advanced"
+        )
+        self._m_wall = self.metrics.counter(
+            "cchunter_sim_wall_seconds_total",
+            "wall-clock seconds spent inside run_quanta",
+        )
+        self._m_qps = self.metrics.gauge(
+            "cchunter_sim_quanta_per_second",
+            "simulated quanta per wall second (last run_quanta call)",
+        )
+        self._m_time_ratio = self.metrics.gauge(
+            "cchunter_sim_time_ratio",
+            "simulated seconds per wall second (last run_quanta call)",
+        )
+        self._m_quantum_wall = self.metrics.histogram(
+            "cchunter_sim_quantum_wall_seconds",
+            "wall time of one simulated OS quantum (events + hooks)",
+        )
 
         # Indicator-event taps the CC-auditor can be pointed at.
         self.bus_lock_tap = EventTap("membus.lock")
@@ -225,13 +257,38 @@ class Machine:
         if n_quanta <= 0:
             raise SimulationError(f"must run a positive number of quanta: {n_quanta}")
         width = self.quantum_cycles
+        timed = self.metrics.enabled
+        t_start = perf_counter() if timed else 0.0
+        events_before = self.engine.events_executed
         for _ in range(n_quanta):
             q = self.quanta_completed
             t0, t1 = q * width, (q + 1) * width
-            self.engine.run_until(t1)
-            for hook in self._quantum_hooks:
-                hook(q, t0, t1)
+            t_quantum = perf_counter() if timed else 0.0
+            with trace_span("sim.quantum", quantum=q):
+                self.engine.run_until(t1)
+                for hook in self._quantum_hooks:
+                    hook(q, t0, t1)
+            if timed:
+                self._m_quantum_wall.observe(perf_counter() - t_quantum)
             self.quanta_completed += 1
+        if timed:
+            elapsed = perf_counter() - t_start
+            events = self.engine.events_executed - events_before
+            self._m_quanta.inc(n_quanta)
+            self._m_events.inc(events)
+            self._m_cycles.inc(n_quanta * width)
+            self._m_wall.inc(elapsed)
+            if elapsed > 0:
+                self._m_qps.set(n_quanta / elapsed)
+                self._m_time_ratio.set(
+                    n_quanta * self.config.os_quantum_seconds / elapsed
+                )
+            _log.debug(
+                "ran %d quanta (%d events) in %.3fs",
+                n_quanta,
+                events,
+                elapsed,
+            )
 
     def run_until(self, t_end: int) -> None:
         """Advance to an absolute cycle without quantum bookkeeping."""

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.errors import SchedulingError
+from repro.obs.metrics import MetricsRegistry, get_default
 from repro.sim.process import Process
 
 
@@ -30,12 +31,29 @@ class MigrationRecord:
 class Scheduler:
     """Allocates hardware contexts and tracks placement over time."""
 
-    def __init__(self, config: MachineConfig):
+    def __init__(
+        self,
+        config: MachineConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.config = config
         self._owner: Dict[int, Optional[Process]] = {
             ctx: None for ctx in range(config.n_contexts)
         }
         self.migrations: List[MigrationRecord] = []
+        m = metrics if metrics is not None else get_default()
+        self._m_placements = m.counter(
+            "cchunter_sched_placements_total",
+            "processes placed on hardware contexts",
+        )
+        self._m_migrations = m.counter(
+            "cchunter_sched_migrations_total",
+            "live-process migrations between contexts",
+        )
+        self._m_busy = m.gauge(
+            "cchunter_sched_contexts_busy",
+            "hardware contexts currently occupied",
+        )
 
     def contexts_of_core(self, core: int) -> List[int]:
         """Hardware context ids belonging to ``core``."""
@@ -88,12 +106,15 @@ class Scheduler:
             chosen = free[0]
         self._owner[chosen] = process
         process.ctx = chosen
+        self._m_placements.inc()
+        self._m_busy.inc()
         return chosen
 
     def release(self, process: Process) -> None:
         """Free the context a finished process occupied."""
         if process.ctx is not None and self._owner.get(process.ctx) is process:
             self._owner[process.ctx] = None
+            self._m_busy.dec()
 
     def migrate(self, process: Process, new_ctx: int, time: int) -> None:
         """Move a live process to another context, recording the migration.
@@ -112,6 +133,7 @@ class Scheduler:
         self.migrations.append(
             MigrationRecord(time, process.name, old_ctx, new_ctx)
         )
+        self._m_migrations.inc()
 
     def context_history(self, process_name: str, initial_ctx: int) -> List[int]:
         """All context ids a process has occupied, in order."""

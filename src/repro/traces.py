@@ -14,14 +14,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.density import default_delta_t
 from repro.core.report import DetectionReport
 from repro.errors import DetectionError
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_default
+from repro.obs.tracing import trace_span
 from repro.pipeline.session import build_session
+from repro.pipeline.sinks import VerdictSink
 from repro.pipeline.source import (
     ChannelKind,
     ChannelSpec,
@@ -32,6 +37,8 @@ from repro.pipeline.source import (
 from repro.sim.machine import Machine
 
 _FORMAT_VERSION = 1
+
+_log = get_logger("traces")
 
 
 @dataclass
@@ -183,12 +190,14 @@ class ArchiveEventSource:
         divider_dt: Optional[int] = None,
         multiplier_dt: Optional[int] = None,
         include_idle: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.archive = archive
         self._specs: List[ChannelSpec] = []
         #: name -> (dt, whole-horizon per-Δt counts) for dense channels.
         self._dense: Dict[str, Tuple[int, np.ndarray]] = {}
         self._consumers: List[ObservationConsumer] = []
+        self.metrics = metrics if metrics is not None else get_default()
 
         self._bus_dt = bus_dt or default_delta_t("membus")
         self._specs.append(
@@ -258,9 +267,32 @@ class ArchiveEventSource:
 
     def replay(self) -> None:
         """Push every recorded quantum to the subscribed consumers."""
-        for obs in self:
-            for consumer in self._consumers:
-                consumer.push_quantum(obs)
+        timed = self.metrics.enabled
+        t_start = perf_counter() if timed else 0.0
+        with trace_span("replay.run", n_quanta=self.archive.n_quanta):
+            for obs in self:
+                for consumer in self._consumers:
+                    consumer.push_quantum(obs)
+        if timed:
+            elapsed = perf_counter() - t_start
+            self.metrics.counter(
+                "cchunter_replay_quanta_total",
+                "archived quanta replayed through the pipeline",
+            ).inc(self.archive.n_quanta)
+            self.metrics.counter(
+                "cchunter_replay_seconds_total",
+                "wall-clock seconds spent replaying archives",
+            ).inc(elapsed)
+            if elapsed > 0:
+                self.metrics.gauge(
+                    "cchunter_replay_quanta_per_second",
+                    "replay throughput of the last replay() call",
+                ).set(self.archive.n_quanta / elapsed)
+            _log.info(
+                "replayed %d quanta in %.3fs",
+                self.archive.n_quanta,
+                elapsed,
+            )
 
 
 def analyze_traces(
@@ -271,13 +303,18 @@ def analyze_traces(
     max_lag: int = 1000,
     min_train_events: int = 64,
     window_fraction: float = 1.0,
+    sinks: Iterable[VerdictSink] = (),
+    track_detection_latency: bool = False,
 ) -> DetectionReport:
     """Run the full CC-Hunter analysis offline over a trace archive.
 
     Builds an :class:`ArchiveEventSource` and replays it through a
     standard :func:`~repro.pipeline.session.build_session` pipeline — the
     identical analyzer code path live sessions use, so offline verdicts
-    cannot drift from online ones.
+    cannot drift from online ones. ``sinks`` (e.g. a
+    :class:`~repro.pipeline.sinks.MetricsSink`) and
+    ``track_detection_latency`` make the replayed session evaluate
+    verdicts eagerly each quantum, exactly like a live eager session.
     """
     source = ArchiveEventSource(
         archive,
@@ -290,7 +327,9 @@ def analyze_traces(
         window_fraction=window_fraction,
         max_lag=max_lag,
         min_train_events=min_train_events,
+        sinks=sinks,
+        track_detection_latency=track_detection_latency,
     )
     source.subscribe(session)
     source.replay()
-    return session.current_verdicts()
+    return session.close() if session.sinks else session.current_verdicts()

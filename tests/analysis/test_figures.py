@@ -1,6 +1,5 @@
 """Tests for the figure experiment drivers (small, fast configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import figures as F

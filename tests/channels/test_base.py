@@ -5,7 +5,6 @@ import pytest
 from repro.channels.base import ChannelConfig, CovertChannel
 from repro.errors import ChannelError
 from repro.sim.process import Compute
-from repro.util.bitstream import Message
 
 
 class MiniChannel(CovertChannel):

@@ -1,6 +1,5 @@
 """Tests for the CCHunter facade (audit slots, per-quantum flow, verdicts)."""
 
-import numpy as np
 import pytest
 
 from repro.core.detector import AuditUnit, CCHunter

@@ -1,6 +1,5 @@
 """Tests for post-detection mitigations: each one defeats its channel."""
 
-import numpy as np
 import pytest
 
 from repro.channels.base import ChannelConfig

@@ -1,0 +1,87 @@
+"""Tests for the structured repro.* logging layer."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import ROOT_LOGGER_NAME, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    """Leave the repro logger tree as we found it."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("pipeline.session").name == "repro.pipeline.session"
+
+    def test_already_namespaced_names_pass_through(self):
+        assert get_logger("repro.sim.machine").name == "repro.sim.machine"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_text_mode_emits_formatted_lines(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", stream=stream)
+        get_logger("sim.machine").info("ran %d quanta", 4)
+        line = stream.getvalue()
+        assert "repro.sim.machine" in line
+        assert "ran 4 quanta" in line
+        assert "INFO" in line
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="WARNING", stream=stream)
+        get_logger("traces").info("suppressed")
+        assert stream.getvalue() == ""
+
+    def test_json_mode_emits_parseable_records(self):
+        stream = io.StringIO()
+        configure_logging(level="DEBUG", json_mode=True, stream=stream)
+        get_logger("pipeline.session").debug(
+            "first detection", extra={"unit": "membus", "quantum": 7}
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "DEBUG"
+        assert payload["logger"] == "repro.pipeline.session"
+        assert payload["message"] == "first detection"
+        assert payload["unit"] == "membus"
+        assert payload["quantum"] == 7
+        assert isinstance(payload["ts"], float)
+
+    def test_reconfigure_replaces_own_handler_only(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        foreign = logging.NullHandler()
+        root.addHandler(foreign)
+        configure_logging(level="INFO", stream=io.StringIO())
+        configure_logging(level="DEBUG", stream=io.StringIO())
+        tagged = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        # one tagged handler total, the foreign one untouched
+        assert len(tagged) == 1
+        assert foreign in root.handlers
+
+    def test_does_not_touch_global_root(self):
+        configure_logging(level="DEBUG", stream=io.StringIO())
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert root.propagate is False
+        assert not any(
+            getattr(h, "_repro_obs_handler", False)
+            for h in logging.getLogger().handlers
+        )
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="LOUD")

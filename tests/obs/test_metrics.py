@@ -1,0 +1,190 @@
+"""Tests for the metrics registry and its exposition formats."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    get_default,
+    load_snapshot,
+    metric_names,
+    new_default,
+    render_prometheus,
+    set_default,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = MetricsRegistry().counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("x")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_places_in_bucket(self):
+        h = MetricsRegistry().histogram("x_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(10.0)   # inclusive upper bound
+        h.observe(100.0)  # overflow -> implicit +Inf bucket
+        assert h.counts == [1, 1, 1]
+        assert h.cumulative() == [1, 2, 3]
+        assert h.count == 3
+        assert h.sum == pytest.approx(110.5)
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 5.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("x", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.counter("a_total", labels={"unit": "m"}) is not (
+            reg.counter("a_total")
+        )
+        assert reg.counter("a_total", labels={"unit": "m"}) is (
+            reg.counter("a_total", labels={"unit": "m"})
+        )
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(MetricsError):
+            reg.gauge("a")
+
+    def test_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,))
+        with pytest.raises(MetricsError):
+            reg.histogram("h", buckets=(2.0,))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("0bad")
+        with pytest.raises(MetricsError):
+            reg.counter("ok", labels={"0bad": "v"})
+
+
+class TestSnapshot:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter", labels={"unit": "membus"}).inc(3)
+        reg.gauge("g", "a gauge").set(1.5)
+        reg.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0)).observe(
+            0.05
+        )
+        return reg
+
+    def test_to_dict_shape(self):
+        snap = self._populated().to_dict()
+        assert snap["format"] == "repro.obs.metrics/v1"
+        counter = snap["metrics"]["c_total"]
+        assert counter["type"] == "counter"
+        assert counter["series"] == [
+            {"labels": {"unit": "membus"}, "value": 3.0}
+        ]
+        hist = snap["metrics"]["h_seconds"]["series"][0]
+        assert hist["buckets"] == [["0.1", 1], ["1", 1], ["+Inf", 1]]
+        assert hist["count"] == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        reg = self._populated()
+        path = str(tmp_path / "metrics.json")
+        reg.write_json(path)
+        snap = load_snapshot(path)
+        assert snap == reg.to_dict()
+        assert list(metric_names(snap)) == ["c_total", "g", "h_seconds"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(MetricsError):
+            load_snapshot(str(path))
+
+    def test_prometheus_names_match_json(self, tmp_path):
+        """Live exposition and re-rendered --metrics-out JSON agree."""
+        reg = self._populated()
+        path = str(tmp_path / "metrics.json")
+        reg.write_json(path)
+        assert render_prometheus(load_snapshot(path)) == (
+            reg.render_prometheus()
+        )
+
+    def test_prometheus_text_format(self):
+        text = self._populated().render_prometheus()
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{unit="membus"} 3' in text
+        assert "# HELP g a gauge" in text
+        assert "g 1.5" in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"unit": 'a"b\\c'}).inc()
+        assert 'unit="a\\"b\\\\c"' in reg.render_prometheus()
+
+    def test_render_rejects_foreign_snapshot(self):
+        with pytest.raises(MetricsError):
+            render_prometheus({"metrics": {}})
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        reg = NullRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(5)
+        reg.gauge("g").inc()
+        reg.gauge("g").dec()
+        reg.histogram("h").observe(5)
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0
+        assert reg.histogram("h").count == 0
+        assert reg.to_dict()["metrics"] == {}
+
+    def test_disabled_flag(self):
+        assert MetricsRegistry.enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestDefaultRegistry:
+    def test_new_default_installs_fresh_registry(self):
+        old = get_default()
+        try:
+            fresh = new_default()
+            assert get_default() is fresh
+            assert fresh is not old
+            assert math.isfinite(fresh.counter("x").value)
+        finally:
+            set_default(old)

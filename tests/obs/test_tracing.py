@@ -1,0 +1,105 @@
+"""Tests for the span recorder and trace_span context manager."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    SpanRecorder,
+    disable_tracing,
+    enable_tracing,
+    get_recorder,
+    trace_span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestTraceSpan:
+    def test_disabled_returns_shared_noop(self):
+        assert not tracing_enabled()
+        assert get_recorder() is None
+        span_a = trace_span("analyzer.push", unit="membus")
+        span_b = trace_span("sim.quantum")
+        assert span_a is span_b  # shared no-op singleton
+        with span_a:
+            pass  # records nothing, raises nothing
+
+    def test_enabled_records_name_duration_attrs(self):
+        recorder = enable_tracing()
+        assert tracing_enabled()
+        assert get_recorder() is recorder
+        with trace_span("analyzer.push", unit="membus", quantum=3):
+            pass
+        (span,) = recorder.spans()
+        assert span.name == "analyzer.push"
+        assert span.attrs == {"unit": "membus", "quantum": 3}
+        assert span.duration >= 0.0
+        assert span.start >= 0.0  # relative to recorder origin
+
+    def test_span_recorded_even_when_body_raises(self):
+        recorder = enable_tracing()
+        with pytest.raises(ValueError):
+            with trace_span("session.verdicts"):
+                raise ValueError("boom")
+        assert [s.name for s in recorder.spans()] == ["session.verdicts"]
+
+    def test_disable_stops_recording(self):
+        recorder = enable_tracing()
+        with trace_span("a"):
+            pass
+        disable_tracing()
+        with trace_span("b"):
+            pass
+        assert [s.name for s in recorder.spans()] == ["a"]
+
+
+class TestSpanRecorder:
+    def test_ring_buffer_keeps_newest(self):
+        recorder = SpanRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(f"s{i}", 0.0, 0.0, {})
+        assert [s.name for s in recorder.spans()] == ["s3", "s4"]
+        assert recorder.spans_recorded == 5
+        assert recorder.spans_dropped == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+    def test_to_dicts(self):
+        recorder = SpanRecorder()
+        recorder.record("source.emit", recorder.origin + 1.0, 0.5, {"q": 1})
+        (d,) = recorder.to_dicts()
+        assert d == {
+            "name": "source.emit",
+            "start_s": pytest.approx(1.0),
+            "duration_s": 0.5,
+            "attrs": {"q": 1},
+        }
+
+    def test_chrome_trace_export(self, tmp_path):
+        recorder = SpanRecorder()
+        recorder.record("sim.quantum", recorder.origin, 0.002, {"quantum": 0})
+        path = tmp_path / "trace.json"
+        recorder.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "sim.quantum"
+        assert event["dur"] == pytest.approx(2000.0)  # microseconds
+        assert event["args"] == {"quantum": 0}
+
+    def test_clear(self):
+        recorder = SpanRecorder()
+        recorder.record("a", 0.0, 0.0, {})
+        recorder.clear()
+        assert recorder.spans() == []

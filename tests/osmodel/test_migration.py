@@ -1,7 +1,6 @@
 """Tests for migration-aware context unification."""
 
 import numpy as np
-import pytest
 
 from repro.channels.base import ChannelConfig
 from repro.channels.cache import CacheCovertChannel

@@ -15,7 +15,6 @@ from repro.pipeline import (
     CollectingSink,
     DetectionSession,
     MachineEventSource,
-    OscillationAnalyzer,
     QuantumObservation,
     StreamPrinterSink,
     build_session,
@@ -182,6 +181,35 @@ class TestDetectionLatencyTracking:
         eager_q = eager.hunter.first_detection_quantum(AuditUnit.MEMORY_BUS)
         assert lazy_q is not None
         assert eager_q == lazy_q
+
+    def test_eager_session_without_detection_returns_none(self):
+        """Regression: an eager session that never detected must answer
+        None directly — its tracking map is authoritative — instead of
+        falling through to the analyzer's retrospective reconstruction."""
+        session = DetectionSession(track_detection_latency=True)
+        analyzer = BurstAnalyzer(unit="membus", dt=100)
+        session.add_analyzer(analyzer)
+        for quantum in range(3):
+            session.push_quantum(
+                _obs(quantum, {"membus": np.zeros(8, dtype=np.int64)})
+            )
+        # Poison the fallback: reaching it means the eager map was ignored.
+        analyzer.first_detection_quantum = lambda: pytest.fail(
+            "eager session fell through to analyzer reconstruction"
+        )
+        assert session.first_detection_quantum("membus") is None
+
+    def test_sink_attached_mid_run_falls_back_to_analyzer(self):
+        """Quanta pushed while lazy aren't in the tracking map, so the
+        session must reconstruct from the analyzer's retained state."""
+        session = DetectionSession()
+        analyzer = BurstAnalyzer(unit="membus", dt=100)
+        session.add_analyzer(analyzer)
+        session.push_quantum(_obs(0, {"membus": np.zeros(8, dtype=np.int64)}))
+        session.sinks.append(CollectingSink())  # eager from quantum 1 on
+        session.push_quantum(_obs(1, {"membus": np.zeros(8, dtype=np.int64)}))
+        analyzer.first_detection_quantum = lambda: 0  # sentinel
+        assert session.first_detection_quantum("membus") == 0
 
 
 class TestOscillationAnalyzerIncremental:

@@ -1,6 +1,5 @@
 """Tests for the shared L2 cache and conflict-miss event generation."""
 
-import numpy as np
 import pytest
 
 from repro.config import CacheConfig

@@ -1,6 +1,5 @@
 """Tests for the machine: process execution, op dispatch, quantum loop."""
 
-import numpy as np
 import pytest
 
 from repro.config import MachineConfig

@@ -118,3 +118,116 @@ class TestCommands:
         assert main(["false-alarms", "--quanta", "2"]) == 0
         out = capsys.readouterr().out
         assert "false alarms: 0" in out
+
+
+class TestObservability:
+    DETECT = [
+        "detect", "--channel", "membus", "--bandwidth", "1000",
+        "--bits", "8", "--no-noise",
+    ]
+
+    def test_detect_metrics_out(self, tmp_path, capsys):
+        from repro.obs.metrics import load_snapshot, metric_names
+
+        path = str(tmp_path / "metrics.json")
+        assert main(self.DETECT + ["--metrics-out", path]) == 0
+        assert "metrics snapshot written" in capsys.readouterr().err
+        snapshot = load_snapshot(path)
+        names = set(metric_names(snapshot))
+        # The acceptance contract: throughput, per-analyzer push latency,
+        # first detection, and accumulator saturation are all in the file.
+        assert "cchunter_sim_quanta_per_second" in names
+        assert "cchunter_analyzer_push_seconds" in names
+        assert "cchunter_first_detection_quantum" in names
+        assert "cchunter_analyzer_clamp_events_total" in names
+        assert "cchunter_analyzer_entry_saturation_total" in names
+        push = snapshot["metrics"]["cchunter_analyzer_push_seconds"]
+        assert push["series"][0]["labels"] == {"unit": "membus"}
+        assert push["series"][0]["count"] >= 1
+
+    def test_detect_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(self.DETECT + ["--trace-out", str(path)]) == 0
+        assert "chrome trace" in capsys.readouterr().err
+        doc = json.loads(path.read_text())
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert {"sim.quantum", "source.emit", "analyzer.push"} <= names
+
+    def test_metrics_subcommand_prometheus(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.json")
+        assert main(self.DETECT + ["--metrics-out", path]) == 0
+        capsys.readouterr()
+        assert main(["metrics", path]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE cchunter_sim_quanta_total counter" in text
+        assert (
+            'cchunter_analyzer_push_seconds_bucket{unit="membus",le="+Inf"}'
+            in text
+        )
+        assert 'cchunter_first_detection_quantum{unit="membus"}' in text
+
+    def test_metrics_subcommand_json(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.json")
+        assert main(self.DETECT + ["--metrics-out", path]) == 0
+        capsys.readouterr()
+        assert main(["metrics", path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.obs.metrics/v1"
+
+    def test_prometheus_names_match_json_names(self, tmp_path, capsys):
+        """Identical metric names in JSON snapshot and text exposition."""
+        import re
+
+        from repro.obs.metrics import load_snapshot, metric_names
+
+        path = str(tmp_path / "metrics.json")
+        assert main(self.DETECT + ["--metrics-out", path]) == 0
+        capsys.readouterr()
+        assert main(["metrics", path]) == 0
+        text = capsys.readouterr().out
+        exposed = {
+            m.group(1)
+            for m in re.finditer(r"^# TYPE (\S+)", text, flags=re.M)
+        }
+        assert exposed == set(metric_names(load_snapshot(path)))
+
+    def test_analyze_metrics_out(self, tmp_path, capsys):
+        from repro.obs.metrics import load_snapshot
+
+        archive_path = str(tmp_path / "session.npz")
+        assert main([
+            "record", archive_path, "--channel", "membus",
+            "--bandwidth", "100", "--bits", "30", "--seed", "2",
+        ]) == 0
+        capsys.readouterr()
+        path = str(tmp_path / "metrics.json")
+        assert main(["analyze", archive_path, "--metrics-out", path]) == 3
+        snapshot = load_snapshot(path)
+        metrics = snapshot["metrics"]
+        assert metrics["cchunter_replay_quanta_total"]["series"][0][
+            "value"
+        ] == 3
+        # The replay ran eagerly, so first detection is in the snapshot.
+        first = metrics["cchunter_first_detection_quantum"]["series"]
+        assert any(
+            s["labels"] == {"unit": "membus"} and s["value"] >= 0
+            for s in first
+        )
+
+    def test_log_level_flag(self, capsys):
+        assert main(["--log-level", "DEBUG"] + self.DETECT) == 0
+        err = capsys.readouterr().err
+        assert "repro.sim.machine" in err
+
+    def test_log_json_flag(self, capsys):
+        assert main(
+            ["--log-level", "DEBUG", "--log-json"] + self.DETECT
+        ) == 0
+        lines = [
+            line for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["logger"].startswith("repro.")

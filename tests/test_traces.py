@@ -1,6 +1,5 @@
 """Tests for trace export / offline analysis."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import run_channel_session

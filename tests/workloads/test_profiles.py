@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.sim.machine import Machine
 from repro.workloads import (
     WORKLOADS,
     background_noise_processes,
