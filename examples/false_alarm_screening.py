@@ -6,16 +6,22 @@ false-alarm study: pairs of CPU-, memory- and I/O-intensive programs run
 as hyperthreads while CC-Hunter audits the bus, the divider and the
 cache. None of them should trip a detector — including the mailserver
 pair, whose fsync clusters form a real (but weak) second bus-lock
-distribution. Run with::
+distribution.
 
-    python examples/false_alarm_screening.py
+The pairs are independent trials, so the screen fans them out through
+``repro.exec.TrialRunner`` — results are bit-identical at any job
+count. Run with::
+
+    python examples/false_alarm_screening.py          # serial
+    python examples/false_alarm_screening.py --jobs 0 # every CPU
 """
 
-from repro import AuditUnit, CCHunter, Machine
+import argparse
+import sys
+
 from repro.analysis.ascii_plot import render_histogram
-from repro.analysis.figures import aggregate_histogram
-from repro.core.burst import analyze_histogram
-from repro.workloads import mailserver, stream, webserver, workload_process
+from repro.analysis.figures import fig14_false_alarms
+from repro.workloads import mailserver, stream, webserver
 from repro.workloads.spec import bzip2, gobmk, h264ref, sjeng
 
 PAIRS = [
@@ -27,44 +33,32 @@ PAIRS = [
 ]
 
 
-def screen(pair, n_quanta=8, seed=9):
-    machine = Machine(seed=seed)
-    hunter = CCHunter(machine)
-    hunter.audit(AuditUnit.MEMORY_BUS)
-    hunter.audit(AuditUnit.DIVIDER, core=0)
-    cache_hunter = CCHunter(machine)
-    cache_hunter.audit(AuditUnit.CACHE)
-    machine.spawn(
-        workload_process(pair[0], machine, n_quanta, seed=1, instance=0),
-        ctx=0,
-    )
-    machine.spawn(
-        workload_process(pair[1], machine, n_quanta, seed=2, instance=1),
-        ctx=1,
-    )
-    machine.run_quanta(n_quanta)
-    return machine, hunter, cache_hunter
-
-
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial, 0 = all CPUs)",
+    )
+    args = parser.parse_args()
+
+    def progress(done: int, total: int) -> None:
+        print(f"  screened {done}/{total} pairs", file=sys.stderr)
+
+    results = fig14_false_alarms(
+        pairs=PAIRS, n_quanta=8, seed=9, jobs=args.jobs, progress=progress
+    )
     alarms = 0
-    for pair in PAIRS:
-        name = f"{pair[0].name}+{pair[1].name}"
-        machine, hunter, cache_hunter = screen(pair)
-        report = hunter.report()
-        cache_verdict = cache_hunter.report().verdicts[0]
-        tripped = report.any_detected or cache_verdict.detected
-        alarms += tripped
-        bus_hist = aggregate_histogram(hunter, AuditUnit.MEMORY_BUS)
-        bus_lr = analyze_histogram(bus_hist).likelihood_ratio
+    for result in results:
+        name = "+".join(result.pair)
+        alarms += result.any_alarm
         print(
-            f"{name:<26} bus LR {bus_lr:.3f} | cache peak "
-            f"{cache_verdict.max_peak or 0:.2f} | "
-            f"{'ALARM' if tripped else 'clear'}"
+            f"{name:<26} bus LR {result.bus_lr:.3f} | cache peak "
+            f"{result.cache_max_peak:.2f} | "
+            f"{'ALARM' if result.any_alarm else 'clear'}"
         )
-        if pair[0].name == "mailserver":
+        if result.pair[0] == "mailserver":
             print(render_histogram(
-                bus_hist, max_bins=24,
+                result.bus_hist, max_bins=24,
                 title="  mailserver's weak second mode (bins ~5-8, "
                 "below the 0.5 LR threshold):",
             ))

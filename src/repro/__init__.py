@@ -58,6 +58,7 @@ from repro.core import (
     build_density_histogram,
 )
 from repro.errors import ReproError
+from repro.exec import TrialRunner, TrialSpec, run_trials
 from repro.hardware import (
     BloomFilter,
     CCAuditor,
@@ -123,6 +124,10 @@ __all__ = [
     # workloads
     "WORKLOADS",
     "background_noise_processes",
+    # parallel execution
+    "TrialRunner",
+    "TrialSpec",
+    "run_trials",
     # utilities
     "Message",
     "bit_error_rate",

@@ -7,6 +7,14 @@ bench-friendly values; pass larger ``n_bits`` / ``n_messages`` /
 ``n_quanta`` for paper-scale runs (the benchmarks print both the series
 summaries and the headline numbers).
 
+The sweep figures (10-14) are built from *independent* trials, so each
+takes ``jobs`` (worker processes; 1 = in-process serial, 0 = every CPU)
+and an optional ``progress(done, total)`` callback, and fans its trials
+out through :class:`repro.exec.TrialRunner`. Results are bit-identical
+for every ``jobs`` value — trial seeds are pure functions of the trial
+parameters and results are gathered in canonical order (see
+docs/PERFORMANCE.md; tests/exec/test_equivalence.py enforces this).
+
 See DESIGN.md for the experiment index mapping figures to modules, and
 EXPERIMENTS.md for measured-vs-paper values.
 """
@@ -28,6 +36,7 @@ from repro.core.detector import AuditUnit, CCHunter
 from repro.core.event_train import dominant_pair_series
 from repro.core.oscillation import OscillationAnalysis, analyze_autocorrelogram
 from repro.errors import ReproError
+from repro.exec import TrialRunner, TrialSpec
 from repro.sim.machine import Machine
 from repro.util.bitstream import Message
 from repro.util.stats import poisson_pmf, sample_counts_to_histogram
@@ -455,6 +464,38 @@ def _message_with_ones(n_bits: int, seed: int, min_ones: int = 2) -> Message:
     return Message.from_bits(bits)
 
 
+def _fig10_trial(
+    kind: str,
+    bandwidth_bps: float,
+    n_bits: int,
+    seed: int,
+    cache_sets: int,
+) -> BandwidthPoint:
+    """One (channel, bandwidth) cell of Figure 10; picklable trial."""
+    message = _message_with_ones(n_bits, seed)
+    kwargs = {"n_sets_total": cache_sets} if kind == "cache" else {}
+    run = run_channel_session(kind, message, bandwidth_bps, seed=seed, **kwargs)
+    verdict = run.hunter.report().verdicts[0]
+    if kind == "cache":
+        lr = None
+        peak = verdict.max_peak
+    else:
+        unit = _AUDITS[kind]
+        core = 0 if kind == "divider" else None
+        agg = aggregate_histogram(run.hunter, unit, core=core)
+        lr = analyze_histogram(agg).likelihood_ratio
+        peak = None
+    return BandwidthPoint(
+        kind=kind,
+        bandwidth_bps=bandwidth_bps,
+        likelihood_ratio=lr,
+        detected=verdict.detected,
+        max_peak=peak,
+        ber=run.ber,
+        quanta=run.quanta,
+    )
+
+
 def fig10_bandwidth_sweep(
     seed: int = 1,
     bandwidths: Sequence[float] = (0.1, 10.0, 1000.0),
@@ -462,6 +503,8 @@ def fig10_bandwidth_sweep(
     n_bits: int = 16,
     cache_sets: int = 256,
     min_quanta_burst: int = 3,
+    jobs: int = 1,
+    progress=None,
 ) -> List[BandwidthPoint]:
     """Figure 10: detection across 0.1 / 10 / 1000 bps.
 
@@ -472,40 +515,27 @@ def fig10_bandwidth_sweep(
     cover ``min_quanta_burst`` quanta (recurrence needs several windows —
     a real channel would simply keep transmitting).
     """
-    points: List[BandwidthPoint] = []
     quantum_seconds = 0.1
+    params = []
     for bw in bandwidths:
         bits = n_bits_low_bw if bw < 1.0 else n_bits
         burst_bits = max(
             bits, int(bw * quantum_seconds * min_quanta_burst)
         )
         for kind in ("membus", "divider", "cache"):
-            n = bits if kind == "cache" else burst_bits
-            message = _message_with_ones(n, seed)
-            kwargs = {"n_sets_total": cache_sets} if kind == "cache" else {}
-            run = run_channel_session(kind, message, bw, seed=seed, **kwargs)
-            verdict = run.hunter.report().verdicts[0]
-            if kind == "cache":
-                lr = None
-                peak = verdict.max_peak
-            else:
-                unit = _AUDITS[kind]
-                core = 0 if kind == "divider" else None
-                agg = aggregate_histogram(run.hunter, unit, core=core)
-                lr = analyze_histogram(agg).likelihood_ratio
-                peak = None
-            points.append(
-                BandwidthPoint(
-                    kind=kind,
-                    bandwidth_bps=bw,
-                    likelihood_ratio=lr,
-                    detected=verdict.detected,
-                    max_peak=peak,
-                    ber=run.ber,
-                    quanta=run.quanta,
-                )
-            )
-    return points
+            params.append({
+                "kind": kind,
+                "bandwidth_bps": bw,
+                "n_bits": bits if kind == "cache" else burst_bits,
+            })
+    spec = TrialSpec(
+        fn=_fig10_trial,
+        common={"seed": seed, "cache_sets": cache_sets},
+        key="fig10",
+    )
+    return TrialRunner(jobs=jobs, progress=progress).run_trials(
+        spec, params=params
+    )
 
 
 # --------------------------------------------------------------------------
@@ -523,6 +553,48 @@ class WindowScalingPoint:
     windows_analyzed: int
 
 
+def _fig11_fraction(
+    fraction: float,
+    times: np.ndarray,
+    reps: np.ndarray,
+    vics: np.ndarray,
+    quantum: int,
+    horizon: int,
+    max_lag: int,
+    min_train_events: int,
+) -> WindowScalingPoint:
+    """Re-analyze one session's conflict records at one window size."""
+    width = max(1, int(round(quantum * fraction)))
+    best = 0.0
+    significant = 0
+    analyzed = 0
+    start = 0
+    while start < horizon:
+        end = min(start + width, horizon)
+        lo = np.searchsorted(times, start, side="left")
+        hi = np.searchsorted(times, end, side="left")
+        analyzed += 1
+        labels, _idx, _pair = dominant_pair_series(
+            reps[lo:hi], vics[lo:hi]
+        )
+        if (
+            labels.size >= min_train_events
+            and 4 <= int(labels.sum()) <= labels.size - 4
+        ):
+            analysis = analyze_autocorrelogram(
+                autocorrelogram(labels, max_lag)
+            )
+            best = max(best, analysis.max_peak)
+            significant += int(analysis.significant)
+        start = end
+    return WindowScalingPoint(
+        fraction=fraction,
+        best_peak=best,
+        significant_windows=significant,
+        windows_analyzed=analyzed,
+    )
+
+
 def fig11_window_scaling(
     seed: int = 1,
     fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.25),
@@ -531,6 +603,8 @@ def fig11_window_scaling(
     cache_sets: int = 256,
     max_lag: int = 1000,
     min_train_events: int = 64,
+    jobs: int = 1,
+    progress=None,
 ) -> List[WindowScalingPoint]:
     """Figure 11: shrinking the window sharpens low-bandwidth detection.
 
@@ -538,7 +612,9 @@ def fig11_window_scaling(
     quantum, so full-window trains are noise-diluted; fractional windows
     isolate the clusters and the repetitive peaks emerge. One session is
     simulated and its conflict records re-analyzed at every window size
-    (exactly what the software daemon would do at a finer cadence).
+    (exactly what the software daemon would do at a finer cadence) —
+    the session runs once in-process, the per-fraction re-analyses fan
+    out.
     """
     message = _message_with_ones(n_bits, seed)
     run = run_channel_session(
@@ -546,42 +622,22 @@ def fig11_window_scaling(
     )
     horizon = run.quanta * run.machine.quantum_cycles
     times, reps, vics = run.machine.cache_miss_tap.records_in(0, horizon)
-    quantum = run.machine.quantum_cycles
-
-    points = []
-    for fraction in fractions:
-        width = max(1, int(round(quantum * fraction)))
-        best = 0.0
-        significant = 0
-        analyzed = 0
-        start = 0
-        while start < horizon:
-            end = min(start + width, horizon)
-            lo = np.searchsorted(times, start, side="left")
-            hi = np.searchsorted(times, end, side="left")
-            analyzed += 1
-            labels, _idx, _pair = dominant_pair_series(
-                reps[lo:hi], vics[lo:hi]
-            )
-            if (
-                labels.size >= min_train_events
-                and 4 <= int(labels.sum()) <= labels.size - 4
-            ):
-                analysis = analyze_autocorrelogram(
-                    autocorrelogram(labels, max_lag)
-                )
-                best = max(best, analysis.max_peak)
-                significant += int(analysis.significant)
-            start = end
-        points.append(
-            WindowScalingPoint(
-                fraction=fraction,
-                best_peak=best,
-                significant_windows=significant,
-                windows_analyzed=analyzed,
-            )
-        )
-    return points
+    spec = TrialSpec(
+        fn=_fig11_fraction,
+        common={
+            "times": times,
+            "reps": reps,
+            "vics": vics,
+            "quantum": run.machine.quantum_cycles,
+            "horizon": horizon,
+            "max_lag": max_lag,
+            "min_train_events": min_train_events,
+        },
+        key="fig11",
+    )
+    return TrialRunner(jobs=jobs, progress=progress).run_trials(
+        spec, params=[{"fraction": f} for f in fractions]
+    )
 
 
 # --------------------------------------------------------------------------
@@ -605,6 +661,40 @@ class MessageSweepResult:
         return min(self.likelihood_ratios) if self.likelihood_ratios else 0.0
 
 
+def _fig12_trial(
+    kind: str,
+    index: int,
+    seed: int,
+    n_bits: int,
+    bandwidth_bps: float,
+    cache_bandwidth_bps: float,
+    cache_sets: int,
+):
+    """One (channel, message) trial of Figure 12; picklable.
+
+    Returns ``("peak", max_acf_peak)`` for the cache channel and
+    ``("hist", aggregate_histogram, likelihood_ratio)`` for the burst
+    channels — only the per-trial statistics travel back to the parent,
+    never the machine or the hunter.
+    """
+    message = Message.random(n_bits, seed * 1000 + index)
+    if kind == "cache":
+        run = run_channel_session(
+            kind,
+            message,
+            cache_bandwidth_bps,
+            seed=seed + index,
+            n_sets_total=cache_sets,
+        )
+        analyses = run.hunter.cache_analyses()
+        return ("peak", max((a.max_peak for a in analyses), default=0.0))
+    run = run_channel_session(kind, message, bandwidth_bps, seed=seed + index)
+    unit = _AUDITS[kind]
+    core = 0 if kind == "divider" else None
+    agg = aggregate_histogram(run.hunter, unit, core=core)
+    return ("hist", agg, analyze_histogram(agg).likelihood_ratio)
+
+
 def fig12_message_sweep(
     seed: int = 1,
     n_messages: int = 8,
@@ -613,37 +703,41 @@ def fig12_message_sweep(
     kinds: Sequence[str] = ("membus", "divider", "cache"),
     cache_bandwidth_bps: float = 200.0,
     cache_sets: int = 256,
+    jobs: int = 1,
+    progress=None,
 ) -> List[MessageSweepResult]:
     """Figure 12: random message patterns barely move the signatures.
 
     The paper uses 256 random 64-bit messages; pass ``n_messages=256,
-    n_bits=64`` for the full-scale run. Burst-channel likelihood ratios
-    stay above 0.9; cache correlogram deviations are insignificant.
+    n_bits=64`` for the full-scale run (and ``jobs=0`` to spread it over
+    every CPU). Burst-channel likelihood ratios stay above 0.9; cache
+    correlogram deviations are insignificant.
     """
+    spec = TrialSpec(
+        fn=_fig12_trial,
+        common={
+            "seed": seed,
+            "n_bits": n_bits,
+            "bandwidth_bps": bandwidth_bps,
+            "cache_bandwidth_bps": cache_bandwidth_bps,
+            "cache_sets": cache_sets,
+        },
+        key="fig12",
+    )
+    params = [
+        {"kind": kind, "index": i}
+        for kind in kinds
+        for i in range(n_messages)
+    ]
+    trials = TrialRunner(jobs=jobs, progress=progress).run_trials(
+        spec, params=params
+    )
     results = []
-    for kind in kinds:
-        hists: List[np.ndarray] = []
-        lrs: List[float] = []
-        peaks: List[float] = []
-        for i in range(n_messages):
-            message = Message.random(n_bits, seed * 1000 + i)
-            if kind == "cache":
-                run = run_channel_session(
-                    kind,
-                    message,
-                    cache_bandwidth_bps,
-                    seed=seed + i,
-                    n_sets_total=cache_sets,
-                )
-                analyses = run.hunter.cache_analyses()
-                peaks.append(max((a.max_peak for a in analyses), default=0.0))
-                continue
-            run = run_channel_session(kind, message, bandwidth_bps, seed=seed + i)
-            unit = _AUDITS[kind]
-            core = 0 if kind == "divider" else None
-            agg = aggregate_histogram(run.hunter, unit, core=core)
-            hists.append(agg)
-            lrs.append(analyze_histogram(agg).likelihood_ratio)
+    for k, kind in enumerate(kinds):
+        per_kind = trials[k * n_messages : (k + 1) * n_messages]
+        hists = [t[1] for t in per_kind if t[0] == "hist"]
+        lrs = [t[2] for t in per_kind if t[0] == "hist"]
+        peaks = [t[1] for t in per_kind if t[0] == "peak"]
         if hists:
             stack = np.stack(hists)
             results.append(
@@ -681,18 +775,24 @@ def fig13_cache_set_sweep(
     set_counts: Sequence[int] = (256, 128, 64),
     bandwidth_bps: float = 1000.0,
     n_bits: int = 16,
+    jobs: int = 1,
+    progress=None,
 ) -> List[CacheAutocorrResult]:
     """Figure 13: the oscillation wavelength tracks the sets used.
 
     Peaks reach ~0.95 and sit at (or, with noise, slightly above) the
     number of sets used for communication.
     """
-    return [
-        fig8_cache_autocorrelogram(
-            seed=seed, n_bits=n_bits, bandwidth_bps=bandwidth_bps, n_sets=n
-        )
-        for n in set_counts
-    ]
+    spec = TrialSpec(
+        fn=fig8_cache_autocorrelogram,
+        common={
+            "seed": seed, "n_bits": n_bits, "bandwidth_bps": bandwidth_bps,
+        },
+        key="fig13",
+    )
+    return TrialRunner(jobs=jobs, progress=progress).run_trials(
+        spec, params=[{"n_sets": n} for n in set_counts]
+    )
 
 
 # --------------------------------------------------------------------------
@@ -719,10 +819,66 @@ class FalseAlarmResult:
         return self.bus_detected or self.divider_detected or self.cache_detected
 
 
+def _fig14_trial(
+    profile_a: ActivityProfile,
+    profile_b: ActivityProfile,
+    seed: int,
+    n_quanta: int,
+) -> FalseAlarmResult:
+    """Screen one benign workload pair under full audit; picklable."""
+    machine = Machine(seed=seed)
+    hunter = CCHunter(machine)
+    hunter.audit(AuditUnit.MEMORY_BUS)
+    hunter.audit(AuditUnit.DIVIDER, core=0)
+    cache_hunter = CCHunter(machine)
+    cache_hunter.audit(AuditUnit.CACHE)
+    machine.spawn(
+        workload_process(profile_a, machine, n_quanta, seed=1, instance=0),
+        ctx=0,
+    )
+    machine.spawn(
+        workload_process(profile_b, machine, n_quanta, seed=2, instance=1),
+        ctx=1,
+    )
+    machine.run_quanta(n_quanta)
+    bus_verdict, div_verdict = hunter.report().verdicts
+    cache_verdict = cache_hunter.report().verdicts[0]
+    bus_hist = aggregate_histogram(hunter, AuditUnit.MEMORY_BUS)
+    div_hist = aggregate_histogram(hunter, AuditUnit.DIVIDER, core=0)
+    return FalseAlarmResult(
+        pair=(profile_a.name, profile_b.name),
+        bus_hist=bus_hist,
+        bus_lr=analyze_histogram(bus_hist).likelihood_ratio,
+        divider_hist=div_hist,
+        divider_lr=analyze_histogram(div_hist).likelihood_ratio,
+        cache_max_peak=cache_verdict.max_peak or 0.0,
+        bus_detected=bus_verdict.detected,
+        divider_detected=div_verdict.detected,
+        cache_detected=cache_verdict.detected,
+    )
+
+
+def default_benign_pairs() -> List[Tuple[ActivityProfile, ActivityProfile]]:
+    """The paper's representative benign pairings (Figure 14)."""
+    from repro.workloads.filebench import mailserver, webserver
+    from repro.workloads.spec import bzip2, gobmk, h264ref, sjeng
+    from repro.workloads.stream import stream
+
+    return [
+        (gobmk, sjeng),
+        (bzip2, h264ref),
+        (stream, stream),
+        (mailserver, mailserver),
+        (webserver, webserver),
+    ]
+
+
 def fig14_false_alarms(
     pairs: Optional[Sequence[Tuple[ActivityProfile, ActivityProfile]]] = None,
     seed: int = 9,
     n_quanta: int = 8,
+    jobs: int = 1,
+    progress=None,
 ) -> List[FalseAlarmResult]:
     """Figure 14: benign pairs must not trip any detector.
 
@@ -731,50 +887,16 @@ def fig14_false_alarms(
     (the weak bins-5-8 second mode), webserver x2 (brief periodicity).
     """
     if pairs is None:
-        from repro.workloads.filebench import mailserver, webserver
-        from repro.workloads.spec import bzip2, gobmk, h264ref, sjeng
-        from repro.workloads.stream import stream
-
-        pairs = [
-            (gobmk, sjeng),
-            (bzip2, h264ref),
-            (stream, stream),
-            (mailserver, mailserver),
-            (webserver, webserver),
-        ]
-    results = []
-    for a, b in pairs:
-        machine = Machine(seed=seed)
-        hunter = CCHunter(machine)
-        hunter.audit(AuditUnit.MEMORY_BUS)
-        hunter.audit(AuditUnit.DIVIDER, core=0)
-        cache_hunter = CCHunter(machine)
-        cache_hunter.audit(AuditUnit.CACHE)
-        machine.spawn(
-            workload_process(a, machine, n_quanta, seed=1, instance=0), ctx=0
-        )
-        machine.spawn(
-            workload_process(b, machine, n_quanta, seed=2, instance=1), ctx=1
-        )
-        machine.run_quanta(n_quanta)
-        bus_verdict, div_verdict = hunter.report().verdicts
-        cache_verdict = cache_hunter.report().verdicts[0]
-        bus_hist = aggregate_histogram(hunter, AuditUnit.MEMORY_BUS)
-        div_hist = aggregate_histogram(hunter, AuditUnit.DIVIDER, core=0)
-        results.append(
-            FalseAlarmResult(
-                pair=(a.name, b.name),
-                bus_hist=bus_hist,
-                bus_lr=analyze_histogram(bus_hist).likelihood_ratio,
-                divider_hist=div_hist,
-                divider_lr=analyze_histogram(div_hist).likelihood_ratio,
-                cache_max_peak=cache_verdict.max_peak or 0.0,
-                bus_detected=bus_verdict.detected,
-                divider_detected=div_verdict.detected,
-                cache_detected=cache_verdict.detected,
-            )
-        )
-    return results
+        pairs = default_benign_pairs()
+    spec = TrialSpec(
+        fn=_fig14_trial,
+        common={"seed": seed, "n_quanta": n_quanta},
+        key="fig14",
+    )
+    return TrialRunner(jobs=jobs, progress=progress).run_trials(
+        spec,
+        params=[{"profile_a": a, "profile_b": b} for a, b in pairs],
+    )
 
 
 # --------------------------------------------------------------------------
@@ -795,19 +917,33 @@ class DetectionSummary:
         return all(self.channel_detections.values())
 
 
+def _detection_trial(kind: str, seed: int, n_bits: int) -> bool:
+    """Run one covert channel under audit; True when detected."""
+    message = Message.random(n_bits, seed)
+    kwargs = {"n_sets_total": 256} if kind == "cache" else {}
+    bw = 200.0 if kind == "cache" else 10.0
+    run = run_channel_session(kind, message, bw, seed=seed, **kwargs)
+    return run.hunter.report().verdicts[0].detected
+
+
 def detection_summary(
-    seed: int = 1, n_bits: int = 16, n_quanta_benign: int = 6
+    seed: int = 1, n_bits: int = 16, n_quanta_benign: int = 6, jobs: int = 1
 ) -> DetectionSummary:
     """Run every channel and every benign pair; tally the verdicts."""
     summary = DetectionSummary()
-    message = Message.random(n_bits, seed)
-    for kind in ("membus", "divider", "cache"):
-        kwargs = {"n_sets_total": 256} if kind == "cache" else {}
-        bw = 200.0 if kind == "cache" else 10.0
-        run = run_channel_session(kind, message, bw, seed=seed, **kwargs)
-        verdict = run.hunter.report().verdicts[0]
-        summary.channel_detections[kind] = verdict.detected
-    for res in fig14_false_alarms(seed=seed + 1, n_quanta=n_quanta_benign):
+    kinds = ("membus", "divider", "cache")
+    spec = TrialSpec(
+        fn=_detection_trial,
+        common={"seed": seed, "n_bits": n_bits},
+        key="detection_summary",
+    )
+    detections = TrialRunner(jobs=jobs).run_trials(
+        spec, params=[{"kind": kind} for kind in kinds]
+    )
+    summary.channel_detections.update(zip(kinds, detections))
+    for res in fig14_false_alarms(
+        seed=seed + 1, n_quanta=n_quanta_benign, jobs=jobs
+    ):
         summary.pairs_tested += 1
         if res.any_alarm:
             summary.false_alarms += 1

@@ -14,6 +14,11 @@ as the session runs, and with ``--json`` it emits a machine-readable
 report for downstream consumers. ``figure N`` regenerates a paper figure
 at bench scale.
 
+The global ``--jobs N`` flag fans the sweep commands (``figure 10-14``,
+``false-alarms``) out over N worker processes through
+``repro.exec.TrialRunner`` (``--jobs 0`` uses every CPU). Results are
+bit-identical to a serial run — see docs/PERFORMANCE.md.
+
 Observability surface: every command starts from a fresh metrics
 registry; ``detect``/``analyze`` accept ``--metrics-out metrics.json``
 (JSON snapshot of all counters/gauges/histograms), ``detect`` accepts
@@ -135,7 +140,9 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_false_alarms(args) -> int:
-    results = fig.fig14_false_alarms(seed=args.seed, n_quanta=args.quanta)
+    results = fig.fig14_false_alarms(
+        seed=args.seed, n_quanta=args.quanta, jobs=args.jobs
+    )
     alarms = 0
     for r in results:
         alarms += r.any_alarm
@@ -178,10 +185,36 @@ def _cmd_figure(args) -> int:
             marker_lags=r.analysis.peak_lags.tolist(),
         ))
         print(f"peak {r.peak_value:.3f} at lag {r.peak_lag}")
+    elif n == 10:
+        for p in fig.fig10_bandwidth_sweep(seed=args.seed, jobs=args.jobs):
+            signal = (
+                f"LR {p.likelihood_ratio:.3f}" if p.likelihood_ratio is not None
+                else f"ACF peak {p.max_peak:.3f}"
+            )
+            print(f"{p.kind:<8} @ {p.bandwidth_bps:>7g} bps: {signal} | "
+                  f"{'DETECTED' if p.detected else 'missed'}")
+    elif n == 11:
+        for p in fig.fig11_window_scaling(seed=args.seed, jobs=args.jobs):
+            print(f"window x{p.fraction:<5g}: best peak {p.best_peak:.3f}, "
+                  f"{p.significant_windows}/{p.windows_analyzed} windows "
+                  "significant")
+    elif n == 12:
+        for r in fig.fig12_message_sweep(seed=args.seed, jobs=args.jobs):
+            if r.likelihood_ratios:
+                print(f"{r.kind:<8}: min LR over messages "
+                      f"{r.min_likelihood_ratio:.3f} (paper: > 0.9)")
+            else:
+                peaks = r.cache_peaks
+                print(f"{r.kind:<8}: ACF peaks "
+                      f"{min(peaks):.3f}..{max(peaks):.3f}")
     elif n == 13:
-        for r in fig.fig13_cache_set_sweep(seed=args.seed):
+        for r in fig.fig13_cache_set_sweep(seed=args.seed, jobs=args.jobs):
             print(f"{r.n_sets} sets: peak {r.peak_value:.3f} at lag "
                   f"{r.peak_lag}")
+    elif n == 14:
+        return _cmd_false_alarms(
+            argparse.Namespace(seed=args.seed, quanta=8, jobs=args.jobs)
+        )
     else:
         print(
             f"figure {n} not wired to the CLI; see benchmarks/ for the "
@@ -240,6 +273,15 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
+    """Accept --jobs after the subcommand too; the global value is the
+    fallback (SUPPRESS keeps the subparser from clobbering it)."""
+    subparser.add_argument(
+        "--jobs", type=int, default=argparse.SUPPRESS, metavar="N",
+        help="worker processes for the sweep (1 = serial, 0 = all CPUs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -254,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--log-json", action="store_true",
         help="emit log records as JSON lines instead of text",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep commands (default 1 = serial, "
+        "0 = all CPUs); results are identical for every value",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -300,11 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     false_alarms.add_argument("--seed", type=int, default=9)
     false_alarms.add_argument("--quanta", type=int, default=8)
+    _add_jobs_flag(false_alarms)
     false_alarms.set_defaults(func=_cmd_false_alarms)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int)
     figure.add_argument("--seed", type=int, default=1)
+    _add_jobs_flag(figure)
     figure.set_defaults(func=_cmd_figure)
 
     record = sub.add_parser(

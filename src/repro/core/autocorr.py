@@ -102,8 +102,31 @@ class RunningAutocorrelogram:
         return self._n
 
     def push(self, value: float) -> None:
-        """Append a single sample."""
-        self.extend(np.array([value], dtype=np.float64))
+        """Append a single sample.
+
+        Allocation-light fast path of :meth:`extend`: for one sample the
+        sliding correlation collapses to ``ΔC_p = v · tail[t − p]``, so
+        the cross products update with a single vector
+        multiply-accumulate and the tail shifts in place — none of the
+        per-call ``np.concatenate``/``np.correlate`` churn of the chunk
+        path. Arithmetic is identical (the same products, added once),
+        so results match ``extend([value])`` bit for bit.
+        """
+        v = float(value)
+        t = self._tail.size
+        k = t if t < self.max_lag else self.max_lag
+        self._cross[0] += v * v
+        if k:
+            self._cross[1 : k + 1] += v * self._tail[t - k :][::-1]
+        self._sum += v
+        self._n += 1
+        if self._head.size < self.max_lag:
+            self._head = np.append(self._head, v)
+        if t < self.max_lag:
+            self._tail = np.append(self._tail, v)
+        elif self.max_lag:
+            self._tail[:-1] = self._tail[1:]
+            self._tail[-1] = v
 
     def extend(self, values: np.ndarray) -> None:
         """Append a chunk of samples (order is the series order)."""

@@ -91,19 +91,28 @@ def find_peaks(
     # Skip the smoothing-edge artifact right at the start of the range.
     candidates = candidates[candidates >= max(2, smooth_width)]
     kept = []
-    prev_peak = 0
-    for lag in candidates:
-        lag = int(lag)
-        trough = float(smooth[prev_peak:lag].min()) if lag > prev_peak else 0.0
-        if smooth[lag] - trough < min_prominence:
-            continue
-        if kept and lag - kept[-1] < min_separation:
-            if arr[lag] > arr[kept[-1]]:
-                kept[-1] = lag
-                prev_peak = lag
-            continue
-        kept.append(lag)
-        prev_peak = lag
+    if candidates.size:
+        # The trough before each candidate is the minimum of ``smooth``
+        # over [prev_peak, lag) — a window that always starts and ends on
+        # a candidate boundary (or lag 0). One vectorized reduceat pass
+        # precomputes the minima of the inter-candidate segments; the
+        # accept loop then combines whole segments in O(1) per candidate
+        # instead of rescanning up to max_lag values each time.
+        bounds = np.concatenate(([0], candidates))
+        seg_min = np.minimum.reduceat(smooth, bounds)[:-1]
+        run_min = np.inf
+        for k in range(candidates.size):
+            lag = int(candidates[k])
+            run_min = min(run_min, float(seg_min[k]))
+            if smooth[lag] - run_min < min_prominence:
+                continue
+            if kept and lag - kept[-1] < min_separation:
+                if arr[lag] > arr[kept[-1]]:
+                    kept[-1] = lag
+                    run_min = np.inf
+                continue
+            kept.append(lag)
+            run_min = np.inf
     kept_arr = np.array(kept, dtype=np.int64)
     return kept_arr, arr[kept_arr] if kept_arr.size else np.zeros(0)
 

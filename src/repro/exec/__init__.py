@@ -1,0 +1,25 @@
+"""Trial-execution subsystem: deterministic parallel sweep fan-out.
+
+See :mod:`repro.exec.runner` for the design and docs/PERFORMANCE.md for
+the architecture, determinism guarantees, and measured speedups.
+"""
+
+from repro.exec.runner import (
+    ExecError,
+    TrialRunner,
+    TrialSpec,
+    default_chunk_size,
+    resolve_jobs,
+    run_trials,
+    trial_seed,
+)
+
+__all__ = [
+    "ExecError",
+    "TrialRunner",
+    "TrialSpec",
+    "default_chunk_size",
+    "resolve_jobs",
+    "run_trials",
+    "trial_seed",
+]

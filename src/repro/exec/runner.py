@@ -1,0 +1,386 @@
+"""Parallel trial execution: deterministic process-pool fan-out.
+
+CC-Hunter's evaluation is built from sweeps of *independent* simulator
+trials — Figure 12 alone replays hundreds of random messages per channel
+kind — and every trial is a pure function of its parameters and seed.
+That makes the sweeps embarrassingly parallel, and this module is the
+one place the repo exploits it: a :class:`TrialRunner` fans a
+:class:`TrialSpec` out over a ``ProcessPoolExecutor`` while guaranteeing
+that the *results are bit-identical no matter how many workers run them*.
+
+The determinism contract rests on three invariants:
+
+1. **Per-trial seeds are a pure function of (base seed, spec key, trial
+   index)** — derived through :func:`repro.util.rng.derive_rng`'s
+   ``SeedSequence`` spawning, never from execution order, worker
+   identity, or shared generator state (:func:`trial_seed`).
+2. **Trials never communicate.** Each worker installs a fresh default
+   :class:`~repro.obs.metrics.MetricsRegistry` before running a chunk,
+   so instrumentation cannot leak between trials or processes.
+3. **Results are gathered in canonical (submission) order**, whatever
+   order the chunks actually finish in.
+
+``jobs=1`` (the default) runs everything in-process with no pickling —
+the exact same code path the workers execute — so ``run_trials(spec, n,
+jobs=1)`` and ``jobs=N`` return equal results; the equivalence tests in
+``tests/exec/test_equivalence.py`` hold every rewired figure sweep to
+that.
+
+Mechanics (see docs/PERFORMANCE.md for the knobs):
+
+- trials are submitted in **chunks** sized to amortize process spawn and
+  pickle costs (``chunk_size``, default ≈ 4 chunks per worker);
+- a **crashed worker** (e.g. OOM-killed) breaks the pool; the runner
+  rebuilds it and resubmits the unfinished chunks, bounded by
+  ``max_chunk_retries`` per chunk, then raises :class:`ExecError`;
+- per-worker metrics snapshots are **merged back into the parent
+  registry** (:meth:`MetricsRegistry.merge`), and the runner records
+  per-trial wall times in a ``cchunter_trial_seconds`` histogram plus
+  chunk/retry counters;
+- an optional ``progress(done, total)`` callback fires in the parent as
+  chunks complete (completion order — only the *results* are ordered).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.util.rng import derive_rng, spawn_seed
+
+
+class ExecError(ReproError):
+    """Trial execution failed (bad spec, or a chunk exhausted its retries)."""
+
+
+#: Histogram buckets for per-trial wall time: 1 ms .. 60 s.
+TRIAL_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def trial_seed(base_seed: int, key: str, index: int) -> int:
+    """The seed of trial ``index`` in a sweep: pure, order-independent.
+
+    Derived via ``SeedSequence`` spawning keyed by ``(key, index)``, so
+    the same ``(base_seed, key, index)`` triple always yields the same
+    63-bit seed regardless of which process computes it or in what
+    order — the foundation of the ``jobs=1 == jobs=N`` guarantee.
+    """
+    return spawn_seed(derive_rng(base_seed, "exec.trial", key, index))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """What one sweep runs: a picklable trial function plus shared kwargs.
+
+    ``fn`` must be an importable module-level callable (workers unpickle
+    it by qualified name); it receives ``common`` merged with the
+    per-trial kwargs and returns a picklable result. If ``seed`` is not
+    ``None``, every trial additionally receives ``seed_arg=``
+    :func:`trial_seed` ``(seed, key, index)`` unless its own kwargs
+    already bind that argument — sweeps that need a bespoke seed formula
+    just put it in the per-trial kwargs.
+    """
+
+    fn: Callable[..., Any]
+    common: Mapping[str, Any] = field(default_factory=dict)
+    key: str = ""
+    seed: Optional[int] = None
+    seed_arg: str = "seed"
+
+    def kwargs_for(self, index: int, overrides: Mapping[str, Any]) -> Dict[str, Any]:
+        """The full kwargs of trial ``index`` (canonical, order-free)."""
+        kwargs = dict(self.common)
+        if self.seed is not None and self.seed_arg not in overrides:
+            kwargs[self.seed_arg] = trial_seed(self.seed, self.key, index)
+        kwargs.update(overrides)
+        return kwargs
+
+
+@dataclass
+class _ChunkResult:
+    """What one worker returns for one chunk of trials."""
+
+    indices: List[int]
+    results: List[Any]
+    seconds: List[float]
+    metrics_snapshot: Optional[Dict[str, Any]]
+
+
+def _run_chunk(
+    fn: Callable[..., Any],
+    items: Sequence[Tuple[int, Dict[str, Any]]],
+    fresh_registry: bool,
+) -> _ChunkResult:
+    """Run one chunk of trials; the worker-side entry point.
+
+    Installs a fresh default metrics registry (so the snapshot covers
+    exactly this chunk, and forked workers do not double-count state
+    inherited from the parent), runs each trial under a wall clock, and
+    returns results + timings + the registry snapshot. Also the serial
+    path: ``jobs=1`` calls this in-process with the same arguments.
+    """
+    previous = obs_metrics.get_default()
+    registry = MetricsRegistry() if fresh_registry else previous
+    if fresh_registry:
+        obs_metrics.set_default(registry)
+    try:
+        indices: List[int] = []
+        results: List[Any] = []
+        seconds: List[float] = []
+        for index, kwargs in items:
+            start = time.perf_counter()
+            results.append(fn(**kwargs))
+            seconds.append(time.perf_counter() - start)
+            indices.append(index)
+    finally:
+        if fresh_registry:
+            obs_metrics.set_default(previous)
+    snapshot = registry.to_dict() if fresh_registry else None
+    return _ChunkResult(indices, results, seconds, snapshot)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: 0 means all CPUs, negatives reject."""
+    if jobs < 0:
+        raise ExecError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def default_chunk_size(n: int, jobs: int) -> int:
+    """Chunk size amortizing spawn/pickle cost: ~4 chunks per worker.
+
+    Large enough that a chunk does real work relative to the pickle
+    round-trip, small enough that the pool load-balances and a retried
+    chunk does not redo the whole sweep. Capped at 32 trials.
+    """
+    if n <= 0:
+        return 1
+    per_worker = -(-n // max(1, jobs))  # ceil
+    return max(1, min(32, -(-per_worker // 4)))
+
+
+class TrialRunner:
+    """Runs independent trials, serially or over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (default) runs in-process; ``0`` uses
+        every CPU (:func:`resolve_jobs`).
+    chunk_size:
+        Trials per submitted task; default :func:`default_chunk_size`.
+    max_chunk_retries:
+        How many times one chunk may be resubmitted after a worker
+        crash before :class:`ExecError` is raised.
+    metrics:
+        Parent registry that receives merged worker snapshots and the
+        runner's own trial-timing histogram (default: the process-wide
+        default registry at run time).
+    progress:
+        Optional ``progress(done_trials, total_trials)`` callback,
+        invoked in the parent whenever a chunk completes.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        max_chunk_retries: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        if max_chunk_retries < 0:
+            raise ExecError(
+                f"max_chunk_retries must be >= 0, got {max_chunk_retries}"
+            )
+        self.max_chunk_retries = max_chunk_retries
+        self._metrics = metrics
+        self.progress = progress
+
+    # ------------------------------------------------------------------ API
+
+    def run_trials(
+        self,
+        spec: TrialSpec,
+        n: Optional[int] = None,
+        params: Optional[Sequence[Mapping[str, Any]]] = None,
+    ) -> List[Any]:
+        """Run ``n`` trials (or one per ``params`` entry), ordered.
+
+        ``params[i]`` holds trial ``i``'s kwargs overrides; pass ``n``
+        alone for a homogeneous sweep driven purely by derived seeds.
+        Results come back indexed by trial, independent of ``jobs``,
+        chunking, and completion order.
+        """
+        if params is None:
+            if n is None:
+                raise ExecError("run_trials needs n or params")
+            params = [{} for _ in range(n)]
+        elif n is not None and n != len(params):
+            raise ExecError(f"n={n} disagrees with len(params)={len(params)}")
+        total = len(params)
+        if total == 0:
+            return []
+        items = [
+            (i, spec.kwargs_for(i, overrides))
+            for i, overrides in enumerate(params)
+        ]
+        chunk_size = self.chunk_size or default_chunk_size(total, self.jobs)
+        chunks = [
+            items[lo : lo + chunk_size] for lo in range(0, total, chunk_size)
+        ]
+        registry = self._metrics if self._metrics is not None \
+            else obs_metrics.get_default()
+        registry.counter(
+            "cchunter_exec_sweeps_total",
+            "Trial sweeps executed by TrialRunner.",
+            labels={"spec": spec.key or spec.fn.__name__},
+        ).inc()
+        if self.jobs == 1:
+            chunk_results = [
+                self._finish_chunk(_run_chunk(spec.fn, chunk, True),
+                                   registry, spec, done, total)
+                for done, chunk in self._serial_chunks(chunks)
+            ]
+        else:
+            chunk_results = self._run_pooled(spec, chunks, registry, total)
+        results: List[Any] = [None] * total
+        for chunk_result in chunk_results:
+            for index, result in zip(chunk_result.indices, chunk_result.results):
+                results[index] = result
+        return results
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _serial_chunks(chunks):
+        done = 0
+        for chunk in chunks:
+            done += len(chunk)
+            yield done, chunk
+
+    def _finish_chunk(
+        self,
+        chunk_result: _ChunkResult,
+        registry: MetricsRegistry,
+        spec: TrialSpec,
+        done: int,
+        total: int,
+    ) -> _ChunkResult:
+        """Merge one completed chunk's metrics and fire the callbacks."""
+        label = {"spec": spec.key or spec.fn.__name__}
+        if chunk_result.metrics_snapshot is not None:
+            registry.merge(chunk_result.metrics_snapshot)
+        timer = registry.histogram(
+            "cchunter_trial_seconds",
+            "Wall time of one trial inside TrialRunner.",
+            labels=label,
+            buckets=TRIAL_SECONDS_BUCKETS,
+        )
+        for seconds in chunk_result.seconds:
+            timer.observe(seconds)
+        registry.counter(
+            "cchunter_exec_trials_total",
+            "Trials completed by TrialRunner.",
+            labels=label,
+        ).inc(len(chunk_result.indices))
+        registry.counter(
+            "cchunter_exec_chunks_total",
+            "Trial chunks completed by TrialRunner.",
+            labels=label,
+        ).inc()
+        if self.progress is not None:
+            self.progress(done, total)
+        return chunk_result
+
+    def _run_pooled(
+        self,
+        spec: TrialSpec,
+        chunks: List[List[Tuple[int, Dict[str, Any]]]],
+        registry: MetricsRegistry,
+        total: int,
+    ) -> List[_ChunkResult]:
+        """Fan chunks over a process pool, retrying crashed chunks.
+
+        A worker crash (``BrokenProcessPool``) poisons the whole pool:
+        every unfinished chunk is requeued, each one's retry budget is
+        charged, and the pool is rebuilt. Ordinary exceptions raised by
+        the trial function are *not* retried — they are deterministic
+        under the seed contract — and propagate to the caller.
+        """
+        pending: List[int] = list(range(len(chunks)))
+        retries = [0] * len(chunks)
+        finished: List[_ChunkResult] = []
+        done_trials = 0
+        retry_counter = registry.counter(
+            "cchunter_exec_chunk_retries_total",
+            "Chunk resubmissions after worker crashes.",
+            labels={"spec": spec.key or spec.fn.__name__},
+        )
+        while pending:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(_run_chunk, spec.fn, chunks[ci], True): ci
+                    for ci in list(pending)
+                }
+                for future in as_completed(futures):
+                    ci = futures[future]
+                    try:
+                        chunk_result = future.result()
+                    except BrokenProcessPool:
+                        # A crash poisons the whole pool, so every
+                        # unfinished chunk lands here; each is charged
+                        # one retry and requeued for the rebuilt pool.
+                        retries[ci] += 1
+                        retry_counter.inc()
+                        if retries[ci] > self.max_chunk_retries:
+                            raise ExecError(
+                                f"chunk {ci} ({len(chunks[ci])} trials) "
+                                f"crashed {retries[ci]} times; giving up"
+                            ) from None
+                        continue
+                    pending.remove(ci)
+                    done_trials += len(chunk_result.indices)
+                    finished.append(
+                        self._finish_chunk(
+                            chunk_result, registry, spec, done_trials, total
+                        )
+                    )
+        return finished
+
+
+def run_trials(
+    spec: TrialSpec,
+    n: Optional[int] = None,
+    params: Optional[Sequence[Mapping[str, Any]]] = None,
+    jobs: int = 1,
+    **runner_kwargs: Any,
+) -> List[Any]:
+    """One-shot convenience: ``TrialRunner(jobs, ...).run_trials(...)``."""
+    return TrialRunner(jobs=jobs, **runner_kwargs).run_trials(
+        spec, n=n, params=params
+    )

@@ -232,6 +232,60 @@ class MetricsRegistry:
             series = family.series[key] = Histogram(family.buckets or buckets)
         return series
 
+    # -------------------------------------------------------------- merge
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_dict` snapshot from another registry into this one.
+
+        This is how ``repro.exec`` gathers instrumentation from worker
+        processes: each worker snapshots its private registry and the
+        parent merges the snapshots back. Semantics per metric kind
+        (documented in docs/OBSERVABILITY.md):
+
+        - **counters** sum — totals accumulated anywhere count here;
+        - **gauges** take the incoming value per label set
+          (last-writer-wins, matching ``Gauge.set``);
+        - **histograms** add per-bucket counts plus ``sum``/``count``;
+          the bucket bounds must match the existing family's exactly.
+
+        Families and series absent from this registry are created;
+        merging into a disabled registry (``NULL_REGISTRY``) is a no-op.
+        """
+        if not self.enabled:
+            return
+        if snapshot.get("format") != "repro.obs.metrics/v1":
+            raise MetricsError(
+                "cannot merge: not a repro.obs metrics snapshot "
+                f"(format={snapshot.get('format')!r})"
+            )
+        for name, family in snapshot["metrics"].items():
+            kind = family["type"]
+            help_text = family.get("help", "")
+            for entry in family["series"]:
+                labels = entry.get("labels") or None
+                if kind == "counter":
+                    self.counter(name, help_text, labels).inc(
+                        float(entry["value"])
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, help_text, labels).set(entry["value"])
+                elif kind == "histogram":
+                    bounds = [float(b) for b, _ in entry["buckets"]]
+                    series = self.histogram(
+                        name, help_text, labels, buckets=tuple(bounds[:-1])
+                    )
+                    cumulative = [int(c) for _, c in entry["buckets"]]
+                    previous = 0
+                    for i, c in enumerate(cumulative):
+                        series.counts[i] += c - previous
+                        previous = c
+                    series.sum += float(entry["sum"])
+                    series.count += int(entry["count"])
+                else:
+                    raise MetricsError(
+                        f"cannot merge metric {name!r} of unknown type {kind!r}"
+                    )
+
     # ------------------------------------------------------------- export
 
     def to_dict(self) -> Dict[str, Any]:

@@ -188,3 +188,75 @@ class TestDefaultRegistry:
             assert math.isfinite(fresh.counter("x").value)
         finally:
             set_default(old)
+
+
+class TestMerge:
+    """Merge semantics (docs/OBSERVABILITY.md): counters sum, gauges take
+    the incoming value per label set, histogram buckets add."""
+
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("jobs_total").inc(3)
+        b.counter("jobs_total").inc(4)
+        b.counter("other_total", labels={"k": "v"}).inc(2)
+        a.merge(b.to_dict())
+        assert a.counter("jobs_total").value == 7
+        assert a.counter("other_total", labels={"k": "v"}).value == 2
+
+    def test_gauges_last_writer_wins_per_label_set(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth", labels={"unit": "bus"}).set(5)
+        a.gauge("depth", labels={"unit": "cache"}).set(9)
+        b.gauge("depth", labels={"unit": "bus"}).set(2)
+        a.merge(b.to_dict())
+        assert a.gauge("depth", labels={"unit": "bus"}).value == 2
+        # Label sets absent from the snapshot are untouched.
+        assert a.gauge("depth", labels={"unit": "cache"}).value == 9
+
+    def test_histogram_buckets_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        buckets = (1.0, 10.0)
+        a.histogram("lat", buckets=buckets).observe(0.5)
+        b.histogram("lat", buckets=buckets).observe(5.0)
+        b.histogram("lat", buckets=buckets).observe(100.0)
+        a.merge(b.to_dict())
+        h = a.histogram("lat", buckets=buckets)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(105.5)
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        b.histogram("lat", buckets=(2.0, 20.0)).observe(0.5)
+        with pytest.raises(MetricsError):
+            a.merge(b.to_dict())
+
+    def test_creates_missing_families_and_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("fresh_total", "docs", labels={"x": "1"}).inc()
+        b.histogram("fresh_seconds", buckets=(0.5,)).observe(0.1)
+        a.merge(b.to_dict())
+        snapshot = a.to_dict()
+        assert a.counter("fresh_total", labels={"x": "1"}).value == 1
+        assert snapshot["metrics"]["fresh_total"]["help"] == "docs"
+        assert snapshot["metrics"]["fresh_seconds"]["series"][0]["count"] == 1
+
+    def test_merge_is_associative_with_to_dict_roundtrip(self):
+        """Merging via a JSON round-trip equals merging the live snapshot."""
+        a1, a2, b = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        b.counter("c_total").inc(2)
+        b.histogram("h_seconds", buckets=(1e-3, 1.0)).observe(0.2)
+        a1.merge(b.to_dict())
+        a2.merge(json.loads(json.dumps(b.to_dict())))
+        assert a1.to_dict() == a2.to_dict()
+
+    def test_foreign_snapshot_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().merge({"metrics": {}})
+
+    def test_null_registry_merge_is_noop(self):
+        b = MetricsRegistry()
+        b.counter("c_total").inc()
+        NULL_REGISTRY.merge(b.to_dict())
+        assert NULL_REGISTRY.to_dict()["metrics"] == {}
