@@ -1,0 +1,93 @@
+"""Extension: detection resilience under observation-stream faults.
+
+CC-Hunter's evidence arrives through hardware taps that real systems
+lose, duplicate, and corrupt. This bench sweeps the drop-rate of a
+deterministic :class:`~repro.faults.DropInjector` over the Figure 6
+memory-bus channel and records how the burst detector's evidence decays:
+at what loss rate does the likelihood ratio fall below the detection
+threshold, and does the session degrade gracefully (DEGRADED health,
+complete report) at every point rather than dying?
+
+The measured curve is committed to ``BENCH_faults.json`` at the repo
+root — drop rate vs likelihood ratio / detection / pipeline health —
+and docs/ROBUSTNESS.md quotes it.
+"""
+
+import json
+import os
+
+from conftest import record
+
+from repro.analysis.figures import run_channel_session
+from repro.faults import injectors_from_string
+from repro.util.bitstream import Message
+
+DROP_RATES = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50, 0.70, 0.90)
+N_BITS = 24
+BANDWIDTH_BPS = 100.0
+SEED = 6
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_faults.json",
+)
+
+
+def _point(drop_rate):
+    """One audited membus transmission under a given event-loss rate."""
+    message = Message.from_bits([1, 0] * (N_BITS // 2))
+    injectors = (
+        injectors_from_string(f"drop:{drop_rate}", seed=SEED)
+        if drop_rate > 0.0
+        else ()
+    )
+    run = run_channel_session(
+        "membus",
+        message,
+        bandwidth_bps=BANDWIDTH_BPS,
+        seed=SEED,
+        injectors=injectors,
+    )
+    report = run.hunter.report()
+    verdict = report.verdicts[0]
+    return {
+        "drop_rate": drop_rate,
+        "likelihood_ratio": verdict.max_likelihood_ratio,
+        "detected": bool(verdict.detected),
+        "health": report.health,
+        "quanta": run.quanta,
+    }
+
+
+def measure_resilience():
+    return {
+        "channel": "membus",
+        "bandwidth_bps": BANDWIDTH_BPS,
+        "n_bits": N_BITS,
+        "seed": SEED,
+        "points": [_point(rate) for rate in DROP_RATES],
+    }
+
+
+def test_fault_resilience(benchmark):
+    results = benchmark.pedantic(measure_resilience, rounds=1, iterations=1)
+    with open(_OUT_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    lines = []
+    for point in results["points"]:
+        lr = point["likelihood_ratio"]
+        lines.append(
+            f"drop {point['drop_rate']:4.0%}: LR "
+            f"{'—' if lr is None else format(lr, '.3f')} | "
+            f"{'DETECTED' if point['detected'] else 'missed'} | "
+            f"health {point['health']}"
+        )
+    lines.append(f"(written to {_OUT_PATH})")
+    record("Extension: detection under observation loss", *lines)
+    points = {p["drop_rate"]: p for p in results["points"]}
+    # The clean run must detect, and every faulted run must complete
+    # with DEGRADED (never FAILED) health — graceful degradation.
+    assert points[0.0]["detected"] and points[0.0]["health"] == "ok"
+    for rate in DROP_RATES[1:]:
+        assert points[rate]["health"] == "degraded", points[rate]

@@ -88,6 +88,7 @@ def run_channel_session(
     max_quanta: Optional[int] = None,
     sinks=(),
     track_detection_latency: bool = False,
+    injectors=(),
     **channel_kwargs,
 ) -> ChannelRun:
     """Run one covert transmission under CC-Hunter audit.
@@ -97,6 +98,9 @@ def run_channel_session(
     "at least three other active processes" unless ``noise=False``.
     ``sinks`` (verdict sinks) receive per-quantum verdict updates while
     the session runs — the streaming pipeline's online view.
+    ``injectors`` (see :mod:`repro.faults`) perturb the observation
+    stream before it reaches the analyzers — the robustness drills'
+    entry point into a live session.
     """
     if kind not in _CHANNELS:
         raise ReproError(f"unknown channel kind {kind!r}")
@@ -106,6 +110,7 @@ def run_channel_session(
         window_fraction=window_fraction,
         sinks=sinks,
         track_detection_latency=track_detection_latency,
+        injectors=injectors,
     )
     config = ChannelConfig(message=message, bandwidth_bps=bandwidth_bps)
     channel = _CHANNELS[kind](machine, config, **channel_kwargs)
@@ -505,6 +510,7 @@ def fig10_bandwidth_sweep(
     min_quanta_burst: int = 3,
     jobs: int = 1,
     progress=None,
+    timeout_s: Optional[float] = None,
 ) -> List[BandwidthPoint]:
     """Figure 10: detection across 0.1 / 10 / 1000 bps.
 
@@ -532,6 +538,7 @@ def fig10_bandwidth_sweep(
         fn=_fig10_trial,
         common={"seed": seed, "cache_sets": cache_sets},
         key="fig10",
+        timeout_s=timeout_s,
     )
     return TrialRunner(jobs=jobs, progress=progress).run_trials(
         spec, params=params
@@ -605,6 +612,7 @@ def fig11_window_scaling(
     min_train_events: int = 64,
     jobs: int = 1,
     progress=None,
+    timeout_s: Optional[float] = None,
 ) -> List[WindowScalingPoint]:
     """Figure 11: shrinking the window sharpens low-bandwidth detection.
 
@@ -634,6 +642,7 @@ def fig11_window_scaling(
             "min_train_events": min_train_events,
         },
         key="fig11",
+        timeout_s=timeout_s,
     )
     return TrialRunner(jobs=jobs, progress=progress).run_trials(
         spec, params=[{"fraction": f} for f in fractions]
@@ -705,6 +714,7 @@ def fig12_message_sweep(
     cache_sets: int = 256,
     jobs: int = 1,
     progress=None,
+    timeout_s: Optional[float] = None,
 ) -> List[MessageSweepResult]:
     """Figure 12: random message patterns barely move the signatures.
 
@@ -723,6 +733,7 @@ def fig12_message_sweep(
             "cache_sets": cache_sets,
         },
         key="fig12",
+        timeout_s=timeout_s,
     )
     params = [
         {"kind": kind, "index": i}
@@ -734,7 +745,9 @@ def fig12_message_sweep(
     )
     results = []
     for k, kind in enumerate(kinds):
-        per_kind = trials[k * n_messages : (k + 1) * n_messages]
+        # TrialFailure results (timeouts etc. under timeout_s) are falsy
+        # and simply drop out of the aggregates.
+        per_kind = [t for t in trials[k * n_messages : (k + 1) * n_messages] if t]
         hists = [t[1] for t in per_kind if t[0] == "hist"]
         lrs = [t[2] for t in per_kind if t[0] == "hist"]
         peaks = [t[1] for t in per_kind if t[0] == "peak"]
@@ -777,6 +790,7 @@ def fig13_cache_set_sweep(
     n_bits: int = 16,
     jobs: int = 1,
     progress=None,
+    timeout_s: Optional[float] = None,
 ) -> List[CacheAutocorrResult]:
     """Figure 13: the oscillation wavelength tracks the sets used.
 
@@ -789,6 +803,7 @@ def fig13_cache_set_sweep(
             "seed": seed, "n_bits": n_bits, "bandwidth_bps": bandwidth_bps,
         },
         key="fig13",
+        timeout_s=timeout_s,
     )
     return TrialRunner(jobs=jobs, progress=progress).run_trials(
         spec, params=[{"n_sets": n} for n in set_counts]
@@ -879,6 +894,7 @@ def fig14_false_alarms(
     n_quanta: int = 8,
     jobs: int = 1,
     progress=None,
+    timeout_s: Optional[float] = None,
 ) -> List[FalseAlarmResult]:
     """Figure 14: benign pairs must not trip any detector.
 
@@ -892,6 +908,7 @@ def fig14_false_alarms(
         fn=_fig14_trial,
         common={"seed": seed, "n_quanta": n_quanta},
         key="fig14",
+        timeout_s=timeout_s,
     )
     return TrialRunner(jobs=jobs, progress=progress).run_trials(
         spec,

@@ -26,6 +26,14 @@ registry; ``detect``/``analyze`` accept ``--metrics-out metrics.json``
 ``repro metrics metrics.json`` re-renders a snapshot as Prometheus text
 exposition. ``--log-level``/``--log-json`` configure the structured
 ``repro.*`` loggers.
+
+Robustness surface (docs/ROBUSTNESS.md): ``detect``/``analyze`` accept
+``--inject 'drop:0.1,stall:0.05:3@membus'`` fault-injection specs,
+``analyze`` accepts ``--skip-corrupt`` to degrade around damaged
+archive records instead of aborting, and the sweep commands accept
+``--trial-timeout SECONDS`` to record (rather than die on) stuck
+trials. Every failure mode maps to a documented exit code — see
+:mod:`repro.errors` for the taxonomy.
 """
 
 from __future__ import annotations
@@ -58,6 +66,33 @@ from repro.util.bitstream import Message
 def _cmd_table1(_args) -> int:
     print(table1_text())
     return 0
+
+
+def _build_injectors(args):
+    """Parse the --inject spec (if any) into an injector chain."""
+    text = getattr(args, "inject", None)
+    if not text:
+        return ()
+    from repro.faults import injectors_from_string
+
+    return injectors_from_string(text, seed=getattr(args, "seed", 0))
+
+
+def _report_trial_failures(results) -> List:
+    """Print recorded TrialFailure slots; return the usable results."""
+    from repro.exec import TrialFailure
+
+    usable = []
+    for result in results:
+        if isinstance(result, TrialFailure):
+            print(
+                f"repro: trial {result.index} {result.kind}: "
+                f"{result.message}",
+                file=sys.stderr,
+            )
+        else:
+            usable.append(result)
+    return usable
 
 
 def _write_obs_artifacts(args, recorder=None) -> None:
@@ -97,6 +132,7 @@ def _cmd_detect(args) -> int:
         noise=not args.no_noise,
         sinks=sinks,
         track_detection_latency=True,
+        injectors=_build_injectors(args),
         **kwargs,
     )
     ber = run.ber
@@ -140,9 +176,13 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_false_alarms(args) -> int:
-    results = fig.fig14_false_alarms(
-        seed=args.seed, n_quanta=args.quanta, jobs=args.jobs
+    from repro.errors import EXIT_TRIAL_FAILURE
+
+    raw = fig.fig14_false_alarms(
+        seed=args.seed, n_quanta=args.quanta, jobs=args.jobs,
+        timeout_s=getattr(args, "trial_timeout", None),
     )
+    results = _report_trial_failures(raw)
     alarms = 0
     for r in results:
         alarms += r.any_alarm
@@ -152,11 +192,14 @@ def _cmd_false_alarms(args) -> int:
             f"{'ALARM' if r.any_alarm else 'clear'}"
         )
     print(f"\nfalse alarms: {alarms} of {len(results)}")
+    if len(results) != len(raw):
+        return EXIT_TRIAL_FAILURE
     return 1 if alarms else 0
 
 
 def _cmd_figure(args) -> int:
     n = args.number
+    timeout_s = getattr(args, "trial_timeout", None)
     if n == 2:
         r = fig.fig2_membus_latency(seed=args.seed)
         print(render_series(r.latencies, title="Figure 2: bus spy latency"))
@@ -186,7 +229,9 @@ def _cmd_figure(args) -> int:
         ))
         print(f"peak {r.peak_value:.3f} at lag {r.peak_lag}")
     elif n == 10:
-        for p in fig.fig10_bandwidth_sweep(seed=args.seed, jobs=args.jobs):
+        for p in _report_trial_failures(fig.fig10_bandwidth_sweep(
+            seed=args.seed, jobs=args.jobs, timeout_s=timeout_s,
+        )):
             signal = (
                 f"LR {p.likelihood_ratio:.3f}" if p.likelihood_ratio is not None
                 else f"ACF peak {p.max_peak:.3f}"
@@ -194,12 +239,16 @@ def _cmd_figure(args) -> int:
             print(f"{p.kind:<8} @ {p.bandwidth_bps:>7g} bps: {signal} | "
                   f"{'DETECTED' if p.detected else 'missed'}")
     elif n == 11:
-        for p in fig.fig11_window_scaling(seed=args.seed, jobs=args.jobs):
+        for p in _report_trial_failures(fig.fig11_window_scaling(
+            seed=args.seed, jobs=args.jobs, timeout_s=timeout_s,
+        )):
             print(f"window x{p.fraction:<5g}: best peak {p.best_peak:.3f}, "
                   f"{p.significant_windows}/{p.windows_analyzed} windows "
                   "significant")
     elif n == 12:
-        for r in fig.fig12_message_sweep(seed=args.seed, jobs=args.jobs):
+        for r in fig.fig12_message_sweep(
+            seed=args.seed, jobs=args.jobs, timeout_s=timeout_s,
+        ):
             if r.likelihood_ratios:
                 print(f"{r.kind:<8}: min LR over messages "
                       f"{r.min_likelihood_ratio:.3f} (paper: > 0.9)")
@@ -208,12 +257,17 @@ def _cmd_figure(args) -> int:
                 print(f"{r.kind:<8}: ACF peaks "
                       f"{min(peaks):.3f}..{max(peaks):.3f}")
     elif n == 13:
-        for r in fig.fig13_cache_set_sweep(seed=args.seed, jobs=args.jobs):
+        for r in _report_trial_failures(fig.fig13_cache_set_sweep(
+            seed=args.seed, jobs=args.jobs, timeout_s=timeout_s,
+        )):
             print(f"{r.n_sets} sets: peak {r.peak_value:.3f} at lag "
                   f"{r.peak_lag}")
     elif n == 14:
         return _cmd_false_alarms(
-            argparse.Namespace(seed=args.seed, quanta=8, jobs=args.jobs)
+            argparse.Namespace(
+                seed=args.seed, quanta=8, jobs=args.jobs,
+                trial_timeout=timeout_s,
+            )
         )
     else:
         print(
@@ -245,7 +299,16 @@ def _cmd_analyze(args) -> int:
     from repro.pipeline import MetricsSink
     from repro.traces import analyze_traces, load_traces
 
-    archive = load_traces(args.path)
+    archive = load_traces(
+        args.path,
+        on_corruption="skip" if args.skip_corrupt else "raise",
+    )
+    for unit in archive.gaps:
+        print(
+            f"repro: warning: corrupt records skipped for unit "
+            f"'{unit}'; its verdict is degraded",
+            file=sys.stderr,
+        )
     # --metrics-out turns the replayed session eager (MetricsSink +
     # first-detection tracking) so the snapshot carries the same
     # per-quantum latency and detection metrics a live session would.
@@ -255,6 +318,7 @@ def _cmd_analyze(args) -> int:
         window_fraction=args.window_fraction,
         sinks=[MetricsSink()] if wants_metrics else (),
         track_detection_latency=wants_metrics,
+        injectors=_build_injectors(args),
     )
     if args.as_json:
         print(json.dumps(report.to_dict(), sort_keys=True))
@@ -280,6 +344,21 @@ def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=argparse.SUPPRESS, metavar="N",
         help="worker processes for the sweep (1 = serial, 0 = all CPUs)",
     )
+    subparser.add_argument(
+        "--trial-timeout", type=float, default=argparse.SUPPRESS,
+        metavar="SECONDS", dest="trial_timeout",
+        help="per-trial wall-clock budget; stuck or crashing trials are "
+        "recorded as failures instead of aborting the sweep "
+        "(default: no timeout)",
+    )
+
+
+_INJECT_HELP = (
+    "comma-separated fault injection spec, e.g. "
+    "'drop:0.1,stall:0.05:3@membus' — kinds: drop:P, dup:P, "
+    "reorder:W, stall:P[:W], bitflip:P[:BITS], saturate:P; "
+    "@CHANNEL targets one channel (default all). See docs/ROBUSTNESS.md"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -301,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for sweep commands (default 1 = serial, "
         "0 = all CPUs); results are identical for every value",
+    )
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        dest="trial_timeout",
+        help="per-trial wall-clock budget for sweep commands; stuck or "
+        "crashing trials are recorded as failures instead of aborting "
+        "(default: no timeout)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -340,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="record spans and write a Chrome-trace JSON file to PATH",
     )
+    detect.add_argument("--inject", metavar="SPEC", help=_INJECT_HELP)
     detect.set_defaults(func=_cmd_detect)
 
     false_alarms = sub.add_parser(
@@ -383,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH",
         help="write a JSON metrics snapshot of the replay to PATH",
     )
+    analyze.add_argument("--inject", metavar="SPEC", help=_INJECT_HELP)
+    analyze.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the --inject fault streams",
+    )
+    analyze.add_argument(
+        "--skip-corrupt", action="store_true",
+        help="skip corrupt archive records (gap + degraded verdict) "
+        "instead of exiting with the corrupt-archive code",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     metrics = sub.add_parser(
@@ -400,12 +497,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import exit_code_for
+
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_mode=args.log_json)
     # Each invocation gets a fresh default registry so --metrics-out
     # snapshots cover exactly this run.
     new_default()
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        # Every failure exits with a documented code (repro.errors) and
+        # a one-line message — no tracebacks for operational errors.
+        code = exit_code_for(exc)
+        print(f"repro: error: {exc}", file=sys.stderr)
+        if code == 7:  # INTERNAL: unexpected — keep the evidence
+            import traceback
+
+            traceback.print_exc()
+        return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

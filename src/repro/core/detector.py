@@ -65,6 +65,7 @@ class CCHunter:
         sinks: Iterable[VerdictSink] = (),
         track_detection_latency: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        injectors: Iterable = (),
     ):
         if not 0 < window_fraction <= 1.0:
             raise DetectionError(
@@ -86,7 +87,20 @@ class CCHunter:
             track_detection_latency=track_detection_latency,
             metrics=self.metrics,
         )
-        self.source.subscribe(self.session)
+        # With fault injectors the session listens to a perturbing
+        # wrapper instead of the raw machine source (robustness drills;
+        # see repro.faults). ``self.source`` stays the machine source —
+        # audit() keeps programming channels on it directly.
+        injectors = list(injectors)
+        feed = self.source
+        if injectors:
+            from repro.faults.source import FaultInjectingSource
+
+            feed = FaultInjectingSource(
+                self.source, injectors, metrics=self.metrics
+            )
+        self.feed = feed
+        self.feed.subscribe(self.session)
         #: (unit, core, channel name) per audit call, for facade lookups.
         self._audits: List[Tuple[AuditUnit, Optional[int], str]] = []
 

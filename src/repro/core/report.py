@@ -35,6 +35,11 @@ class UnitVerdict:
     #: Oscillation method: estimated oscillation wavelength (events).
     dominant_period: Optional[float] = None
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    #: Operational health of the analyzer that produced this verdict:
+    #: "ok", "degraded" (evidence impaired by gaps/faults but analysis
+    #: continued), or "failed" (analyzer quarantined after repeated
+    #: errors). See repro.pipeline.health and docs/ROBUSTNESS.md.
+    health: str = "ok"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (plain Python scalars only)."""
@@ -66,12 +71,15 @@ class UnitVerdict:
                 else float(self.dominant_period)
             ),
             "notes": list(self.notes),
+            "health": self.health,
         }
 
     def summary(self) -> str:
         flag = "COVERT TIMING CHANNEL LIKELY" if self.detected else "clear"
         parts = [f"[{self.unit}] {flag} ({self.method} method, "
                  f"{self.quanta_analyzed} quanta)"]
+        if self.health != "ok":
+            parts.append(f"  health: {self.health.upper()}")
         if self.method == "burst":
             lr = (
                 f"{self.max_likelihood_ratio:.3f}"
@@ -108,6 +116,16 @@ class DetectionReport:
     def any_detected(self) -> bool:
         return any(v.detected for v in self.verdicts)
 
+    @property
+    def health(self) -> str:
+        """Worst per-unit health across the report ("ok" when empty)."""
+        order = {"ok": 0, "degraded": 1, "failed": 2}
+        return max(
+            (v.health for v in self.verdicts),
+            key=lambda h: order.get(h, 2),
+            default="ok",
+        )
+
     def verdict_for(self, unit: str) -> UnitVerdict:
         for v in self.verdicts:
             if v.unit == unit:
@@ -118,6 +136,7 @@ class DetectionReport:
         """JSON-serializable view of every verdict."""
         return {
             "any_detected": bool(self.any_detected),
+            "health": self.health,
             "verdicts": [v.to_dict() for v in self.verdicts],
         }
 
@@ -134,4 +153,9 @@ class DetectionReport:
                if self.any_detected
                else "no covert timing channel activity detected")
         )
+        if self.health != "ok":
+            lines.append(
+                f"pipeline health: {self.health.upper()} — see per-unit "
+                "notes; evidence may be incomplete"
+            )
         return "\n".join(lines)

@@ -1,7 +1,24 @@
-"""Exception hierarchy for the CC-Hunter reproduction.
+"""Exception hierarchy and exit-code taxonomy for the CC-Hunter reproduction.
 
 Every error raised by this package derives from :class:`ReproError`, so
 callers can catch one type to handle any library failure.
+
+The CLI maps library failures to a documented, stable exit-code
+taxonomy (see docs/ROBUSTNESS.md) via :func:`exit_code_for`, so
+operators and scripts can branch on *why* an audit failed without
+parsing tracebacks:
+
+====  ======================  ===========================================
+code  constant                meaning
+====  ======================  ===========================================
+0     EXIT_OK                 success, nothing detected
+2     EXIT_USAGE              bad arguments / unknown spec strings
+3     EXIT_DETECTED           success, covert channel activity detected
+4     EXIT_CORRUPT_ARCHIVE    trace archive failed checksum/format checks
+5     EXIT_MISSING_INPUT      input file missing or unreadable
+6     EXIT_TRIAL_FAILURE      trial execution failed (crash/timeout)
+7     EXIT_INTERNAL           any other library error
+====  ======================  ===========================================
 """
 
 from __future__ import annotations
@@ -37,3 +54,38 @@ class HardwareError(ReproError):
 
 class AuthorizationError(ReproError):
     """An unprivileged user attempted a privileged audit operation."""
+
+
+class TraceCorruptionError(DetectionError):
+    """A trace archive is corrupt, truncated, or fails checksum checks."""
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection spec string could not be parsed."""
+
+
+# ------------------------------------------------------------- exit codes
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_DETECTED = 3
+EXIT_CORRUPT_ARCHIVE = 4
+EXIT_MISSING_INPUT = 5
+EXIT_TRIAL_FAILURE = 6
+EXIT_INTERNAL = 7
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code an exception maps to (taxonomy above)."""
+    # Imported lazily to keep this module dependency-free at import time.
+    from repro.exec.runner import ExecError
+
+    if isinstance(exc, TraceCorruptionError):
+        return EXIT_CORRUPT_ARCHIVE
+    if isinstance(exc, (FileNotFoundError, IsADirectoryError, PermissionError)):
+        return EXIT_MISSING_INPUT
+    if isinstance(exc, ExecError):
+        return EXIT_TRIAL_FAILURE
+    if isinstance(exc, (FaultSpecError, ConfigError)):
+        return EXIT_USAGE
+    return EXIT_INTERNAL

@@ -6,6 +6,7 @@ the architecture, determinism guarantees, and measured speedups.
 
 from repro.exec.runner import (
     ExecError,
+    TrialFailure,
     TrialRunner,
     TrialSpec,
     default_chunk_size,
@@ -16,6 +17,7 @@ from repro.exec.runner import (
 
 __all__ = [
     "ExecError",
+    "TrialFailure",
     "TrialRunner",
     "TrialSpec",
     "default_chunk_size",

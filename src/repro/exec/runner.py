@@ -39,14 +39,30 @@ Mechanics (see docs/PERFORMANCE.md for the knobs):
   chunk/retry counters;
 - an optional ``progress(done, total)`` callback fires in the parent as
   chunks complete (completion order — only the *results* are ordered).
+
+Failure containment (``TrialSpec.timeout_s``, see docs/ROBUSTNESS.md):
+giving a spec a per-trial wall-clock budget switches the runner into
+*recording* mode — a trial that exceeds the budget, raises, or loses its
+worker no longer aborts the sweep; its canonical result slot holds a
+:class:`TrialFailure` (``kind`` ∈ ``timeout`` / ``raised`` /
+``crashed``) and the sweep completes. Timeouts are enforced inside the
+worker with ``signal.setitimer`` (POSIX main thread); a parent-side
+backstop reaps whole chunks whose worker never reports back. Failures
+are tallied in ``cchunter_trial_failures_total{kind=...}``. With
+``timeout_s=None`` (the default) nothing changes: exceptions propagate
+and crashed chunks retry then raise, exactly as before.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -75,6 +91,64 @@ TRIAL_SECONDS_BUCKETS: Tuple[float, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial that produced no result; sits in its canonical slot.
+
+    ``kind`` classifies the failure:
+
+    - ``"timeout"`` — exceeded ``TrialSpec.timeout_s`` (worker alarm or
+      parent backstop);
+    - ``"raised"`` — the trial function raised an ordinary exception;
+    - ``"crashed"`` — the worker process died (e.g. OOM-killed) and the
+      chunk exhausted its retries.
+    """
+
+    index: int
+    kind: str
+    message: str
+    elapsed_s: float
+
+    def __bool__(self) -> bool:
+        # Failures are falsy so `r for r in results if r` and
+        # `filter(None, results)` skip them like missing values.
+        return False
+
+
+class _TrialTimeout(Exception):
+    """Internal: raised by the SIGALRM handler inside a worker."""
+
+
+@contextmanager
+def _trial_alarm(timeout_s: Optional[float]):
+    """Arm a per-trial wall-clock alarm, where the platform allows it.
+
+    ``signal.setitimer`` only works on POSIX and only in the main
+    thread — which is exactly where pool workers run trial functions.
+    Elsewhere this degrades to a no-op and the parent-side backstop in
+    ``_run_pooled`` is the only guard.
+    """
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(_signum, _frame):
+        raise _TrialTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def trial_seed(base_seed: int, key: str, index: int) -> int:
     """The seed of trial ``index`` in a sweep: pure, order-independent.
 
@@ -97,6 +171,11 @@ class TrialSpec:
     :func:`trial_seed` ``(seed, key, index)`` unless its own kwargs
     already bind that argument — sweeps that need a bespoke seed formula
     just put it in the per-trial kwargs.
+
+    ``timeout_s`` gives each trial a wall-clock budget **and** switches
+    the runner into failure-recording mode: trials that time out, raise,
+    or lose their worker yield a :class:`TrialFailure` in their result
+    slot instead of aborting the sweep.
     """
 
     fn: Callable[..., Any]
@@ -104,6 +183,7 @@ class TrialSpec:
     key: str = ""
     seed: Optional[int] = None
     seed_arg: str = "seed"
+    timeout_s: Optional[float] = None
 
     def kwargs_for(self, index: int, overrides: Mapping[str, Any]) -> Dict[str, Any]:
         """The full kwargs of trial ``index`` (canonical, order-free)."""
@@ -128,6 +208,7 @@ def _run_chunk(
     fn: Callable[..., Any],
     items: Sequence[Tuple[int, Dict[str, Any]]],
     fresh_registry: bool,
+    timeout_s: Optional[float] = None,
 ) -> _ChunkResult:
     """Run one chunk of trials; the worker-side entry point.
 
@@ -136,6 +217,10 @@ def _run_chunk(
     inherited from the parent), runs each trial under a wall clock, and
     returns results + timings + the registry snapshot. Also the serial
     path: ``jobs=1`` calls this in-process with the same arguments.
+
+    With ``timeout_s`` set, each trial runs under a wall-clock alarm and
+    failures (timeout or exception) become :class:`TrialFailure` results
+    rather than propagating — one bad trial cannot take down the chunk.
     """
     previous = obs_metrics.get_default()
     registry = MetricsRegistry() if fresh_registry else previous
@@ -147,7 +232,26 @@ def _run_chunk(
         seconds: List[float] = []
         for index, kwargs in items:
             start = time.perf_counter()
-            results.append(fn(**kwargs))
+            if timeout_s is None:
+                results.append(fn(**kwargs))
+            else:
+                try:
+                    with _trial_alarm(timeout_s):
+                        results.append(fn(**kwargs))
+                except _TrialTimeout:
+                    elapsed = time.perf_counter() - start
+                    results.append(TrialFailure(
+                        index, "timeout",
+                        f"trial exceeded {timeout_s:g}s wall-clock budget",
+                        elapsed,
+                    ))
+                except Exception as exc:
+                    elapsed = time.perf_counter() - start
+                    results.append(TrialFailure(
+                        index, "raised",
+                        f"{type(exc).__name__}: {exc}",
+                        elapsed,
+                    ))
             seconds.append(time.perf_counter() - start)
             indices.append(index)
     finally:
@@ -262,8 +366,10 @@ class TrialRunner:
         ).inc()
         if self.jobs == 1:
             chunk_results = [
-                self._finish_chunk(_run_chunk(spec.fn, chunk, True),
-                                   registry, spec, done, total)
+                self._finish_chunk(
+                    _run_chunk(spec.fn, chunk, True, spec.timeout_s),
+                    registry, spec, done, total,
+                )
                 for done, chunk in self._serial_chunks(chunks)
             ]
         else:
@@ -313,6 +419,13 @@ class TrialRunner:
             "Trial chunks completed by TrialRunner.",
             labels=label,
         ).inc()
+        for result in chunk_result.results:
+            if isinstance(result, TrialFailure):
+                registry.counter(
+                    "cchunter_trial_failures_total",
+                    "Trials that timed out, raised, or lost their worker.",
+                    labels={**label, "kind": result.kind},
+                ).inc()
         if self.progress is not None:
             self.progress(done, total)
         return chunk_result
@@ -331,6 +444,15 @@ class TrialRunner:
         charged, and the pool is rebuilt. Ordinary exceptions raised by
         the trial function are *not* retried — they are deterministic
         under the seed contract — and propagate to the caller.
+
+        With ``spec.timeout_s`` set, two extra guards apply. A chunk
+        that exhausts its crash retries is *recorded* — every trial in
+        it becomes a ``crashed`` :class:`TrialFailure` — instead of
+        raising. And a parent-side backstop bounds how long the batch
+        may run past its per-trial budgets: if a worker's alarm never
+        fires (platform without ``setitimer``, or a trial hung in
+        uninterruptible C code), the remaining chunks are reaped as
+        ``timeout`` failures rather than blocking forever.
         """
         pending: List[int] = list(range(len(chunks)))
         retries = [0] * len(chunks)
@@ -341,35 +463,95 @@ class TrialRunner:
             "Chunk resubmissions after worker crashes.",
             labels={"spec": spec.key or spec.fn.__name__},
         )
+        backstop = None
+        if spec.timeout_s is not None:
+            longest = max(len(chunk) for chunk in chunks)
+            # Generous: the alarm inside the worker is the real limit;
+            # this only catches workers that cannot enforce it.
+            backstop = spec.timeout_s * longest * 2 + 30.0
+
+        def _failed_chunk(ci: int, kind: str, message: str) -> None:
+            nonlocal done_trials
+            chunk = chunks[ci]
+            chunk_result = _ChunkResult(
+                indices=[index for index, _kwargs in chunk],
+                results=[
+                    TrialFailure(index, kind, message, 0.0)
+                    for index, _kwargs in chunk
+                ],
+                seconds=[0.0] * len(chunk),
+                metrics_snapshot=None,
+            )
+            pending.remove(ci)
+            done_trials += len(chunk)
+            finished.append(self._finish_chunk(
+                chunk_result, registry, spec, done_trials, total
+            ))
+
         while pending:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
-                    pool.submit(_run_chunk, spec.fn, chunks[ci], True): ci
+                    pool.submit(
+                        _run_chunk, spec.fn, chunks[ci], True, spec.timeout_s
+                    ): ci
                     for ci in list(pending)
                 }
-                for future in as_completed(futures):
-                    ci = futures[future]
-                    try:
-                        chunk_result = future.result()
-                    except BrokenProcessPool:
-                        # A crash poisons the whole pool, so every
-                        # unfinished chunk lands here; each is charged
-                        # one retry and requeued for the rebuilt pool.
-                        retries[ci] += 1
-                        retry_counter.inc()
-                        if retries[ci] > self.max_chunk_retries:
-                            raise ExecError(
-                                f"chunk {ci} ({len(chunks[ci])} trials) "
-                                f"crashed {retries[ci]} times; giving up"
-                            ) from None
-                        continue
-                    pending.remove(ci)
-                    done_trials += len(chunk_result.indices)
-                    finished.append(
-                        self._finish_chunk(
-                            chunk_result, registry, spec, done_trials, total
+                try:
+                    for future in as_completed(futures, timeout=backstop):
+                        ci = futures[future]
+                        try:
+                            chunk_result = future.result()
+                        except BrokenProcessPool:
+                            # A crash poisons the whole pool, so every
+                            # unfinished chunk lands here; each is charged
+                            # one retry and requeued for the rebuilt pool.
+                            retries[ci] += 1
+                            retry_counter.inc()
+                            if retries[ci] > self.max_chunk_retries:
+                                if spec.timeout_s is not None:
+                                    _failed_chunk(
+                                        ci, "crashed",
+                                        f"worker crashed {retries[ci]} times",
+                                    )
+                                    continue
+                                raise ExecError(
+                                    f"chunk {ci} ({len(chunks[ci])} trials) "
+                                    f"crashed {retries[ci]} times; giving up"
+                                ) from None
+                            continue
+                        pending.remove(ci)
+                        done_trials += len(chunk_result.indices)
+                        finished.append(
+                            self._finish_chunk(
+                                chunk_result, registry, spec, done_trials,
+                                total,
+                            )
                         )
-                    )
+                except FuturesTimeout:
+                    # Backstop tripped: kill the stuck workers outright
+                    # (the context-manager exit would otherwise join
+                    # them forever) and reap every chunk still in
+                    # flight as timeout failures.
+                    for proc in getattr(pool, "_processes", {}).values():
+                        proc.terminate()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for future, ci in futures.items():
+                        if ci not in pending:
+                            continue
+                        if future.done() and future.exception() is None:
+                            chunk_result = future.result()
+                            pending.remove(ci)
+                            done_trials += len(chunk_result.indices)
+                            finished.append(self._finish_chunk(
+                                chunk_result, registry, spec, done_trials,
+                                total,
+                            ))
+                        else:
+                            _failed_chunk(
+                                ci, "timeout",
+                                "chunk missed the parent-side deadline "
+                                f"({backstop:g}s)",
+                            )
         return finished
 
 

@@ -1,0 +1,57 @@
+"""Deterministic fault injection for the detection pipeline.
+
+The robustness counterpart of the paper's noise-injection experiments
+(Figures 10-13): seeded, composable injectors perturb any EventSource's
+observation stream — event loss, duplication, reordering, blackout
+stalls, counter bit-flips, forced accumulator saturation — and a
+separate helper damages trace archives to exercise the checksum path.
+Every scenario is a pure function of a ``SeedSequence``-derived stream,
+so it replays bit-for-bit.
+
+Entry points:
+
+- :func:`parse_inject_specs` / :func:`build_injectors` — the CLI's
+  ``--inject "drop:0.3,dup:0.05@membus"`` mini-language;
+- :class:`FaultInjectingSource` — wrap a source, perturb, re-emit;
+- :func:`corrupt_archive` — damage a trace archive under its checksums.
+
+Catalog, semantics, and health interactions: docs/ROBUSTNESS.md.
+"""
+
+from repro.faults.archive import corrupt_archive
+from repro.faults.injectors import (
+    BitFlipInjector,
+    DropInjector,
+    DuplicateInjector,
+    FaultInjector,
+    ReorderInjector,
+    SaturateInjector,
+    StallInjector,
+    apply_injectors,
+)
+from repro.faults.source import FaultInjectingSource
+from repro.faults.spec import (
+    FaultSpec,
+    build_injectors,
+    injectors_from_string,
+    parse_inject_spec,
+    parse_inject_specs,
+)
+
+__all__ = [
+    "FaultInjector",
+    "DropInjector",
+    "DuplicateInjector",
+    "ReorderInjector",
+    "StallInjector",
+    "BitFlipInjector",
+    "SaturateInjector",
+    "apply_injectors",
+    "FaultInjectingSource",
+    "FaultSpec",
+    "parse_inject_spec",
+    "parse_inject_specs",
+    "build_injectors",
+    "injectors_from_string",
+    "corrupt_archive",
+]

@@ -1,0 +1,88 @@
+"""Archive-record corruption: damage trace archives for resilience tests.
+
+Trace archives (:mod:`repro.traces`) carry a per-channel CRC manifest;
+this module is the attacker/bit-rot side of that contract. It rewrites
+an ``.npz`` archive with deterministic, seeded value corruption in
+chosen record arrays while **preserving the original checksum
+manifest** — producing exactly the mismatch ``load_traces`` must catch.
+
+The outer zip container stays valid (the corruption is applied to the
+decoded arrays and the archive is re-written), so nothing short of the
+per-channel CRCs can tell the archive has been damaged — the scenario
+the manifest exists for.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FaultSpecError
+from repro.util.rng import derive_rng
+
+#: Scalar/meta keys that corruption never touches.
+_META_KEYS = frozenset(
+    {
+        "format_version",
+        "quantum_cycles",
+        "n_quanta",
+        "divider_dt",
+        "multiplier_dt",
+        "checksum_manifest",
+    }
+)
+
+
+def corrupt_archive(
+    path: Union[str, Path],
+    out_path: Optional[Union[str, Path]] = None,
+    keys: Optional[Sequence[str]] = None,
+    n_values: int = 8,
+    seed: int = 0,
+) -> List[str]:
+    """Corrupt ``n_values`` entries in each targeted record array.
+
+    ``keys`` selects the arrays to damage (default: the largest record
+    array); the archive is rewritten in place unless ``out_path`` is
+    given. Returns the list of keys actually corrupted. Deterministic in
+    ``seed``.
+    """
+    src = Path(path)
+    dst = Path(out_path) if out_path is not None else src
+    with np.load(src) as data:
+        payload: Dict[str, np.ndarray] = {k: data[k] for k in data.files}
+    candidates = [
+        k
+        for k, v in payload.items()
+        if k not in _META_KEYS and v.size > 0 and v.dtype.kind in "iuf"
+    ]
+    if keys is None:
+        if not candidates:
+            raise FaultSpecError(f"{src}: no corruptible record arrays")
+        keys = [max(candidates, key=lambda k: payload[k].size)]
+    else:
+        unknown = [k for k in keys if k not in payload]
+        if unknown:
+            raise FaultSpecError(f"{src}: no such record arrays: {unknown}")
+    rng = derive_rng(seed, "faults.archive", src.name)
+    corrupted: List[str] = []
+    for key in keys:
+        arr = payload[key].copy()
+        if arr.size == 0:
+            continue
+        hits = rng.integers(0, arr.size, size=min(n_values, arr.size))
+        flat = arr.reshape(-1)
+        if arr.dtype.kind == "f":
+            flat[hits] = flat[hits] * -3.0 + 1.0
+        else:
+            # XOR a mid-range bit so small counters change visibly but
+            # stay within the dtype's range.
+            flat[hits] = flat[hits] ^ np.asarray(1 << 7, dtype=arr.dtype)
+        payload[key] = arr
+        corrupted.append(key)
+    if not corrupted:
+        raise FaultSpecError(f"{src}: nothing was corrupted")
+    np.savez_compressed(dst, **payload)
+    return corrupted

@@ -1,0 +1,126 @@
+"""FaultInjectingSource: wrap any EventSource with an injector chain.
+
+The wrapper subscribes itself to the inner source (a live
+:class:`~repro.pipeline.source.MachineEventSource`, a replayed
+:class:`~repro.traces.ArchiveEventSource`, or anything else speaking the
+EventSource protocol), perturbs every observation through its injector
+chain, and fans the perturbed stream out to its own consumers — the
+inner source and the analyzers never know faults are being injected,
+except through the ``faults`` tags stamped on touched observations.
+
+Injection activity is exported through the ``cchunter_fault_*`` metric
+family (per-injector-kind labels; see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.injectors import FaultInjector, apply_injectors
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_default
+from repro.pipeline.source import (
+    ChannelKind,
+    ChannelSpec,
+    ObservationConsumer,
+    QuantumObservation,
+)
+
+_log = get_logger("faults.source")
+
+
+class FaultInjectingSource:
+    """An EventSource that replays another source through fault injectors."""
+
+    def __init__(
+        self,
+        inner,
+        injectors: Sequence[FaultInjector],
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.inner = inner
+        self.injectors = list(injectors)
+        self._consumers: List[ObservationConsumer] = []
+        self.metrics = metrics if metrics is not None else get_default()
+        self._m_quanta: Dict[str, object] = {}
+        self._m_dropped: Dict[str, object] = {}
+        self._m_added: Dict[str, object] = {}
+        self._m_corrupted: Dict[str, object] = {}
+        self._last: Dict[int, Tuple[int, int, int, int]] = {}
+        for injector in self.injectors:
+            labels = {"kind": injector.kind}
+            self._m_quanta[injector.kind] = self.metrics.counter(
+                "cchunter_fault_quanta_total",
+                "quantum observations actually perturbed, per injector kind",
+                labels=labels,
+            )
+            self._m_dropped[injector.kind] = self.metrics.counter(
+                "cchunter_fault_events_dropped_total",
+                "indicator events erased by fault injection",
+                labels=labels,
+            )
+            self._m_added[injector.kind] = self.metrics.counter(
+                "cchunter_fault_events_added_total",
+                "indicator events fabricated by fault injection",
+                labels=labels,
+            )
+            self._m_corrupted[injector.kind] = self.metrics.counter(
+                "cchunter_fault_values_corrupted_total",
+                "counter values corrupted or displaced by fault injection",
+                labels=labels,
+            )
+            self._last[id(injector)] = (0, 0, 0, 0)
+        inner.subscribe(self)
+        if self.injectors:
+            _log.info(
+                "fault injection active: %s",
+                ", ".join(i.kind for i in self.injectors),
+            )
+
+    # ------------------------------------------------- EventSource protocol
+
+    @property
+    def quantum_cycles(self) -> int:
+        return self.inner.quantum_cycles
+
+    def channels(self) -> Tuple[ChannelSpec, ...]:
+        return self.inner.channels()
+
+    def subscribe(self, consumer: ObservationConsumer) -> None:
+        self._consumers.append(consumer)
+
+    def replay(self) -> None:
+        """Delegate to the inner source's replay (archive sources)."""
+        self.inner.replay()
+
+    # ------------------------------------------------------------ streaming
+
+    @property
+    def conflict_channel(self) -> str:
+        for spec in self.inner.channels():
+            if spec.kind is ChannelKind.CONFLICT:
+                return spec.name
+        return "cache"
+
+    def push_quantum(self, obs: QuantumObservation) -> None:
+        perturbed = apply_injectors(
+            self.injectors, obs, conflict_channel=self.conflict_channel
+        )
+        if self.metrics.enabled:
+            for injector in self.injectors:
+                now = (
+                    injector.quanta_touched,
+                    injector.events_dropped,
+                    injector.events_added,
+                    injector.values_corrupted,
+                )
+                before = self._last[id(injector)]
+                if now != before:
+                    kind = injector.kind
+                    self._m_quanta[kind].inc(now[0] - before[0])
+                    self._m_dropped[kind].inc(now[1] - before[1])
+                    self._m_added[kind].inc(now[2] - before[2])
+                    self._m_corrupted[kind].inc(now[3] - before[3])
+                    self._last[id(injector)] = now
+        for consumer in self._consumers:
+            consumer.push_quantum(perturbed)

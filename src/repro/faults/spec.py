@@ -1,0 +1,203 @@
+"""Fault-injection spec strings: the ``--inject`` mini-language.
+
+A spec names one injector with its parameters, optionally targeted at a
+single channel::
+
+    kind[:param[:param...]][@channel]
+
+    drop:0.30            # lose 30% of events on every channel
+    drop:0.05@membus     # lose 5% of bus-lock events only
+    dup:0.10             # duplicate 10% of events
+    reorder:8@cache      # shuffle conflict records within blocks of 8
+    stall:0.01:32        # 1% chance per window of a <=32-window blackout
+    bitflip:0.001        # flip one bit in 0.1% of counter reads
+    saturate:0.02        # force 2% of windows to the 16-bit entry max
+
+Several specs separated by commas compose left to right:
+``drop:0.1,dup:0.05`` first thins, then duplicates the survivors.
+
+Parsing is strict — unknown kinds, malformed probabilities, and
+out-of-range parameters raise :class:`~repro.errors.FaultSpecError`,
+which the CLI maps to the usage exit code. :func:`build_injectors`
+turns parsed specs into live injector objects seeded from a single base
+seed, so a spec string plus a seed fully determines the perturbation
+(see docs/ROBUSTNESS.md for the injector catalog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import FaultSpecError
+from repro.faults.injectors import (
+    BitFlipInjector,
+    DropInjector,
+    DuplicateInjector,
+    FaultInjector,
+    ReorderInjector,
+    SaturateInjector,
+    StallInjector,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``--inject`` clause: kind, raw params, target channel."""
+
+    kind: str
+    params: Tuple[str, ...]
+    channel: str = "*"
+
+    def __str__(self) -> str:
+        text = ":".join((self.kind, *self.params))
+        return text if self.channel == "*" else f"{text}@{self.channel}"
+
+
+def _probability(spec: FaultSpec, value: str, what: str = "probability") -> float:
+    try:
+        p = float(value)
+    except ValueError:
+        raise FaultSpecError(
+            f"{spec}: {what} {value!r} is not a number"
+        ) from None
+    if not 0.0 <= p <= 1.0:
+        raise FaultSpecError(f"{spec}: {what} {p} must be in [0, 1]")
+    return p
+
+
+def _positive_int(spec: FaultSpec, value: str, what: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise FaultSpecError(f"{spec}: {what} {value!r} is not an integer") from None
+    if n < 1:
+        raise FaultSpecError(f"{spec}: {what} must be >= 1, got {n}")
+    return n
+
+
+def _arity(spec: FaultSpec, low: int, high: int) -> None:
+    if not low <= len(spec.params) <= high:
+        wanted = str(low) if low == high else f"{low}-{high}"
+        raise FaultSpecError(
+            f"{spec}: takes {wanted} parameter(s), got {len(spec.params)}"
+        )
+
+
+def parse_inject_spec(text: str) -> FaultSpec:
+    """Parse one ``kind:params[@channel]`` clause (no validation of params)."""
+    clause = text.strip()
+    if not clause:
+        raise FaultSpecError("empty fault spec")
+    channel = "*"
+    if "@" in clause:
+        clause, channel = clause.rsplit("@", 1)
+        channel = channel.strip()
+        if not channel:
+            raise FaultSpecError(f"{text!r}: empty channel after '@'")
+    parts = [p.strip() for p in clause.split(":")]
+    kind = parts[0].lower()
+    if kind not in _BUILDERS:
+        known = ", ".join(sorted(_BUILDERS))
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r} in {text!r} (known: {known})"
+        )
+    return FaultSpec(kind=kind, params=tuple(parts[1:]), channel=channel)
+
+
+def parse_inject_specs(text: str) -> List[FaultSpec]:
+    """Parse a comma-separated list of clauses, preserving order."""
+    specs = [
+        parse_inject_spec(part) for part in text.split(",") if part.strip()
+    ]
+    if not specs:
+        raise FaultSpecError("empty fault spec")
+    return specs
+
+
+def _build_drop(spec: FaultSpec, seed: int, index: int) -> FaultInjector:
+    _arity(spec, 1, 1)
+    return DropInjector(
+        _probability(spec, spec.params[0]),
+        channel=spec.channel, seed=seed, index=index,
+    )
+
+
+def _build_dup(spec: FaultSpec, seed: int, index: int) -> FaultInjector:
+    _arity(spec, 1, 1)
+    return DuplicateInjector(
+        _probability(spec, spec.params[0]),
+        channel=spec.channel, seed=seed, index=index,
+    )
+
+
+def _build_reorder(spec: FaultSpec, seed: int, index: int) -> FaultInjector:
+    _arity(spec, 1, 1)
+    return ReorderInjector(
+        _positive_int(spec, spec.params[0], "window"),
+        channel=spec.channel, seed=seed, index=index,
+    )
+
+
+def _build_stall(spec: FaultSpec, seed: int, index: int) -> FaultInjector:
+    _arity(spec, 1, 2)
+    max_len = (
+        _positive_int(spec, spec.params[1], "max stall length")
+        if len(spec.params) > 1
+        else 16
+    )
+    return StallInjector(
+        _probability(spec, spec.params[0], "stall probability"),
+        max_len=max_len, channel=spec.channel, seed=seed, index=index,
+    )
+
+
+def _build_bitflip(spec: FaultSpec, seed: int, index: int) -> FaultInjector:
+    _arity(spec, 1, 2)
+    bits = (
+        _positive_int(spec, spec.params[1], "bit width")
+        if len(spec.params) > 1
+        else 16
+    )
+    return BitFlipInjector(
+        _probability(spec, spec.params[0], "flip probability"),
+        bit_width=bits, channel=spec.channel, seed=seed, index=index,
+    )
+
+
+def _build_saturate(spec: FaultSpec, seed: int, index: int) -> FaultInjector:
+    _arity(spec, 1, 1)
+    return SaturateInjector(
+        _probability(spec, spec.params[0]),
+        channel=spec.channel, seed=seed, index=index,
+    )
+
+
+_BUILDERS = {
+    "drop": _build_drop,
+    "dup": _build_dup,
+    "reorder": _build_reorder,
+    "stall": _build_stall,
+    "bitflip": _build_bitflip,
+    "saturate": _build_saturate,
+}
+
+
+def build_injectors(
+    specs: Sequence[FaultSpec], seed: int = 0
+) -> List[FaultInjector]:
+    """Instantiate injectors for ``specs``, each on its own substream.
+
+    Injector *i* draws from a ``SeedSequence``-derived stream keyed by
+    ``(seed, str(spec), i)``, so the same spec string and seed always
+    reproduce the same perturbation, independent of the other clauses.
+    """
+    return [
+        _BUILDERS[spec.kind](spec, seed, index)
+        for index, spec in enumerate(specs)
+    ]
+
+
+def injectors_from_string(text: str, seed: int = 0) -> List[FaultInjector]:
+    """Convenience: ``build_injectors(parse_inject_specs(text), seed)``."""
+    return build_injectors(parse_inject_specs(text), seed=seed)

@@ -24,6 +24,7 @@ detection share a single code path.
 """
 
 from repro.pipeline.analyzers import Analyzer, BurstAnalyzer, OscillationAnalyzer
+from repro.pipeline.health import Health, worst
 from repro.pipeline.session import DetectionSession, build_session
 from repro.pipeline.sinks import (
     CallbackSink,
@@ -46,6 +47,8 @@ __all__ = [
     "Analyzer",
     "BurstAnalyzer",
     "OscillationAnalyzer",
+    "Health",
+    "worst",
     "DetectionSession",
     "build_session",
     "VerdictSink",

@@ -15,12 +15,22 @@ pushes for one named unit and keeps only bounded incremental state:
 
 ``verdict()`` may be called after any quantum; analyzers never replay
 history to answer it.
+
+Analyzers are hardened against imperfect input: a well-typed
+observation never makes ``push`` raise. A missing channel entry is
+recorded as an *observation gap* (the quantum is counted but nothing is
+folded in), and fault tags stamped by an upstream
+:class:`~repro.faults.FaultInjectingSource` are tallied; either moves
+the analyzer's :class:`~repro.pipeline.health.Health` to ``DEGRADED``
+(sticky) and annotates the verdict. Unexpected *errors* are the
+session's job: :class:`~repro.pipeline.session.DetectionSession`
+quarantines analyzers that raise anyway (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Protocol
+from typing import Deque, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -37,6 +47,7 @@ from repro.core.oscillation import (
 from repro.core.report import UnitVerdict
 from repro.errors import DetectionError
 from repro.obs.metrics import MetricsRegistry, get_default
+from repro.pipeline.health import Health
 from repro.pipeline.source import QuantumObservation
 
 
@@ -55,7 +66,55 @@ class Analyzer(Protocol):
     def first_detection_quantum(self) -> Optional[int]: ...
 
 
-class BurstAnalyzer:
+class _HealthMixin:
+    """Shared gap/fault bookkeeping behind each analyzer's health state."""
+
+    unit: str
+
+    def _init_health(self, metrics: MetricsRegistry) -> None:
+        self._health = Health.OK
+        #: Quanta counted but not analyzed (channel entry missing).
+        self.gaps = 0
+        #: Input fault tags seen on observations (stamped upstream).
+        self.faults_seen = 0
+        labels = {"unit": self.unit}
+        self._m_gaps = metrics.counter(
+            "cchunter_analyzer_gaps_total",
+            "observations skipped because the channel entry was missing",
+            labels,
+        )
+        self._m_flagged = metrics.counter(
+            "cchunter_analyzer_flagged_faults_total",
+            "input fault tags observed on this unit's observations",
+            labels,
+        )
+
+    @property
+    def health(self) -> Health:
+        return self._health
+
+    def _note_faults(self, obs: QuantumObservation) -> None:
+        tags = obs.faults_for(self.unit)
+        if tags:
+            self.faults_seen += len(tags)
+            self._m_flagged.inc(len(tags))
+            self._health = Health.DEGRADED
+
+    def _note_gap(self) -> None:
+        self.gaps += 1
+        self._m_gaps.inc()
+        self._health = Health.DEGRADED
+
+    def _health_notes(self) -> Tuple[str, ...]:
+        notes = []
+        if self.gaps:
+            notes.append(f"{self.gaps} observation gap(s)")
+        if self.faults_seen:
+            notes.append(f"{self.faults_seen} flagged input fault(s)")
+        return tuple(notes)
+
+
+class BurstAnalyzer(_HealthMixin):
     """Recurrent-burst detection for one combinational unit (IV-B).
 
     ``accumulator`` is anything with the ``ingest_window_counts`` /
@@ -114,14 +173,18 @@ class BurstAnalyzer:
         self._seen_events = 0
         self._seen_clamps = 0
         self._seen_saturations = 0
+        self._init_health(m)
 
     def push(self, obs: QuantumObservation) -> None:
+        self._note_faults(obs)
         counts = obs.counts.get(self.unit)
         if counts is None:
-            raise DetectionError(
-                f"observation for quantum {obs.quantum} carries no counts "
-                f"for channel {self.unit!r}"
-            )
+            # Observation gap: the channel's readout went missing this
+            # quantum. Count the quantum, degrade, and keep going — a
+            # lossy collector must not kill the audit.
+            self._note_gap()
+            self.quanta_seen += 1
+            return
         self._acc.ingest_window_counts(counts)
         hist = self._acc.read_and_reset()
         self.histograms.append(hist)
@@ -154,8 +217,10 @@ class BurstAnalyzer:
                 unit=self.unit,
                 method="burst",
                 detected=False,
-                quanta_analyzed=0,
-                notes=("no quanta observed",),
+                quanta_analyzed=self.quanta_seen,
+                notes=("no quanta observed",) if not self.quanta_seen
+                else self._health_notes(),
+                health=self._health.value,
             )
         recurrence = analyze_recurrence(
             list(self.histograms), lr_threshold=self.lr_threshold
@@ -172,6 +237,8 @@ class BurstAnalyzer:
             max_likelihood_ratio=best_lr,
             recurrent=recurrence.recurrent,
             burst_window_fraction=recurrence.burst_window_fraction,
+            notes=self._health_notes(),
+            health=self._health.value,
         )
 
     def first_detection_quantum(self) -> Optional[int]:
@@ -198,7 +265,7 @@ class _PairState:
         self.acf = RunningAutocorrelogram(max_lag)
 
 
-class OscillationAnalyzer:
+class OscillationAnalyzer(_HealthMixin):
     """Oscillatory-pattern detection for the shared cache (IV-D).
 
     Observation windows tile each quantum at ``window_fraction`` of its
@@ -269,8 +336,10 @@ class OscillationAnalyzer:
             "lag-window width of the last computed autocorrelogram",
             labels,
         )
+        self._init_health(m)
 
     def push(self, obs: QuantumObservation) -> None:
+        self._note_faults(obs)
         recs = obs.conflicts
         width = max(1, int(round((obs.t1 - obs.t0) * self.window_fraction)))
         start = obs.t0
@@ -359,6 +428,8 @@ class OscillationAnalyzer:
             oscillating_windows=len(significant),
             max_peak=max((a.max_peak for a in self.analyses), default=0.0),
             dominant_period=float(np.median(periods)) if periods else None,
+            notes=self._health_notes(),
+            health=self._health.value,
         )
 
     def first_detection_quantum(self) -> Optional[int]:

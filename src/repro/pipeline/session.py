@@ -7,6 +7,21 @@ via :meth:`current_verdicts`; when sinks are attached (or first-detection
 tracking is on) the session evaluates them eagerly each quantum and
 notifies the sinks.
 
+The session degrades instead of dying (docs/ROBUSTNESS.md):
+
+- **Analyzer quarantine** — an analyzer that raises during ``push`` or
+  ``verdict`` no longer kills the session. Its first error moves it to
+  ``DEGRADED`` health; ``fail_after`` *consecutive* push errors move it
+  to ``FAILED`` and stop feeding it. Verdicts carry the combined health
+  (:class:`~repro.pipeline.health.Health`) of the analyzer's own state
+  and the session's quarantine overlay.
+- **Sink isolation** — each sink's ``on_quantum``/``on_close`` runs in
+  its own error boundary with bounded retry and exponential backoff, so
+  one bad sink can neither starve the other sinks nor abort the
+  session; a sink that keeps failing is quarantined from per-quantum
+  dispatch but still gets its ``on_close``, which is guaranteed to be
+  attempted for every sink exactly once per close.
+
 :func:`build_session` wires a session straight from an EventSource's
 channel specs with the CC-auditor's histogram geometry — the path trace
 replay and raw feeds use; :class:`~repro.core.detector.CCHunter` builds
@@ -15,22 +30,46 @@ its analyzers around programmed auditor slots instead.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from time import perf_counter
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.config import LIKELIHOOD_RATIO_THRESHOLD, AuditorConfig
 from repro.core.density import StreamingDensityHistogram
 from repro.core.oscillation import DEFAULT_MIN_PEAK_HEIGHT
-from repro.core.report import DetectionReport
+from repro.core.report import DetectionReport, UnitVerdict
 from repro.errors import DetectionError
 from repro.obs.log import get_logger
 from repro.obs.metrics import Gauge, Histogram, MetricsRegistry, get_default
 from repro.obs.tracing import trace_span
 from repro.pipeline.analyzers import Analyzer, BurstAnalyzer, OscillationAnalyzer
+from repro.pipeline.health import Health, worst
 from repro.pipeline.sinks import VerdictSink
 from repro.pipeline.source import ChannelKind, EventSource, QuantumObservation
 
 _log = get_logger("pipeline.session")
+
+
+class _UnitState:
+    """The session's quarantine overlay for one analyzer."""
+
+    __slots__ = ("errors", "consecutive", "health")
+
+    def __init__(self):
+        self.errors = 0
+        self.consecutive = 0
+        self.health = Health.OK
+
+
+class _SinkState:
+    """Failure bookkeeping for one attached sink."""
+
+    __slots__ = ("failures", "quarantined")
+
+    def __init__(self):
+        self.failures = 0
+        self.quarantined = False
 
 
 class DetectionSession:
@@ -41,6 +80,11 @@ class DetectionSession:
         sinks: Iterable[VerdictSink] = (),
         track_detection_latency: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        fail_after: int = 8,
+        sink_max_retries: int = 2,
+        sink_backoff_base: float = 0.05,
+        sink_fail_limit: int = 3,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self._analyzers: Dict[str, Analyzer] = {}
         self.sinks = list(sinks)
@@ -50,6 +94,17 @@ class DetectionSession:
         #: Quanta whose verdicts were evaluated eagerly (== quanta_pushed
         #: iff the session has been eager for its whole life so far).
         self._quanta_evaluated = 0
+        #: Consecutive push errors before an analyzer is FAILED.
+        self.fail_after = max(1, int(fail_after))
+        #: Redelivery attempts per sink dispatch, with exponential
+        #: backoff starting at ``sink_backoff_base`` seconds.
+        self.sink_max_retries = max(0, int(sink_max_retries))
+        self.sink_backoff_base = float(sink_backoff_base)
+        #: Exhausted dispatches before a sink stops getting on_quantum.
+        self.sink_fail_limit = max(1, int(sink_fail_limit))
+        self._sleep = sleep
+        self._unit_states: Dict[str, _UnitState] = {}
+        self._sink_states: Dict[int, _SinkState] = {}
         self.metrics = metrics if metrics is not None else get_default()
         self._m_quanta = self.metrics.counter(
             "cchunter_session_quanta_total",
@@ -63,8 +118,17 @@ class DetectionSession:
             "cchunter_session_sink_seconds",
             "wall time of one per-quantum sink dispatch",
         )
+        self._m_sink_errors = self.metrics.counter(
+            "cchunter_sink_errors_total",
+            "exceptions raised by sinks (every attempt, every method)",
+        )
+        self._m_sink_retries = self.metrics.counter(
+            "cchunter_sink_retries_total",
+            "sink dispatch retries after a sink raised",
+        )
         self._push_hists: Dict[str, Histogram] = {}
         self._first_gauges: Dict[str, Gauge] = {}
+        self._error_counters: Dict[str, object] = {}
 
     # ------------------------------------------------------------- topology
 
@@ -82,9 +146,15 @@ class DetectionSession:
                 f"unit {analyzer.unit!r} already has an analyzer"
             )
         self._analyzers[analyzer.unit] = analyzer
+        self._unit_states[analyzer.unit] = _UnitState()
         self._push_hists[analyzer.unit] = self.metrics.histogram(
             "cchunter_analyzer_push_seconds",
             "wall time of one analyzer push (one quantum observation)",
+            labels={"unit": analyzer.unit},
+        )
+        self._error_counters[analyzer.unit] = self.metrics.counter(
+            "cchunter_analyzer_errors_total",
+            "exceptions raised by the analyzer and absorbed by quarantine",
             labels={"unit": analyzer.unit},
         )
         gauge = self.metrics.gauge(
@@ -102,6 +172,40 @@ class DetectionSession:
         except KeyError:
             raise DetectionError(f"{unit} is not being audited") from None
 
+    # --------------------------------------------------------------- health
+
+    def unit_health(self, unit: str) -> Health:
+        """Combined health of one unit: analyzer state + quarantine."""
+        analyzer = self.analyzer_for(unit)
+        own = getattr(analyzer, "health", Health.OK)
+        return worst((own, self._unit_states[unit].health))
+
+    @property
+    def health(self) -> Health:
+        """Worst health across the session's units (OK when empty)."""
+        return worst(self.unit_health(unit) for unit in self._analyzers)
+
+    def _record_analyzer_error(self, unit: str, exc: Exception) -> None:
+        state = self._unit_states[unit]
+        state.errors += 1
+        state.consecutive += 1
+        self._error_counters[unit].inc()
+        if state.consecutive >= self.fail_after:
+            if state.health is not Health.FAILED:
+                _log.error(
+                    "analyzer %r FAILED after %d consecutive errors "
+                    "(last: %s); quarantined",
+                    unit, state.consecutive, exc,
+                )
+            state.health = Health.FAILED
+        else:
+            if state.health is Health.OK:
+                _log.warning(
+                    "analyzer %r raised (%s); health DEGRADED, continuing",
+                    unit, exc,
+                )
+            state.health = worst((state.health, Health.DEGRADED))
+
     # ------------------------------------------------------------- streaming
 
     @property
@@ -109,16 +213,28 @@ class DetectionSession:
         return bool(self.sinks) or self.track_detection_latency
 
     def push_quantum(self, obs: QuantumObservation) -> None:
-        """Fold one quantum's observation into every analyzer."""
+        """Fold one quantum's observation into every analyzer.
+
+        A raising analyzer is quarantined (health transition), never
+        propagated: the session always survives a push.
+        """
         timed = self.metrics.enabled
         for unit, analyzer in self._analyzers.items():
+            state = self._unit_states[unit]
+            if state.health is Health.FAILED:
+                continue
             with trace_span("analyzer.push", unit=unit, quantum=obs.quantum):
-                if timed:
-                    t0 = perf_counter()
-                    analyzer.push(obs)
-                    self._push_hists[unit].observe(perf_counter() - t0)
+                try:
+                    if timed:
+                        t0 = perf_counter()
+                        analyzer.push(obs)
+                        self._push_hists[unit].observe(perf_counter() - t0)
+                    else:
+                        analyzer.push(obs)
+                except Exception as exc:
+                    self._record_analyzer_error(unit, exc)
                 else:
-                    analyzer.push(obs)
+                    state.consecutive = 0
         self.quanta_pushed += 1
         self._m_quanta.inc()
         if not self._eager:
@@ -140,10 +256,45 @@ class DetectionSession:
         self._quanta_evaluated += 1
         with trace_span("session.sinks", quantum=obs.quantum):
             t0 = perf_counter() if timed else 0.0
-            for sink in self.sinks:
-                sink.on_quantum(obs.quantum, report)
+            self._dispatch_sinks("on_quantum", obs.quantum, report)
             if timed:
                 self._m_sinks.observe(perf_counter() - t0)
+
+    def _unit_verdict(
+        self, unit: str, min_oscillating_windows: Optional[int]
+    ) -> UnitVerdict:
+        """One unit's verdict with combined health; never raises."""
+        analyzer = self._analyzers[unit]
+        state = self._unit_states[unit]
+        try:
+            verdict = analyzer.verdict(
+                min_oscillating_windows=min_oscillating_windows
+            )
+        except Exception as exc:
+            self._record_analyzer_error(unit, exc)
+            return UnitVerdict(
+                unit=unit,
+                method=analyzer.method,
+                detected=False,
+                quanta_analyzed=0,
+                notes=(f"verdict unavailable: {exc}",),
+                health=self._unit_states[unit].health.value,
+            )
+        combined = worst(
+            (Health(verdict.health), state.health)
+        )
+        if combined.value == verdict.health:
+            return verdict
+        notes = verdict.notes
+        if state.health is Health.FAILED:
+            notes = notes + (
+                f"analyzer quarantined after {state.errors} error(s)",
+            )
+        elif state.errors:
+            notes = notes + (f"{state.errors} absorbed push error(s)",)
+        return dataclasses.replace(
+            verdict, health=combined.value, notes=notes
+        )
 
     def current_verdicts(
         self, min_oscillating_windows: Optional[int] = None
@@ -151,18 +302,71 @@ class DetectionSession:
         """Verdicts as of the quanta pushed so far."""
         return DetectionReport(
             verdicts=tuple(
-                analyzer.verdict(min_oscillating_windows=min_oscillating_windows)
-                for analyzer in self._analyzers.values()
+                self._unit_verdict(unit, min_oscillating_windows)
+                for unit in self._analyzers
             )
         )
+
+    # ----------------------------------------------------------------- sinks
+
+    def _sink_state(self, sink: VerdictSink) -> _SinkState:
+        state = self._sink_states.get(id(sink))
+        if state is None:
+            state = self._sink_states[id(sink)] = _SinkState()
+        return state
+
+    def _dispatch_sinks(self, method: str, *args) -> None:
+        """Deliver one event to every sink, each in its own boundary.
+
+        Each sink gets up to ``1 + sink_max_retries`` attempts with
+        exponential backoff; a sink whose dispatch is exhausted
+        ``sink_fail_limit`` times is quarantined from further
+        ``on_quantum`` deliveries (``on_close`` is always attempted).
+        One failing sink never blocks delivery to the others.
+        """
+        for sink in self.sinks:
+            state = self._sink_state(sink)
+            if state.quarantined and method == "on_quantum":
+                continue
+            delay = self.sink_backoff_base
+            for attempt in range(1 + self.sink_max_retries):
+                try:
+                    getattr(sink, method)(*args)
+                    break
+                except Exception as exc:
+                    self._m_sink_errors.inc()
+                    if attempt < self.sink_max_retries:
+                        self._m_sink_retries.inc()
+                        _log.warning(
+                            "sink %r raised in %s (%s); retrying in %.3fs",
+                            type(sink).__name__, method, exc, delay,
+                        )
+                        self._sleep(delay)
+                        delay *= 2
+                    else:
+                        state.failures += 1
+                        _log.error(
+                            "sink %r failed %s after %d attempt(s): %s",
+                            type(sink).__name__, method, attempt + 1, exc,
+                        )
+                        if (
+                            state.failures >= self.sink_fail_limit
+                            and not state.quarantined
+                        ):
+                            state.quarantined = True
+                            _log.error(
+                                "sink %r quarantined after %d failed "
+                                "dispatches; on_close will still be "
+                                "attempted",
+                                type(sink).__name__, state.failures,
+                            )
 
     def close(
         self, min_oscillating_windows: Optional[int] = None
     ) -> DetectionReport:
-        """Final verdicts; notifies every sink's ``on_close``."""
+        """Final verdicts; ``on_close`` is attempted for *every* sink."""
         report = self.current_verdicts(min_oscillating_windows)
-        for sink in self.sinks:
-            sink.on_close(report)
+        self._dispatch_sinks("on_close", report)
         return report
 
     def first_detection_quantum(self, unit: str) -> Optional[int]:

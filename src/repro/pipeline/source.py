@@ -68,6 +68,13 @@ class QuantumObservation:
     ``counts`` maps each burst channel name to its per-Δt-window event
     counts over ``[t0, t1)``; ``conflicts`` carries the quantum's
     conflict-miss records when a conflict channel is enabled.
+
+    ``faults`` lists known data-quality impairments of this observation
+    as ``"kind:channel"`` tags (channel ``*`` = every channel) — e.g. a
+    fault-injecting source stamping the perturbations it applied, or a
+    real collector flagging counter overflow / ring-buffer overruns.
+    Analyzers fold matching tags into their health state
+    (:mod:`repro.pipeline.health`) without changing the numerics.
     """
 
     quantum: int
@@ -75,6 +82,15 @@ class QuantumObservation:
     t1: int
     counts: Dict[str, np.ndarray] = field(default_factory=dict)
     conflicts: Optional[ConflictRecords] = None
+    faults: Tuple[str, ...] = ()
+
+    def faults_for(self, channel: str) -> Tuple[str, ...]:
+        """The fault tags that apply to ``channel`` (exact or ``*``)."""
+        return tuple(
+            tag
+            for tag in self.faults
+            if tag.endswith(f":{channel}") or tag.endswith(":*")
+        )
 
 
 class ObservationConsumer(Protocol):

@@ -12,16 +12,19 @@ the analysis side, and no second analysis code path to drift.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from zipfile import BadZipFile
 
 import numpy as np
 
 from repro.core.density import default_delta_t
 from repro.core.report import DetectionReport
-from repro.errors import DetectionError
+from repro.errors import DetectionError, TraceCorruptionError
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, get_default
 from repro.obs.tracing import trace_span
@@ -36,9 +39,47 @@ from repro.pipeline.source import (
 )
 from repro.sim.machine import Machine
 
-_FORMAT_VERSION = 1
+#: Version 2 adds the per-record CRC32 ``checksum_manifest``; version 1
+#: archives (no manifest) still load, with integrity checks skipped.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Scalar metadata keys: corruption here is never skippable.
+_META_KEYS = ("format_version", "quantum_cycles", "n_quanta",
+              "divider_dt", "multiplier_dt")
 
 _log = get_logger("traces")
+
+
+def _crc(arr: np.ndarray) -> int:
+    """CRC32 of an array's raw bytes (dtype included via the manifest)."""
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
+
+
+def _checksum_manifest(payload: Dict[str, np.ndarray]) -> str:
+    """JSON manifest of per-record CRC32 / dtype / shape."""
+    manifest = {
+        key: {
+            "crc32": _crc(value),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+        for key, value in payload.items()
+    }
+    return json.dumps(manifest, sort_keys=True)
+
+
+def _gap_channel(key: str) -> str:
+    """Unit name a corrupted record key maps to (for gap reporting)."""
+    if key == "bus_lock_times":
+        return "membus"
+    if key.startswith("cache_"):
+        return "cache"
+    for kind in ("divider", "multiplier"):
+        prefix = f"{kind}_wait_counts_"
+        if key.startswith(prefix):
+            return f"{kind}(core {key[len(prefix):]})"
+    return key
 
 
 @dataclass
@@ -49,6 +90,11 @@ class TraceArchive:
     The dense functional-unit wait events are stored as *exact per-Δt
     counts* at each unit's default Δt — the quantity every burst analysis
     consumes — which keeps archives compact without thinning densities.
+
+    ``gaps`` lists the units whose records failed integrity checks and
+    were blanked by a skip-and-continue load (see :func:`load_traces`);
+    replay stamps matching ``corrupt:<unit>`` fault tags so analyzers
+    degrade instead of silently trusting zeroed data.
     """
 
     quantum_cycles: int
@@ -61,6 +107,7 @@ class TraceArchive:
     cache_times: np.ndarray
     cache_replacers: np.ndarray
     cache_victims: np.ndarray
+    gaps: Tuple[str, ...] = field(default=())
 
     @property
     def horizon(self) -> int:
@@ -104,6 +151,10 @@ def export_traces(
         multiplier_counts[core] = mul
         payload[f"divider_wait_counts_{core}"] = div
         payload[f"multiplier_wait_counts_{core}"] = mul
+    # The integrity manifest covers every record written above; it is
+    # excluded from itself (the CRCs protect the data, zip structure
+    # protects the manifest).
+    payload["checksum_manifest"] = np.array(_checksum_manifest(payload))
     np.savez_compressed(Path(path), **payload)
     return TraceArchive(
         quantum_cycles=machine.quantum_cycles,
@@ -119,34 +170,126 @@ def export_traces(
     )
 
 
-def load_traces(path: Union[str, Path]) -> TraceArchive:
-    """Load a trace archive written by :func:`export_traces`."""
-    with np.load(Path(path)) as data:
-        version = int(data["format_version"][0])
-        if version != _FORMAT_VERSION:
-            raise DetectionError(
-                f"trace archive format {version} not supported "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        divider_counts: Dict[int, np.ndarray] = {}
-        multiplier_counts: Dict[int, np.ndarray] = {}
-        for key in data.files:
-            if key.startswith("divider_wait_counts_"):
-                divider_counts[int(key.rsplit("_", 1)[1])] = data[key]
-            elif key.startswith("multiplier_wait_counts_"):
-                multiplier_counts[int(key.rsplit("_", 1)[1])] = data[key]
-        return TraceArchive(
-            quantum_cycles=int(data["quantum_cycles"][0]),
-            n_quanta=int(data["n_quanta"][0]),
-            bus_lock_times=data["bus_lock_times"],
-            divider_dt=int(data["divider_dt"][0]),
-            divider_wait_counts=divider_counts,
-            multiplier_dt=int(data["multiplier_dt"][0]),
-            multiplier_wait_counts=multiplier_counts,
-            cache_times=data["cache_times"],
-            cache_replacers=data["cache_replacers"],
-            cache_victims=data["cache_victims"],
+def _read_archive_payload(path: Path) -> Dict[str, np.ndarray]:
+    """Decode every record in the archive, mapping container damage to
+    :class:`TraceCorruptionError` (missing files propagate as OSError)."""
+    try:
+        with np.load(path) as data:
+            return {key: data[key] for key in data.files}
+    except FileNotFoundError:
+        raise
+    except (BadZipFile, zlib.error, ValueError, EOFError, OSError) as exc:
+        raise TraceCorruptionError(
+            f"{path}: not a readable trace archive ({exc})"
+        ) from exc
+
+
+def load_traces(
+    path: Union[str, Path],
+    verify: bool = True,
+    on_corruption: str = "raise",
+) -> TraceArchive:
+    """Load a trace archive written by :func:`export_traces`.
+
+    When the archive carries a checksum manifest (format >= 2) and
+    ``verify`` is on, every record's CRC32/dtype/shape is re-checked.
+    ``on_corruption`` decides what a mismatch does:
+
+    - ``"raise"`` (default): :class:`TraceCorruptionError` naming every
+      damaged record — nothing half-loaded escapes;
+    - ``"skip"``: damaged *data* records are blanked (sparse events
+      emptied, dense counts zeroed), the affected unit is listed in
+      ``TraceArchive.gaps``, and loading continues. Damaged metadata
+      always raises — there is no safe way to guess the geometry.
+    """
+    if on_corruption not in ("raise", "skip"):
+        raise DetectionError(
+            f"on_corruption must be 'raise' or 'skip', got {on_corruption!r}"
         )
+    src = Path(path)
+    payload = _read_archive_payload(src)
+    missing = [k for k in _META_KEYS if k not in payload]
+    if missing:
+        raise TraceCorruptionError(
+            f"{src}: truncated archive, missing metadata {missing}"
+        )
+    version = int(payload["format_version"][0])
+    if version not in _SUPPORTED_VERSIONS:
+        raise TraceCorruptionError(
+            f"{src}: trace archive format {version} not supported "
+            f"(expected one of {_SUPPORTED_VERSIONS})"
+        )
+    corrupt: List[str] = []
+    if verify and "checksum_manifest" in payload:
+        manifest: Dict[str, Any] = json.loads(
+            str(payload["checksum_manifest"][()])
+        )
+        absent = [k for k in manifest if k not in payload]
+        if absent:
+            raise TraceCorruptionError(
+                f"{src}: truncated archive, records missing: {sorted(absent)}"
+            )
+        for key, expected in sorted(manifest.items()):
+            value = payload[key]
+            if (
+                str(value.dtype) != expected["dtype"]
+                or list(value.shape) != expected["shape"]
+                or _crc(value) != expected["crc32"]
+            ):
+                corrupt.append(key)
+    bad_meta = [k for k in corrupt if k in _META_KEYS]
+    if bad_meta:
+        raise TraceCorruptionError(
+            f"{src}: archive metadata failed integrity checks: {bad_meta}"
+        )
+    gaps: List[str] = []
+    if corrupt:
+        if on_corruption == "raise":
+            raise TraceCorruptionError(
+                f"{src}: records failed integrity checks: {sorted(corrupt)} "
+                "(re-record the trace, or load with on_corruption='skip')"
+            )
+        # Skip-and-continue: blank each damaged record and carry a gap.
+        # The parallel cache_* arrays are blanked together — a partial
+        # conflict log would silently mislabel records.
+        if any(k.startswith("cache_") for k in corrupt):
+            corrupt = sorted(set(corrupt) | {
+                k for k in payload if k.startswith("cache_")
+            })
+        for key in corrupt:
+            arr = payload[key]
+            # Dense per-Δt counts keep their length (zeroed); sparse
+            # event/record arrays are emptied.
+            payload[key] = (
+                np.zeros_like(arr) if "wait_counts" in key else arr[:0]
+            )
+            channel = _gap_channel(key)
+            if channel not in gaps:
+                gaps.append(channel)
+            _log.warning(
+                "%s: record %r failed integrity check; blanked "
+                "(unit %r will replay degraded)", src, key, channel,
+            )
+    divider_counts: Dict[int, np.ndarray] = {}
+    multiplier_counts: Dict[int, np.ndarray] = {}
+    for key in payload:
+        if key.startswith("divider_wait_counts_"):
+            divider_counts[int(key.rsplit("_", 1)[1])] = payload[key]
+        elif key.startswith("multiplier_wait_counts_"):
+            multiplier_counts[int(key.rsplit("_", 1)[1])] = payload[key]
+    return TraceArchive(
+        quantum_cycles=int(payload["quantum_cycles"][0]),
+        n_quanta=int(payload["n_quanta"][0]),
+        bus_lock_times=payload["bus_lock_times"],
+        divider_dt=int(payload["divider_dt"][0]),
+        divider_wait_counts=divider_counts,
+        multiplier_dt=int(payload["multiplier_dt"][0]),
+        multiplier_wait_counts=multiplier_counts,
+        cache_times=payload["cache_times"],
+        cache_replacers=payload["cache_replacers"],
+        cache_victims=payload["cache_victims"],
+        gaps=tuple(gaps),
+    )
 
 
 # ----------------------------------------------------------------- replay
@@ -198,6 +341,11 @@ class ArchiveEventSource:
         self._dense: Dict[str, Tuple[int, np.ndarray]] = {}
         self._consumers: List[ObservationConsumer] = []
         self.metrics = metrics if metrics is not None else get_default()
+        #: Fault tags stamped on every replayed observation: units whose
+        #: records were blanked by a skip-and-continue load.
+        self._fault_tags: Tuple[str, ...] = tuple(
+            f"corrupt:{unit}" for unit in archive.gaps
+        )
 
         self._bus_dt = bus_dt or default_delta_t("membus")
         self._specs.append(
@@ -258,7 +406,8 @@ class ArchiveEventSource:
             victims=archive.cache_victims[lo:hi],
         )
         return QuantumObservation(
-            quantum=quantum, t0=t0, t1=t1, counts=counts, conflicts=conflicts
+            quantum=quantum, t0=t0, t1=t1, counts=counts,
+            conflicts=conflicts, faults=self._fault_tags,
         )
 
     def __iter__(self) -> Iterator[QuantumObservation]:
@@ -305,6 +454,7 @@ def analyze_traces(
     window_fraction: float = 1.0,
     sinks: Iterable[VerdictSink] = (),
     track_detection_latency: bool = False,
+    injectors: Iterable[object] = (),
 ) -> DetectionReport:
     """Run the full CC-Hunter analysis offline over a trace archive.
 
@@ -315,6 +465,11 @@ def analyze_traces(
     :class:`~repro.pipeline.sinks.MetricsSink`) and
     ``track_detection_latency`` make the replayed session evaluate
     verdicts eagerly each quantum, exactly like a live eager session.
+
+    ``injectors`` (see :mod:`repro.faults`) perturb the replayed stream
+    through a :class:`~repro.faults.FaultInjectingSource` before it
+    reaches the analyzers — replaying one recorded session under many
+    deterministic fault scenarios.
     """
     source = ArchiveEventSource(
         archive,
@@ -322,14 +477,20 @@ def analyze_traces(
         divider_dt=divider_dt,
         multiplier_dt=multiplier_dt,
     )
+    feed = source
+    injectors = list(injectors)
+    if injectors:
+        from repro.faults.source import FaultInjectingSource
+
+        feed = FaultInjectingSource(source, injectors)
     session = build_session(
-        source,
+        feed,
         window_fraction=window_fraction,
         max_lag=max_lag,
         min_train_events=min_train_events,
         sinks=sinks,
         track_detection_latency=track_detection_latency,
     )
-    source.subscribe(session)
+    feed.subscribe(session)
     source.replay()
     return session.close() if session.sinks else session.current_verdicts()

@@ -1,0 +1,123 @@
+"""End-to-end resilience: faulted sessions degrade, never die.
+
+The acceptance drills for the fault-injection framework: a heavily
+faulted live session completes with DEGRADED health and a full report;
+with injectors disabled, verdicts are bit-identical to an unwrapped
+run; archive corruption is caught by the checksum manifest and can be
+degraded around.
+"""
+
+import pytest
+
+from repro.analysis.figures import run_channel_session
+from repro.faults import corrupt_archive, injectors_from_string
+from repro.traces import analyze_traces, export_traces, load_traces
+from repro.util.bitstream import Message
+
+pytestmark = pytest.mark.resilience
+
+
+def _membus_run(injectors=(), seed=6):
+    message = Message.from_bits([1, 0] * 12)
+    return run_channel_session(
+        "membus", message, bandwidth_bps=100.0, seed=seed,
+        injectors=injectors,
+    )
+
+
+class TestGracefulDegradation:
+    def test_heavy_drop_completes_degraded(self):
+        """drop:0.30 on the Fig. 6 bus channel: DEGRADED, no exception."""
+        run = _membus_run(injectors_from_string("drop:0.30", seed=6))
+        report = run.hunter.report()
+        assert report.health == "degraded"
+        verdict = report.verdicts[0]
+        assert verdict.quanta_analyzed == run.quanta
+        assert any("fault" in note for note in verdict.notes)
+
+    def test_every_injector_kind_survives_a_session(self):
+        for text in ("dup:0.2", "reorder:8", "stall:0.1:4",
+                     "bitflip:0.05", "saturate:0.1",
+                     "drop:0.2,dup:0.1,bitflip:0.01"):
+            run = _membus_run(injectors_from_string(text, seed=6))
+            report = run.hunter.report()
+            assert report.health == "degraded", text
+            assert report.verdicts[0].quanta_analyzed == run.quanta, text
+
+    def test_injectors_off_is_bit_identical(self):
+        """The wrapper with no injectors must not perturb verdicts."""
+        plain = _membus_run().hunter.report()
+        wrapped = _membus_run(injectors=()).hunter.report()
+        assert plain.verdicts == wrapped.verdicts
+        assert plain.health == "ok"
+
+    def test_faulted_replay_degrades_offline_too(self, tmp_path):
+        run = _membus_run()
+        archive = export_traces(run.machine, tmp_path / "s.npz")
+        report = analyze_traces(
+            archive, injectors=injectors_from_string("drop:0.30", seed=1)
+        )
+        assert report.health == "degraded"
+        clean = analyze_traces(archive)
+        assert clean.health == "ok"
+
+
+class TestArchiveCorruption:
+    def _archive(self, tmp_path):
+        run = _membus_run()
+        export_traces(run.machine, tmp_path / "s.npz")
+        return tmp_path / "s.npz"
+
+    def test_corruption_detected_by_checksums(self, tmp_path):
+        from repro.errors import TraceCorruptionError
+
+        path = self._archive(tmp_path)
+        corrupt_archive(path, tmp_path / "bad.npz", seed=3)
+        with pytest.raises(TraceCorruptionError, match="integrity"):
+            load_traces(tmp_path / "bad.npz")
+
+    def test_skip_mode_records_gaps_and_degrades(self, tmp_path):
+        path = self._archive(tmp_path)
+        corrupt_archive(
+            path, tmp_path / "bad.npz", keys=["bus_lock_times"], seed=3
+        )
+        archive = load_traces(tmp_path / "bad.npz", on_corruption="skip")
+        assert "membus" in archive.gaps
+        report = analyze_traces(archive)
+        verdict = report.verdict_for("membus")
+        assert verdict.health == "degraded"
+        assert report.health == "degraded"
+
+    def test_corruption_is_deterministic(self, tmp_path):
+        path = self._archive(tmp_path)
+        corrupt_archive(path, tmp_path / "a.npz", seed=3)
+        corrupt_archive(path, tmp_path / "b.npz", seed=3)
+        assert (tmp_path / "a.npz").read_bytes() == \
+            (tmp_path / "b.npz").read_bytes()
+
+    def test_truncated_archive_is_corrupt_not_crash(self, tmp_path):
+        from repro.errors import TraceCorruptionError
+
+        path = self._archive(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceCorruptionError):
+            load_traces(path)
+
+
+class TestVerdictHealthPlumbing:
+    def test_health_round_trips_through_json(self):
+        run = _membus_run(injectors_from_string("drop:0.30", seed=6))
+        payload = run.hunter.report().to_dict()
+        assert payload["health"] == "degraded"
+        assert payload["verdicts"][0]["health"] == "degraded"
+
+    def test_render_flags_degraded_pipeline(self):
+        run = _membus_run(injectors_from_string("drop:0.30", seed=6))
+        text = run.hunter.report().render()
+        assert "pipeline health: DEGRADED" in text
+
+    def test_clean_verdicts_unchanged_by_health_field(self):
+        verdict = _membus_run().hunter.report().verdicts[0]
+        assert verdict.health == "ok"
+        assert verdict.notes == ()

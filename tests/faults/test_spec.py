@@ -1,0 +1,80 @@
+"""Tests for the --inject spec mini-language."""
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults import (
+    BitFlipInjector,
+    DropInjector,
+    DuplicateInjector,
+    ReorderInjector,
+    SaturateInjector,
+    StallInjector,
+    build_injectors,
+    injectors_from_string,
+    parse_inject_spec,
+    parse_inject_specs,
+)
+
+
+class TestParsing:
+    def test_kind_and_probability(self):
+        spec = parse_inject_spec("drop:0.30")
+        assert spec.kind == "drop"
+        assert spec.params == ("0.30",)
+        assert spec.channel == "*"
+
+    def test_channel_target(self):
+        spec = parse_inject_spec("drop:0.05@membus")
+        assert spec.channel == "membus"
+        assert str(spec) == "drop:0.05@membus"
+
+    def test_composed_specs_preserve_order(self):
+        specs = parse_inject_specs("drop:0.1, dup:0.05@cache ,stall:0.01:4")
+        assert [s.kind for s in specs] == ["drop", "dup", "stall"]
+        assert specs[1].channel == "cache"
+        assert specs[2].params == ("0.01", "4")
+
+    def test_case_insensitive_kind(self):
+        assert parse_inject_spec("DROP:0.1").kind == "drop"
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "warp:0.1", "drop", "drop:1.5", "drop:-0.1",
+        "drop:abc", "drop:0.1:2", "drop:0.1@", "reorder:0",
+        "reorder:1.5", "stall:0.1:0", "bitflip:0.1:0",
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            injectors_from_string(bad)
+
+    def test_unknown_kind_names_the_known_ones(self):
+        with pytest.raises(FaultSpecError, match="drop"):
+            parse_inject_spec("warp:0.1")
+
+
+class TestBuilding:
+    def test_every_kind_builds(self):
+        injectors = injectors_from_string(
+            "drop:0.1,dup:0.1,reorder:4,stall:0.1:8,bitflip:0.01:12,"
+            "saturate:0.02"
+        )
+        assert [type(i) for i in injectors] == [
+            DropInjector, DuplicateInjector, ReorderInjector,
+            StallInjector, BitFlipInjector, SaturateInjector,
+        ]
+
+    def test_defaults_fill_optional_params(self):
+        stall, flip = injectors_from_string("stall:0.1,bitflip:0.01")
+        assert stall.max_len == 16
+        assert flip.bit_width == 16
+
+    def test_seed_flows_into_streams(self):
+        a = build_injectors(parse_inject_specs("drop:0.5"), seed=1)[0]
+        b = build_injectors(parse_inject_specs("drop:0.5"), seed=1)[0]
+        c = build_injectors(parse_inject_specs("drop:0.5"), seed=2)[0]
+        assert a.rng.random() == b.rng.random()
+        assert a.rng.random() != c.rng.random()
+
+    def test_clause_index_separates_identical_specs(self):
+        first, second = injectors_from_string("drop:0.5,drop:0.5", seed=1)
+        assert first.rng.random() != second.rng.random()

@@ -42,11 +42,17 @@ class TestSession:
         with pytest.raises(DetectionError):
             DetectionSession().analyzer_for("membus")
 
-    def test_missing_channel_counts_rejected(self):
+    def test_missing_channel_counts_degrades_not_raises(self):
+        """A lost readout is a gap + DEGRADED health, not an exception."""
         session = DetectionSession()
-        session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
-        with pytest.raises(DetectionError):
-            session.push_quantum(_obs(0, counts={}))
+        analyzer = session.add_analyzer(BurstAnalyzer(unit="membus", dt=100))
+        session.push_quantum(_obs(0, counts={}))
+        session.push_quantum(_obs(1, {"membus": np.zeros(4, dtype=np.int64)}))
+        assert analyzer.gaps == 1
+        verdict = session.current_verdicts().verdict_for("membus")
+        assert verdict.health == "degraded"
+        assert verdict.quanta_analyzed == 2
+        assert any("gap" in note for note in verdict.notes)
 
     def test_verdicts_available_every_quantum(self):
         session = DetectionSession()
