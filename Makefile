@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples figures clean
+.PHONY: install test lint bench examples figures report clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,15 @@ examples:
 	$(PYTHON) examples/offline_forensics.py
 	$(PYTHON) examples/streaming_audit.py
 	$(PYTHON) examples/metrics_dashboard.py
+	$(PYTHON) examples/forensic_report.py
+
+# End-to-end forensics demo: run a detection with evidence capture and
+# render the self-contained HTML report (docs/FORENSICS.md).
+report:
+	$(PYTHON) -m repro detect --channel membus --bandwidth 1000 \
+		--bits 8 --no-noise --evidence-out evidence.json \
+		--timeseries-out metrics.jsonl --report-out report.html
+	@echo "open report.html in a browser"
 
 figures:
 	$(PYTHON) -m repro figure 2

@@ -7,13 +7,17 @@ identical audited workload through three instrumentation modes:
 - ``off``       — :data:`NULL_REGISTRY`: no counters, no timers;
 - ``counters``  — a live :class:`MetricsRegistry` (the default mode:
   counters, gauges, and latency histograms all enabled);
-- ``spans``     — counters plus opt-in span tracing (ring buffer).
+- ``spans``     — counters plus opt-in span tracing (ring buffer);
+- ``evidence``  — counters plus per-unit forensic evidence capture
+  (``capture_evidence=True``, docs/FORENSICS.md).
 
-Trials are interleaved (off/counters/spans, repeated) so drift in the
+Trials are interleaved (one trial per mode, repeated) so drift in the
 host machine hits every mode equally, and medians damp outliers. The
 default mode must stay within 10% of fully-off — that bound is the
-contract docs/OBSERVABILITY.md advertises — and the measured numbers are
-committed to ``BENCH_obs.json`` at the repo root.
+contract docs/OBSERVABILITY.md advertises — evidence capture within 15%
+of counters-only (the docs/FORENSICS.md bound) *and* bit-identical in
+its verdicts, and the measured numbers are committed to
+``BENCH_obs.json`` at the repo root.
 """
 
 import json
@@ -39,11 +43,14 @@ _OUT_PATH = os.path.join(
 )
 
 
-def _run_audited(metrics, n_quanta=N_QUANTA):
+def _run_audited(metrics, n_quanta=N_QUANTA, capture_evidence=False):
     """One audited run: machine + bus monitor + sustained trojan."""
     config = MachineConfig(os_quantum_seconds=0.002)
     machine = Machine(config=config, seed=7, metrics=metrics)
-    hunter = CCHunter(machine, track_detection_latency=True, metrics=metrics)
+    hunter = CCHunter(
+        machine, track_detection_latency=True, metrics=metrics,
+        capture_evidence=capture_evidence,
+    )
     hunter.audit(AuditUnit.MEMORY_BUS, dt=1000)
 
     def trojan(proc):
@@ -53,23 +60,35 @@ def _run_audited(metrics, n_quanta=N_QUANTA):
     machine.spawn(Process("trojan", body=trojan), ctx=0)
     t0 = perf_counter()
     machine.run_quanta(n_quanta)
-    return perf_counter() - t0
+    return perf_counter() - t0, hunter
 
 
 def _trial(mode):
     if mode == "off":
-        return _run_audited(NULL_REGISTRY)
+        return _run_audited(NULL_REGISTRY)[0]
     if mode == "counters":
-        return _run_audited(MetricsRegistry())
+        return _run_audited(MetricsRegistry())[0]
+    if mode == "evidence":
+        return _run_audited(MetricsRegistry(), capture_evidence=True)[0]
     enable_tracing(capacity=8192)
     try:
-        return _run_audited(MetricsRegistry())
+        return _run_audited(MetricsRegistry())[0]
     finally:
         disable_tracing()
 
 
+def verdicts_identical_with_capture():
+    """Evidence capture must not perturb the verdict in any field."""
+    _sec, plain = _run_audited(MetricsRegistry())
+    _sec, captured = _run_audited(MetricsRegistry(), capture_evidence=True)
+    on_dict = captured.report().to_dict()
+    for verdict in on_dict["verdicts"]:
+        verdict.pop("evidence", None)
+    return on_dict == plain.report().to_dict()
+
+
 def measure_overhead():
-    modes = ("off", "counters", "spans")
+    modes = ("off", "counters", "spans", "evidence")
     timings = {mode: [] for mode in modes}
     _trial("off")  # warm caches/JIT-free but import- and allocator-warm
     for _ in range(N_TRIALS):
@@ -85,8 +104,12 @@ def measure_overhead():
         },
         "overhead_vs_off": {
             mode: medians[mode] / medians["off"] - 1.0
-            for mode in ("counters", "spans")
+            for mode in ("counters", "spans", "evidence")
         },
+        "evidence_overhead_vs_counters": (
+            medians["evidence"] / medians["counters"] - 1.0
+        ),
+        "evidence_verdicts_identical": verdicts_identical_with_capture(),
     }
 
 
@@ -98,14 +121,25 @@ def test_obs_overhead(benchmark):
     lines = [
         f"{mode:<9} {results['quanta_per_second'][mode]:8.1f} quanta/s "
         f"(median of {N_TRIALS})"
-        for mode in ("off", "counters", "spans")
+        for mode in ("off", "counters", "spans", "evidence")
     ]
     lines.append(
         "overhead vs off: counters "
         f"{results['overhead_vs_off']['counters'] * 100:+.1f}%, spans "
-        f"{results['overhead_vs_off']['spans'] * 100:+.1f}%"
+        f"{results['overhead_vs_off']['spans'] * 100:+.1f}%, evidence "
+        f"{results['overhead_vs_off']['evidence'] * 100:+.1f}%"
+    )
+    lines.append(
+        "evidence capture vs counters "
+        f"{results['evidence_overhead_vs_counters'] * 100:+.1f}%, "
+        "verdicts identical: "
+        f"{results['evidence_verdicts_identical']}"
     )
     lines.append(f"(written to {_OUT_PATH})")
     record("Extension: instrumentation overhead", *lines)
     # The default mode (counters) must stay within 10% of fully off.
     assert results["overhead_vs_off"]["counters"] < 0.10, results
+    # Evidence capture: < 15% over counters-only, and strictly
+    # read-only — the verdicts must be bit-identical either way.
+    assert results["evidence_overhead_vs_counters"] < 0.15, results
+    assert results["evidence_verdicts_identical"], results

@@ -89,6 +89,7 @@ def run_channel_session(
     sinks=(),
     track_detection_latency: bool = False,
     injectors=(),
+    capture_evidence: bool = False,
     **channel_kwargs,
 ) -> ChannelRun:
     """Run one covert transmission under CC-Hunter audit.
@@ -111,6 +112,7 @@ def run_channel_session(
         sinks=sinks,
         track_detection_latency=track_detection_latency,
         injectors=injectors,
+        capture_evidence=capture_evidence,
     )
     config = ChannelConfig(message=message, bandwidth_bps=bandwidth_bps)
     channel = _CHANNELS[kind](machine, config, **channel_kwargs)

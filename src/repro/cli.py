@@ -113,8 +113,69 @@ def _write_obs_artifacts(args, recorder=None) -> None:
         )
 
 
+def _report_format_for(path: Optional[str], explicit: Optional[str]) -> str:
+    """Report format: explicit flag wins, else the output extension."""
+    if explicit:
+        return explicit
+    if path and path.endswith((".md", ".markdown")):
+        return "md"
+    return "html"
+
+
+def _meta_report(report) -> dict:
+    """Report dict for evidence metadata, without nested evidence."""
+    payload = report.to_dict()
+    for verdict in payload.get("verdicts", ()):
+        verdict.pop("evidence", None)
+    return payload
+
+
+def _write_forensics(args, bundles, meta, sampler=None) -> None:
+    """Persist evidence / forensic report / time series, if requested.
+
+    ``bundles`` maps unit → EvidenceBundle or serialized bundle dict;
+    ``meta`` is the run context embedded in the evidence document (and
+    shown by the report renderer).
+    """
+    timeseries_out = getattr(args, "timeseries_out", None)
+    if sampler is not None and timeseries_out:
+        sampler.write_jsonl(timeseries_out)
+        print(
+            f"metrics time series ({len(sampler)} samples) written to "
+            f"{timeseries_out}",
+            file=sys.stderr,
+        )
+    evidence_out = getattr(args, "evidence_out", None)
+    report_out = getattr(args, "report_out", None)
+    if not (evidence_out or report_out):
+        return
+    from repro.obs.evidence import evidence_document, write_evidence
+
+    if evidence_out:
+        doc = write_evidence(evidence_out, bundles, meta)
+        print(
+            f"evidence bundles ({len(doc['units'])} units) written to "
+            f"{evidence_out}",
+            file=sys.stderr,
+        )
+    else:
+        doc = evidence_document(bundles, meta)
+    if report_out:
+        from repro.report import render_report
+
+        fmt = _report_format_for(report_out, None)
+        records = sampler.records() if sampler is not None else None
+        text = render_report(doc, fmt, timeseries=records)
+        with open(report_out, "w") as handle:
+            handle.write(text)
+        print(
+            f"forensic report ({fmt}) written to {report_out}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_detect(args) -> int:
-    from repro.pipeline import StreamPrinterSink
+    from repro.pipeline import StreamPrinterSink, TimeseriesSink
 
     message = Message.random(args.bits, args.seed)
     kwargs = {}
@@ -123,6 +184,17 @@ def _cmd_detect(args) -> int:
     sinks = []
     if args.stream:
         sinks.append(StreamPrinterSink(jsonl=args.as_json))
+    if args.watch:
+        from repro.report import WatchSink
+
+        sinks.append(WatchSink())
+    sampler = None
+    if args.timeseries_out:
+        from repro.obs import MetricsSampler
+
+        sampler = MetricsSampler(every_quanta=1, source="detect")
+        sinks.append(TimeseriesSink(sampler))
+    wants_evidence = bool(args.evidence_out or args.report_out)
     recorder = enable_tracing() if args.trace_out else None
     run = fig.run_channel_session(
         args.channel,
@@ -133,15 +205,40 @@ def _cmd_detect(args) -> int:
         sinks=sinks,
         track_detection_latency=True,
         injectors=_build_injectors(args),
+        capture_evidence=wants_evidence,
         **kwargs,
     )
     ber = run.ber
-    report = run.hunter.report()
+    # close() rather than report(): the watch / time-series sinks rely
+    # on the on_close event for their final frame and sample. With no
+    # sinks attached this is equivalent to report().
+    report = run.hunter.session.close()
     assessment = assess_channel(args.bandwidth, ber)
     first_detection = {
         unit: run.hunter.session.first_detection_quantum(unit)
         for unit in run.hunter.session.units
     }
+
+    def _forensics() -> None:
+        if not (wants_evidence or sampler is not None):
+            return
+        _write_forensics(
+            args,
+            run.hunter.evidence(),
+            meta={
+                "command": "detect",
+                "channel": args.channel,
+                "bandwidth_bps": float(args.bandwidth),
+                "bits": int(args.bits),
+                "seed": int(args.seed),
+                "quanta": int(run.quanta),
+                "bit_error_rate": float(ber),
+                "lr_threshold": float(run.hunter.lr_threshold),
+                "report": _meta_report(report),
+            },
+            sampler=sampler,
+        )
+
     if args.as_json:
         payload = {
             "channel": args.channel,
@@ -154,9 +251,10 @@ def _cmd_detect(args) -> int:
             ),
             "tcsec_class": assessment.tcsec_class.value,
             "first_detection_quantum": first_detection,
-            "report": report.to_dict(),
+            "report": _meta_report(report),
         }
         print(json.dumps(payload, sort_keys=True))
+        _forensics()
         _write_obs_artifacts(args, recorder)
         return 0
     print(
@@ -171,6 +269,7 @@ def _cmd_detect(args) -> int:
             print(f"first detection [{unit}]: {when}")
     print()
     print(report.render())
+    _forensics()
     _write_obs_artifacts(args, recorder)
     return 0
 
@@ -192,6 +291,7 @@ def _cmd_false_alarms(args) -> int:
             f"{'ALARM' if r.any_alarm else 'clear'}"
         )
     print(f"\nfalse alarms: {alarms} of {len(results)}")
+    _write_obs_artifacts(args)
     if len(results) != len(raw):
         return EXIT_TRIAL_FAILURE
     return 1 if alarms else 0
@@ -267,6 +367,7 @@ def _cmd_figure(args) -> int:
             argparse.Namespace(
                 seed=args.seed, quanta=8, jobs=args.jobs,
                 trial_timeout=timeout_s,
+                metrics_out=getattr(args, "metrics_out", None),
             )
         )
     else:
@@ -276,6 +377,7 @@ def _cmd_figure(args) -> int:
             file=sys.stderr,
         )
         return 2
+    _write_obs_artifacts(args)
     return 0
 
 
@@ -309,23 +411,75 @@ def _cmd_analyze(args) -> int:
             f"'{unit}'; its verdict is degraded",
             file=sys.stderr,
         )
-    # --metrics-out turns the replayed session eager (MetricsSink +
-    # first-detection tracking) so the snapshot carries the same
-    # per-quantum latency and detection metrics a live session would.
-    wants_metrics = bool(args.metrics_out)
+    # --metrics-out (and the forensic outputs) turn the replayed session
+    # eager (MetricsSink + first-detection tracking) so the artifacts
+    # carry the same per-quantum latency, detection metrics, and verdict
+    # timelines a live session would.
+    wants_evidence = bool(args.evidence_out or args.report_out)
+    wants_metrics = bool(args.metrics_out) or wants_evidence
+    sinks = [MetricsSink()] if wants_metrics else []
+    sampler = None
+    if args.timeseries_out:
+        from repro.obs import MetricsSampler
+        from repro.pipeline import TimeseriesSink
+
+        sampler = MetricsSampler(every_quanta=1, source="analyze")
+        sinks.append(TimeseriesSink(sampler))
     report = analyze_traces(
         archive,
         window_fraction=args.window_fraction,
-        sinks=[MetricsSink()] if wants_metrics else (),
+        sinks=sinks,
         track_detection_latency=wants_metrics,
         injectors=_build_injectors(args),
+        capture_evidence=wants_evidence,
     )
     if args.as_json:
-        print(json.dumps(report.to_dict(), sort_keys=True))
+        print(json.dumps(_meta_report(report), sort_keys=True))
     else:
         print(report.render())
+    if wants_evidence or sampler is not None:
+        bundles = {
+            v.unit: v.evidence
+            for v in report.verdicts
+            if v.evidence is not None
+        }
+        _write_forensics(
+            args,
+            bundles,
+            meta={
+                "command": "analyze",
+                "archive": args.path,
+                "window_fraction": float(args.window_fraction),
+                "report": _meta_report(report),
+            },
+            sampler=sampler,
+        )
     _write_obs_artifacts(args)
     return 0 if not report.any_detected else 3
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.evidence import load_evidence
+    from repro.report import render_report
+
+    doc = load_evidence(args.path)
+    records = None
+    if args.timeseries:
+        from repro.obs.timeseries import load_jsonl
+
+        _header, records = load_jsonl(args.timeseries)
+    fmt = _report_format_for(args.out, args.format)
+    text = render_report(doc, fmt, timeseries=records, title=args.title)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(
+            f"forensic report ({fmt}) written to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_metrics(args) -> int:
@@ -350,6 +504,25 @@ def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
         help="per-trial wall-clock budget; stuck or crashing trials are "
         "recorded as failures instead of aborting the sweep "
         "(default: no timeout)",
+    )
+
+
+def _add_forensics_flags(subparser: argparse.ArgumentParser) -> None:
+    """The evidence / report / time-series outputs (docs/FORENSICS.md)."""
+    subparser.add_argument(
+        "--evidence-out", metavar="PATH", dest="evidence_out",
+        help="capture per-unit forensic evidence bundles and write the "
+        "evidence document (JSON) to PATH",
+    )
+    subparser.add_argument(
+        "--report-out", metavar="PATH", dest="report_out",
+        help="render a self-contained forensic report to PATH "
+        "(.md for Markdown, anything else HTML); implies evidence capture",
+    )
+    subparser.add_argument(
+        "--timeseries-out", metavar="PATH", dest="timeseries_out",
+        help="sample the metrics registry once per quantum and write the "
+        "JSONL time series to PATH",
     )
 
 
@@ -427,6 +600,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record spans and write a Chrome-trace JSON file to PATH",
     )
     detect.add_argument("--inject", metavar="SPEC", help=_INJECT_HELP)
+    detect.add_argument(
+        "--watch", action="store_true",
+        help="show a live status block (redrawn in place on a TTY) "
+        "while the session runs",
+    )
+    _add_forensics_flags(detect)
     detect.set_defaults(func=_cmd_detect)
 
     false_alarms = sub.add_parser(
@@ -434,12 +613,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     false_alarms.add_argument("--seed", type=int, default=9)
     false_alarms.add_argument("--quanta", type=int, default=8)
+    false_alarms.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot of the sweep to PATH",
+    )
     _add_jobs_flag(false_alarms)
     false_alarms.set_defaults(func=_cmd_false_alarms)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int)
     figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot of the figure run to PATH",
+    )
     _add_jobs_flag(figure)
     figure.set_defaults(func=_cmd_figure)
 
@@ -480,7 +667,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip corrupt archive records (gap + degraded verdict) "
         "instead of exiting with the corrupt-archive code",
     )
+    _add_forensics_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
+
+    report = sub.add_parser(
+        "report",
+        help="render an --evidence-out document as a forensic report",
+    )
+    report.add_argument("path", help="evidence.json from --evidence-out")
+    report.add_argument(
+        "--timeseries", metavar="PATH",
+        help="JSONL metrics time series from --timeseries-out to embed",
+    )
+    report.add_argument(
+        "--out", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    report.add_argument(
+        "--format", choices=("html", "md"), default=None,
+        help="output format (default: by --out extension, else html)",
+    )
+    report.add_argument(
+        "--title", default="CC-Hunter forensic report",
+        help="report title",
+    )
+    report.set_defaults(func=_cmd_report)
 
     metrics = sub.add_parser(
         "metrics",

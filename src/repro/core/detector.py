@@ -66,6 +66,8 @@ class CCHunter:
         track_detection_latency: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         injectors: Iterable = (),
+        capture_evidence: bool = False,
+        evidence_capacity: Optional[int] = None,
     ):
         if not 0 < window_fraction <= 1.0:
             raise DetectionError(
@@ -78,6 +80,11 @@ class CCHunter:
         self.max_lag = max_lag
         self.min_train_events = min_train_events
         self.min_peak_height = min_peak_height
+        #: When set, every audited unit keeps a bounded forensic
+        #: EvidenceBundle (docs/FORENSICS.md); verdicts are identical
+        #: with capture on or off.
+        self.capture_evidence = capture_evidence
+        self.evidence_capacity = evidence_capacity
         self.metrics = metrics if metrics is not None else get_default()
         self.source = MachineEventSource(
             machine, auditor=self.auditor, metrics=self.metrics
@@ -139,6 +146,8 @@ class CCHunter:
                     min_peak_height=self.min_peak_height,
                     context_id_bits=self.auditor.config.context_id_bits,
                     metrics=self.metrics,
+                    capture_evidence=self.capture_evidence,
+                    evidence_capacity=self.evidence_capacity,
                 )
             )
             self._audits.append((unit, None, unit.value))
@@ -172,6 +181,8 @@ class CCHunter:
                 lr_threshold=self.lr_threshold,
                 n_bins=self.auditor.config.histogram_bins,
                 metrics=self.metrics,
+                capture_evidence=self.capture_evidence,
+                evidence_capacity=self.evidence_capacity,
             )
         )
         self._audits.append((unit, core, name))
@@ -193,6 +204,13 @@ class CCHunter:
     def report(self, min_oscillating_windows: int = 1) -> DetectionReport:
         """Run the cross-window analyses and return the final verdicts."""
         return self.session.current_verdicts(min_oscillating_windows)
+
+    def evidence(self):
+        """Per-unit forensic bundles (empty unless ``capture_evidence``).
+
+        See :meth:`repro.pipeline.session.DetectionSession.evidence`.
+        """
+        return self.session.evidence()
 
     # ------------------------------------------------------------- latency
 

@@ -40,9 +40,24 @@ class UnitVerdict:
     #: continued), or "failed" (analyzer quarantined after repeated
     #: errors). See repro.pipeline.health and docs/ROBUSTNESS.md.
     health: str = "ok"
+    #: Serialized forensic evidence bundle
+    #: (:meth:`repro.obs.evidence.EvidenceBundle.to_dict`), attached
+    #: only when the session captured evidence; see docs/FORENSICS.md.
+    #: Excluded from equality so capture never changes verdict identity.
+    evidence: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable view (plain Python scalars only)."""
+        """JSON-serializable view (plain Python scalars only).
+
+        The ``evidence`` key appears only when a bundle is attached, so
+        evidence-off payloads are byte-identical to earlier releases.
+        """
+        out = self._base_dict()
+        if self.evidence is not None:
+            out["evidence"] = self.evidence
+        return out
+
+    def _base_dict(self) -> Dict[str, Any]:
         return {
             "unit": self.unit,
             "method": self.method,

@@ -79,8 +79,9 @@ def exit_code_for(exc: BaseException) -> int:
     """The CLI exit code an exception maps to (taxonomy above)."""
     # Imported lazily to keep this module dependency-free at import time.
     from repro.exec.runner import ExecError
+    from repro.obs.evidence import EvidenceError
 
-    if isinstance(exc, TraceCorruptionError):
+    if isinstance(exc, (TraceCorruptionError, EvidenceError)):
         return EXIT_CORRUPT_ARCHIVE
     if isinstance(exc, (FileNotFoundError, IsADirectoryError, PermissionError)):
         return EXIT_MISSING_INPUT

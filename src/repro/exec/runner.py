@@ -17,8 +17,14 @@ The determinism contract rests on three invariants:
 2. **Trials never communicate.** Each worker installs a fresh default
    :class:`~repro.obs.metrics.MetricsRegistry` before running a chunk,
    so instrumentation cannot leak between trials or processes.
-3. **Results are gathered in canonical (submission) order**, whatever
-   order the chunks actually finish in.
+3. **Results *and* worker metrics are gathered in canonical
+   (submission) order**, whatever order the chunks actually finish in.
+   Counter and histogram merges commute, but gauge merges are
+   last-writer-wins — so the runner defers every snapshot merge until
+   all chunks are in and replays them sorted by first trial index. A
+   gauge set by trial 7 therefore beats one set by trial 3 in the
+   parent registry for every ``jobs`` value, not just whichever chunk
+   happened to finish last.
 
 ``jobs=1`` (the default) runs everything in-process with no pickling —
 the exact same code path the workers execute — so ``run_trials(spec, n,
@@ -34,9 +40,12 @@ Mechanics (see docs/PERFORMANCE.md for the knobs):
   rebuilds it and resubmits the unfinished chunks, bounded by
   ``max_chunk_retries`` per chunk, then raises :class:`ExecError`;
 - per-worker metrics snapshots are **merged back into the parent
-  registry** (:meth:`MetricsRegistry.merge`), and the runner records
-  per-trial wall times in a ``cchunter_trial_seconds`` histogram plus
-  chunk/retry counters;
+  registry** (:meth:`MetricsRegistry.merge`) in canonical chunk order
+  after the sweep (invariant 3), and the runner records per-trial wall
+  times in a ``cchunter_trial_seconds`` histogram plus chunk/retry
+  counters; an optional :class:`~repro.obs.timeseries.MetricsSampler`
+  passed as ``sampler=`` takes one labeled sample after each canonical
+  merge, yielding a deterministic per-chunk metrics time series;
 - an optional ``progress(done, total)`` callback fires in the parent as
   chunks complete (completion order — only the *results* are ordered).
 
@@ -303,6 +312,12 @@ class TrialRunner:
     progress:
         Optional ``progress(done_trials, total_trials)`` callback,
         invoked in the parent whenever a chunk completes.
+    sampler:
+        Optional :class:`~repro.obs.timeseries.MetricsSampler` sampled
+        once after each chunk's snapshot merges into the parent
+        registry. Merges happen in canonical chunk order after the
+        sweep, so the resulting series is identical for every ``jobs``
+        value.
     """
 
     def __init__(
@@ -312,6 +327,7 @@ class TrialRunner:
         max_chunk_retries: int = 2,
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        sampler=None,
     ):
         self.jobs = resolve_jobs(jobs)
         if chunk_size is not None and chunk_size < 1:
@@ -324,6 +340,7 @@ class TrialRunner:
         self.max_chunk_retries = max_chunk_retries
         self._metrics = metrics
         self.progress = progress
+        self.sampler = sampler
 
     # ------------------------------------------------------------------ API
 
@@ -374,6 +391,17 @@ class TrialRunner:
             ]
         else:
             chunk_results = self._run_pooled(spec, chunks, registry, total)
+        # Invariant 3: replay worker snapshots into the parent registry
+        # in canonical chunk order, not completion order — gauge merges
+        # are last-writer-wins, so this is what makes the merged
+        # registry identical for every jobs value.
+        for chunk_result in sorted(chunk_results, key=lambda c: c.indices[0]):
+            if chunk_result.metrics_snapshot is not None:
+                registry.merge(chunk_result.metrics_snapshot)
+            if self.sampler is not None:
+                self.sampler.sample(
+                    label=f"chunk:{chunk_result.indices[0]}"
+                )
         results: List[Any] = [None] * total
         for chunk_result in chunk_results:
             for index, result in zip(chunk_result.indices, chunk_result.results):
@@ -397,10 +425,13 @@ class TrialRunner:
         done: int,
         total: int,
     ) -> _ChunkResult:
-        """Merge one completed chunk's metrics and fire the callbacks."""
+        """Tally one completed chunk and fire the progress callback.
+
+        Runs in completion order, so it must only touch commutative
+        metrics (counters, histograms); the worker snapshot itself is
+        merged later, in canonical order, by ``run_trials``.
+        """
         label = {"spec": spec.key or spec.fn.__name__}
-        if chunk_result.metrics_snapshot is not None:
-            registry.merge(chunk_result.metrics_snapshot)
         timer = registry.histogram(
             "cchunter_trial_seconds",
             "Wall time of one trial inside TrialRunner.",

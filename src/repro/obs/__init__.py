@@ -11,11 +11,27 @@ emphasis on low-overhead online monitoring:
   ring buffer, exportable as Chrome-trace JSON.
 - ``repro.obs.log`` — per-component structured loggers under the
   ``repro`` tree, with plain-text or JSON-lines output.
+- ``repro.obs.timeseries`` — a :class:`MetricsSampler` that snapshots a
+  registry into bounded JSONL time series (wall-clock and sim-quantum
+  clocks, ring retention, merge-aware for parallel sweeps).
+- ``repro.obs.evidence`` — per-unit :class:`EvidenceBundle` forensic
+  records behind every verdict (LR trajectories, histogram and
+  correlogram snapshots, fault/health/verdict timelines) with exact
+  round-trip serialization.
 
 Metric names, label conventions, the span taxonomy, and the exposition
-format are documented in docs/OBSERVABILITY.md.
+format are documented in docs/OBSERVABILITY.md; the evidence schema and
+time-series format live in docs/FORENSICS.md.
 """
 
+from repro.obs.evidence import (
+    EVIDENCE_FORMAT,
+    EvidenceBundle,
+    EvidenceError,
+    evidence_document,
+    load_evidence,
+    write_evidence,
+)
 from repro.obs.log import (
     JsonLineFormatter,
     configure_logging,
@@ -37,6 +53,16 @@ from repro.obs.metrics import (
     render_prometheus,
     set_default,
 )
+from repro.obs.timeseries import (
+    TIMESERIES_FORMAT,
+    MetricsSampler,
+    TimeseriesError,
+    flatten_snapshot,
+    load_jsonl,
+    merge_records,
+    series_keys,
+    series_values,
+)
 from repro.obs.tracing import (
     SpanRecord,
     SpanRecorder,
@@ -48,6 +74,20 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "EVIDENCE_FORMAT",
+    "EvidenceBundle",
+    "EvidenceError",
+    "evidence_document",
+    "load_evidence",
+    "write_evidence",
+    "TIMESERIES_FORMAT",
+    "MetricsSampler",
+    "TimeseriesError",
+    "flatten_snapshot",
+    "load_jsonl",
+    "merge_records",
+    "series_keys",
+    "series_values",
     "Counter",
     "Gauge",
     "Histogram",

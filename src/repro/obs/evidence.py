@@ -1,0 +1,369 @@
+"""Evidence bundles: the "why" behind every CC-Hunter verdict.
+
+A verdict is ultimately a security *accusation* — a likelihood ratio
+crossing 0.5, an autocorrelogram peak near 0.9 — and the paper's own
+figures (event trains, density histograms, correlograms) are exactly
+what a human auditor needs to trust or dismiss it. An
+:class:`EvidenceBundle` is the bounded per-unit record each analyzer
+keeps of that supporting signal while it runs:
+
+- **LR trajectory** — the per-quantum burst likelihood ratio
+  (:class:`~repro.core.burst.BurstAnalysis`), so an auditor can see the
+  indicator rise, not just its final value;
+- **density-histogram snapshots** — the full histogram captured at every
+  LR threshold crossing (the paper's Figure 6 view, frozen at the
+  moments that matter);
+- **autocorrelogram evidence** — per-window peak lags/heights, dominant
+  period, anti-correlation dip and coverage, plus one full correlogram
+  snapshot frozen at the first significant window (Figure 8);
+- **cluster assignments** — the latest recurrence clustering's window
+  labels, burst clusters, and aggregate histogram (Figure 4/6 context);
+- **fault tags and health transitions** — the PR-4 degradation story
+  (`drop:`/`corrupt:` tags, OK→DEGRADED→FAILED edges) time-aligned with
+  the detection signal;
+- **verdict timeline** — every detected/clear flip, by quantum.
+
+Capture is **strictly read-only**: analyzers record values they already
+computed, so verdicts are bit-identical with capture on or off
+(``benchmarks/bench_obs_overhead.py`` holds the overhead under 15%).
+Every list is a ring buffer (newest kept, drops counted in
+``dropped``), so a bundle's memory is bounded no matter how long the
+session runs.
+
+Serialization round-trips exactly: ``from_dict(b.to_dict()).to_dict()
+== b.to_dict()``, including through JSON (all values are plain Python
+scalars/lists). :func:`write_evidence` / :func:`load_evidence` persist a
+whole session's bundles as one self-describing document
+(:data:`EVIDENCE_FORMAT`). See docs/FORENSICS.md for the schema and
+``repro report`` for the renderer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, get_default
+
+#: Format tag stamped on every evidence document.
+EVIDENCE_FORMAT = "repro.obs.evidence/v1"
+
+#: Default ring capacity for per-quantum trajectories.
+DEFAULT_CAPACITY = 1024
+
+#: Default ring capacity for full-array snapshots (histograms, ACF
+#: windows) — these are wide records, so the bound is much tighter.
+DEFAULT_SNAPSHOT_CAPACITY = 16
+
+
+class EvidenceError(ReproError):
+    """An evidence document is malformed or failed validation on load.
+
+    The CLI maps this to the corrupt-input exit code (4), same family
+    as :class:`~repro.errors.TraceCorruptionError`.
+    """
+
+
+def _floats(values) -> List[float]:
+    return [float(v) for v in values]
+
+
+def _ints(values) -> List[int]:
+    return [int(v) for v in values]
+
+
+class EvidenceBundle:
+    """Bounded forensic record for one audited unit.
+
+    Analyzers call the ``record_*`` methods with values they already
+    computed; consumers read :meth:`to_dict`. The ``capacity`` /
+    ``snapshot_capacity`` bounds are part of the serialized form so a
+    loaded bundle keeps behaving like the original.
+    """
+
+    #: Ring-buffered list fields (name -> capacity attribute).
+    _RINGS = (
+        "lr_trajectory",
+        "peak_trajectory",
+        "fault_events",
+        "health_transitions",
+        "verdict_timeline",
+    )
+    _SNAPSHOT_RINGS = ("histogram_snapshots", "acf_windows")
+
+    def __init__(
+        self,
+        unit: str,
+        method: str,
+        capacity: int = DEFAULT_CAPACITY,
+        snapshot_capacity: int = DEFAULT_SNAPSHOT_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 1 or snapshot_capacity < 1:
+            raise EvidenceError("evidence capacities must be >= 1")
+        self.unit = unit
+        self.method = method
+        self.capacity = int(capacity)
+        self.snapshot_capacity = int(snapshot_capacity)
+        #: [quantum, likelihood_ratio] per analyzed quantum (burst).
+        self.lr_trajectory: Deque[List[Any]] = deque(maxlen=self.capacity)
+        #: [quantum, max_peak] per analyzed window (oscillation).
+        self.peak_trajectory: Deque[List[Any]] = deque(maxlen=self.capacity)
+        #: Histogram snapshots at LR threshold crossings.
+        self.histogram_snapshots: Deque[Dict[str, Any]] = deque(
+            maxlen=self.snapshot_capacity
+        )
+        #: Per-window autocorrelogram analyses (peaks only, no full ACF).
+        self.acf_windows: Deque[Dict[str, Any]] = deque(
+            maxlen=self.snapshot_capacity
+        )
+        #: One full correlogram, frozen at the first significant window
+        #: (tracks the latest window until one is significant).
+        self.acf_snapshot: Optional[Dict[str, Any]] = None
+        #: Latest recurrence clustering (labels + aggregate histogram).
+        self.cluster_snapshot: Optional[Dict[str, Any]] = None
+        #: [quantum, tag] per flagged input fault.
+        self.fault_events: Deque[List[Any]] = deque(maxlen=self.capacity)
+        #: [quantum, health] health *transitions* (dedup consecutive).
+        self.health_transitions: Deque[List[Any]] = deque(
+            maxlen=self.capacity
+        )
+        #: [quantum, detected] verdict *flips* (dedup consecutive).
+        self.verdict_timeline: Deque[List[Any]] = deque(maxlen=self.capacity)
+        #: Per-ring counts of records evicted by the capacity bound.
+        self.dropped: Dict[str, int] = {}
+        m = metrics if metrics is not None else get_default()
+        labels = {"unit": unit}
+        self._m_records = m.counter(
+            "cchunter_evidence_records_total",
+            "evidence records captured into per-unit bundles",
+            labels,
+        )
+        self._m_dropped = m.counter(
+            "cchunter_evidence_dropped_total",
+            "evidence records evicted by a bundle's ring-buffer bound",
+            labels,
+        )
+
+    # ------------------------------------------------------------- recording
+
+    def _push(self, ring_name: str, record) -> None:
+        ring: Deque = getattr(self, ring_name)
+        if len(ring) == ring.maxlen:
+            self.dropped[ring_name] = self.dropped.get(ring_name, 0) + 1
+            self._m_dropped.inc()
+        ring.append(record)
+        self._m_records.inc()
+
+    def record_lr(self, quantum: int, likelihood_ratio: float) -> None:
+        self._push("lr_trajectory", [int(quantum), float(likelihood_ratio)])
+
+    def record_peak(self, quantum: int, max_peak: float) -> None:
+        self._push("peak_trajectory", [int(quantum), float(max_peak)])
+
+    def record_histogram(
+        self, quantum: int, reason: str, hist, analysis
+    ) -> None:
+        """Freeze a full density histogram (e.g. at a threshold crossing)."""
+        self._push(
+            "histogram_snapshots",
+            {
+                "quantum": int(quantum),
+                "reason": str(reason),
+                "likelihood_ratio": float(analysis.likelihood_ratio),
+                "threshold_bin": int(analysis.threshold_bin),
+                "hist": _ints(hist),
+            },
+        )
+
+    def record_acf_window(self, quantum: int, analysis) -> None:
+        """One oscillation window's peak summary (no full correlogram)."""
+        self._push(
+            "acf_windows",
+            {
+                "quantum": int(quantum),
+                "peak_lags": _ints(analysis.peak_lags),
+                "peak_heights": _floats(analysis.peak_heights),
+                "dominant_period": (
+                    None
+                    if analysis.dominant_period is None
+                    else float(analysis.dominant_period)
+                ),
+                "min_dip": float(analysis.min_dip),
+                "coverage": float(analysis.coverage),
+                "significant": bool(analysis.significant),
+            },
+        )
+
+    def record_acf(self, quantum: int, acf, analysis) -> None:
+        """Keep one full correlogram: latest until the first significant.
+
+        Flagged units therefore always carry the correlogram of their
+        *first* significant window (the paper's Figure 8 moment); clear
+        units carry the last analyzed window's correlogram instead.
+        """
+        if self.acf_snapshot is not None and self.acf_snapshot["significant"]:
+            return
+        self.acf_snapshot = {
+            "quantum": int(quantum),
+            "acf": _floats(acf),
+            "peak_lags": _ints(analysis.peak_lags),
+            "significant": bool(analysis.significant),
+        }
+        self._m_records.inc()
+
+    def set_cluster(self, quantum: int, recurrence, aggregate_hist) -> None:
+        """Overwrite the latest recurrence-clustering snapshot."""
+        self.cluster_snapshot = {
+            "quantum": int(quantum),
+            "labels": _ints(recurrence.cluster_labels),
+            "burst_clusters": _ints(recurrence.burst_clusters),
+            "burst_window_indices": _ints(recurrence.burst_window_indices),
+            "recurrent": bool(recurrence.recurrent),
+            "aggregate_hist": _ints(aggregate_hist),
+        }
+        self._m_records.inc()
+
+    def record_fault(self, quantum: int, tag: str) -> None:
+        self._push("fault_events", [int(quantum), str(tag)])
+
+    def record_health(self, quantum: int, health: str) -> None:
+        """Record a health *transition* (consecutive repeats dedup)."""
+        if (
+            self.health_transitions
+            and self.health_transitions[-1][1] == health
+        ):
+            return
+        self._push("health_transitions", [int(quantum), str(health)])
+
+    def record_verdict(self, quantum: int, detected: bool) -> None:
+        """Record a verdict *flip* (consecutive repeats dedup)."""
+        detected = bool(detected)
+        if (
+            self.verdict_timeline
+            and self.verdict_timeline[-1][1] == detected
+        ):
+            return
+        self._push("verdict_timeline", [int(quantum), detected])
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-Python, JSON-stable view; exact round-trip contract."""
+        return {
+            "unit": self.unit,
+            "method": self.method,
+            "capacity": self.capacity,
+            "snapshot_capacity": self.snapshot_capacity,
+            "lr_trajectory": [list(r) for r in self.lr_trajectory],
+            "peak_trajectory": [list(r) for r in self.peak_trajectory],
+            "histogram_snapshots": [
+                dict(r) for r in self.histogram_snapshots
+            ],
+            "acf_windows": [dict(r) for r in self.acf_windows],
+            "acf_snapshot": (
+                None if self.acf_snapshot is None else dict(self.acf_snapshot)
+            ),
+            "cluster_snapshot": (
+                None
+                if self.cluster_snapshot is None
+                else dict(self.cluster_snapshot)
+            ),
+            "fault_events": [list(r) for r in self.fault_events],
+            "health_transitions": [
+                list(r) for r in self.health_transitions
+            ],
+            "verdict_timeline": [list(r) for r in self.verdict_timeline],
+            "dropped": dict(self.dropped),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "EvidenceBundle":
+        try:
+            bundle = cls(
+                unit=data["unit"],
+                method=data["method"],
+                capacity=data["capacity"],
+                snapshot_capacity=data["snapshot_capacity"],
+                metrics=metrics,
+            )
+        except KeyError as exc:
+            raise EvidenceError(f"evidence bundle missing field {exc}") from None
+        for name in cls._RINGS + cls._SNAPSHOT_RINGS:
+            ring: Deque = getattr(bundle, name)
+            for record in data.get(name, ()):
+                ring.append(
+                    dict(record) if isinstance(record, Mapping)
+                    else list(record)
+                )
+        bundle.acf_snapshot = (
+            None if data.get("acf_snapshot") is None
+            else dict(data["acf_snapshot"])
+        )
+        bundle.cluster_snapshot = (
+            None if data.get("cluster_snapshot") is None
+            else dict(data["cluster_snapshot"])
+        )
+        bundle.dropped = dict(data.get("dropped", {}))
+        return bundle
+
+
+# ---------------------------------------------------------------- documents
+
+
+def evidence_document(
+    bundles: Mapping[str, Any],
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One session's bundles as a self-describing document.
+
+    ``bundles`` maps unit name to an :class:`EvidenceBundle` or an
+    already-serialized bundle dict; ``meta`` carries run context the
+    report renderer shows (channel, seed, the final report dict, ...).
+    """
+    units = {}
+    for unit, bundle in bundles.items():
+        units[unit] = (
+            bundle.to_dict() if isinstance(bundle, EvidenceBundle)
+            else dict(bundle)
+        )
+    return {
+        "format": EVIDENCE_FORMAT,
+        "meta": dict(meta) if meta else {},
+        "units": units,
+    }
+
+
+def write_evidence(
+    path: str,
+    bundles: Mapping[str, Any],
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialize a session's evidence to ``path``; returns the document."""
+    doc = evidence_document(bundles, meta)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def load_evidence(path: str) -> Dict[str, Any]:
+    """Load and validate an evidence document written by this module."""
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise EvidenceError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != EVIDENCE_FORMAT:
+        raise EvidenceError(
+            f"{path} is not an evidence document "
+            f"(expected format {EVIDENCE_FORMAT!r})"
+        )
+    if not isinstance(doc.get("units"), dict):
+        raise EvidenceError(f"{path} has no 'units' mapping")
+    return doc

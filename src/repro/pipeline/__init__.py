@@ -31,6 +31,7 @@ from repro.pipeline.sinks import (
     CollectingSink,
     MetricsSink,
     StreamPrinterSink,
+    TimeseriesSink,
     VerdictSink,
 )
 from repro.pipeline.source import (
@@ -55,6 +56,7 @@ __all__ = [
     "CollectingSink",
     "MetricsSink",
     "StreamPrinterSink",
+    "TimeseriesSink",
     "CallbackSink",
     "ChannelKind",
     "ChannelSpec",

@@ -46,6 +46,7 @@ from repro.core.oscillation import (
 )
 from repro.core.report import UnitVerdict
 from repro.errors import DetectionError
+from repro.obs.evidence import EvidenceBundle
 from repro.obs.metrics import MetricsRegistry, get_default
 from repro.pipeline.health import Health
 from repro.pipeline.source import QuantumObservation
@@ -70,6 +71,8 @@ class _HealthMixin:
     """Shared gap/fault bookkeeping behind each analyzer's health state."""
 
     unit: str
+    #: Forensic capture target; None when evidence capture is off.
+    evidence: Optional[EvidenceBundle] = None
 
     def _init_health(self, metrics: MetricsRegistry) -> None:
         self._health = Health.OK
@@ -99,11 +102,18 @@ class _HealthMixin:
             self.faults_seen += len(tags)
             self._m_flagged.inc(len(tags))
             self._health = Health.DEGRADED
+            if self.evidence is not None:
+                for tag in tags:
+                    self.evidence.record_fault(obs.quantum, tag)
+                self.evidence.record_health(obs.quantum, self._health.value)
 
-    def _note_gap(self) -> None:
+    def _note_gap(self, quantum: int = 0) -> None:
         self.gaps += 1
         self._m_gaps.inc()
         self._health = Health.DEGRADED
+        if self.evidence is not None:
+            self.evidence.record_fault(quantum, "gap")
+            self.evidence.record_health(quantum, self._health.value)
 
     def _health_notes(self) -> Tuple[str, ...]:
         notes = []
@@ -136,6 +146,8 @@ class BurstAnalyzer(_HealthMixin):
         n_bins: int = 128,
         max_windows: int = CLUSTERING_WINDOW_QUANTA,
         metrics: Optional[MetricsRegistry] = None,
+        capture_evidence: bool = False,
+        evidence_capacity: Optional[int] = None,
     ):
         self.unit = unit
         self.dt = int(dt)
@@ -173,6 +185,15 @@ class BurstAnalyzer(_HealthMixin):
         self._seen_events = 0
         self._seen_clamps = 0
         self._seen_saturations = 0
+        self.evidence = (
+            EvidenceBundle(
+                unit, self.method, metrics=m,
+                **({} if evidence_capacity is None
+                   else {"capacity": evidence_capacity}),
+            )
+            if capture_evidence else None
+        )
+        self._prev_lr = 0.0
         self._init_health(m)
 
     def push(self, obs: QuantumObservation) -> None:
@@ -182,15 +203,30 @@ class BurstAnalyzer(_HealthMixin):
             # Observation gap: the channel's readout went missing this
             # quantum. Count the quantum, degrade, and keep going — a
             # lossy collector must not kill the audit.
-            self._note_gap()
+            self._note_gap(obs.quantum)
             self.quanta_seen += 1
             return
         self._acc.ingest_window_counts(counts)
         hist = self._acc.read_and_reset()
         self.histograms.append(hist)
-        self.analyses.append(
-            analyze_histogram(hist, lr_threshold=self.lr_threshold)
-        )
+        analysis = analyze_histogram(hist, lr_threshold=self.lr_threshold)
+        self.analyses.append(analysis)
+        if self.evidence is not None:
+            # Capture reads values already computed above — it can never
+            # perturb the verdict numerics (bit-identical on/off).
+            self.evidence.record_lr(obs.quantum, analysis.likelihood_ratio)
+            crossed = (self._prev_lr >= self.lr_threshold) != (
+                analysis.likelihood_ratio >= self.lr_threshold
+            )
+            if crossed:
+                direction = (
+                    "rise" if analysis.likelihood_ratio >= self.lr_threshold
+                    else "fall"
+                )
+                self.evidence.record_histogram(
+                    obs.quantum, f"lr-threshold-{direction}", hist, analysis
+                )
+            self._prev_lr = analysis.likelihood_ratio
         self.quanta_seen += 1
         self._m_windows.inc(len(counts))
         # The accumulator (MonitorSlot or StreamingDensityHistogram) keeps
@@ -229,6 +265,12 @@ class BurstAnalyzer(_HealthMixin):
             (a.likelihood_ratio for a in recurrence.burst_analyses),
             default=0.0,
         )
+        if self.evidence is not None:
+            self.evidence.set_cluster(
+                self.quanta_seen - 1,
+                recurrence,
+                np.sum(np.stack(list(self.histograms)), axis=0),
+            )
         return UnitVerdict(
             unit=self.unit,
             method="burst",
@@ -286,6 +328,8 @@ class OscillationAnalyzer(_HealthMixin):
         min_oscillating_windows: int = 1,
         context_id_bits: int = 3,
         metrics: Optional[MetricsRegistry] = None,
+        capture_evidence: bool = False,
+        evidence_capacity: Optional[int] = None,
     ):
         if not 0 < window_fraction <= 1.0:
             raise DetectionError(
@@ -335,6 +379,14 @@ class OscillationAnalyzer(_HealthMixin):
             "cchunter_analyzer_last_acf_lags",
             "lag-window width of the last computed autocorrelogram",
             labels,
+        )
+        self.evidence = (
+            EvidenceBundle(
+                unit, self.method, metrics=m,
+                **({} if evidence_capacity is None
+                   else {"capacity": evidence_capacity}),
+            )
+            if capture_evidence else None
         )
         self._init_health(m)
 
@@ -407,6 +459,12 @@ class OscillationAnalyzer(_HealthMixin):
         self.analysis_quanta.append(quantum)
         self._m_train_length.set(state.count)
         self._m_acf_lags.set(acf.size)
+        if self.evidence is not None:
+            # Read-only capture of already-computed values; never
+            # perturbs the verdict numerics.
+            self.evidence.record_peak(quantum, analysis.max_peak)
+            self.evidence.record_acf_window(quantum, analysis)
+            self.evidence.record_acf(quantum, acf, analysis)
         if analysis.significant:
             self._m_windows_significant.inc()
 

@@ -190,6 +190,11 @@ class DetectionSession:
         state.errors += 1
         state.consecutive += 1
         self._error_counters[unit].inc()
+        bundle = getattr(self._analyzers[unit], "evidence", None)
+        if bundle is not None:
+            bundle.record_fault(
+                self.quanta_pushed, f"error:{type(exc).__name__}"
+            )
         if state.consecutive >= self.fail_after:
             if state.health is not Health.FAILED:
                 _log.error(
@@ -205,6 +210,8 @@ class DetectionSession:
                     unit, exc,
                 )
             state.health = worst((state.health, Health.DEGRADED))
+        if bundle is not None:
+            bundle.record_health(self.quanta_pushed, state.health.value)
 
     # ------------------------------------------------------------- streaming
 
@@ -253,6 +260,11 @@ class DetectionSession:
                     verdict.unit,
                     obs.quantum,
                 )
+            bundle = getattr(
+                self._analyzers.get(verdict.unit), "evidence", None
+            )
+            if bundle is not None:
+                bundle.record_verdict(obs.quantum, verdict.detected)
         self._quanta_evaluated += 1
         with trace_span("session.sinks", quantum=obs.quantum):
             t0 = perf_counter() if timed else 0.0
@@ -296,16 +308,51 @@ class DetectionSession:
             verdict, health=combined.value, notes=notes
         )
 
-    def current_verdicts(
-        self, min_oscillating_windows: Optional[int] = None
-    ) -> DetectionReport:
-        """Verdicts as of the quanta pushed so far."""
-        return DetectionReport(
-            verdicts=tuple(
-                self._unit_verdict(unit, min_oscillating_windows)
-                for unit in self._analyzers
-            )
+    # ------------------------------------------------------------- evidence
+
+    def evidence(self) -> Dict[str, object]:
+        """Per-unit :class:`~repro.obs.evidence.EvidenceBundle` mapping.
+
+        Empty unless analyzers were built with ``capture_evidence=True``
+        (see :func:`build_session` /
+        :class:`~repro.core.detector.CCHunter`).
+        """
+        bundles = {}
+        for unit, analyzer in self._analyzers.items():
+            bundle = getattr(analyzer, "evidence", None)
+            if bundle is not None:
+                bundles[unit] = bundle
+        return bundles
+
+    @property
+    def captures_evidence(self) -> bool:
+        return any(
+            getattr(a, "evidence", None) is not None
+            for a in self._analyzers.values()
         )
+
+    def current_verdicts(
+        self,
+        min_oscillating_windows: Optional[int] = None,
+        with_evidence: bool = False,
+    ) -> DetectionReport:
+        """Verdicts as of the quanta pushed so far.
+
+        With ``with_evidence=True`` each verdict carries its unit's
+        serialized evidence bundle (when one is being captured); the
+        verdict fields themselves are identical either way.
+        """
+        verdicts = []
+        for unit in self._analyzers:
+            verdict = self._unit_verdict(unit, min_oscillating_windows)
+            if with_evidence:
+                bundle = getattr(self._analyzers[unit], "evidence", None)
+                if bundle is not None:
+                    verdict = dataclasses.replace(
+                        verdict, evidence=bundle.to_dict()
+                    )
+            verdicts.append(verdict)
+        return DetectionReport(verdicts=tuple(verdicts))
 
     # ----------------------------------------------------------------- sinks
 
@@ -364,8 +411,16 @@ class DetectionSession:
     def close(
         self, min_oscillating_windows: Optional[int] = None
     ) -> DetectionReport:
-        """Final verdicts; ``on_close`` is attempted for *every* sink."""
-        report = self.current_verdicts(min_oscillating_windows)
+        """Final verdicts; ``on_close`` is attempted for *every* sink.
+
+        When evidence is being captured the final report's verdicts
+        carry their serialized bundles, so sinks (and archived reports)
+        preserve the full forensic record.
+        """
+        report = self.current_verdicts(
+            min_oscillating_windows,
+            with_evidence=self.captures_evidence,
+        )
         self._dispatch_sinks("on_close", report)
         return report
 
@@ -401,12 +456,17 @@ def build_session(
     sinks: Iterable[VerdictSink] = (),
     track_detection_latency: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    capture_evidence: bool = False,
+    evidence_capacity: Optional[int] = None,
 ) -> DetectionSession:
     """A session with one analyzer per channel the source offers.
 
     Burst channels get streaming density accumulators with the auditor's
     saturation limits (same numerics as the hardware monitor slots);
     the conflict channel gets an incremental oscillation analyzer.
+    ``capture_evidence`` makes every analyzer keep a bounded forensic
+    :class:`~repro.obs.evidence.EvidenceBundle` (docs/FORENSICS.md);
+    verdicts are bit-identical with capture on or off.
     """
     cfg = auditor_config or AuditorConfig()
     session = DetectionSession(
@@ -429,6 +489,8 @@ def build_session(
                     lr_threshold=lr_threshold,
                     n_bins=cfg.histogram_bins,
                     metrics=session.metrics,
+                    capture_evidence=capture_evidence,
+                    evidence_capacity=evidence_capacity,
                 )
             )
         else:
@@ -441,6 +503,8 @@ def build_session(
                     min_peak_height=min_peak_height,
                     context_id_bits=cfg.context_id_bits,
                     metrics=session.metrics,
+                    capture_evidence=capture_evidence,
+                    evidence_capacity=evidence_capacity,
                 )
             )
     return session

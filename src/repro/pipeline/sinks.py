@@ -143,6 +143,26 @@ class MetricsSink:
         return self._first_seen.get(unit)
 
 
+class TimeseriesSink:
+    """Drives a :class:`~repro.obs.timeseries.MetricsSampler` per quantum.
+
+    Attach to any session (or pass to ``analyze_traces``) to get a
+    quantum-aligned metrics time series without touching the source:
+    every per-quantum report triggers the sampler's quantum clock, and
+    the close event takes one final sample so the series always ends
+    with the run's terminal state.
+    """
+
+    def __init__(self, sampler):
+        self.sampler = sampler
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None:
+        self.sampler.maybe_sample(quantum=quantum)
+
+    def on_close(self, report: DetectionReport) -> None:
+        self.sampler.sample(label="close")
+
+
 class CallbackSink:
     """Adapts plain callables to the sink protocol."""
 

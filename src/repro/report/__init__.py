@@ -1,0 +1,33 @@
+"""Forensic report generation: evidence documents → human-facing views.
+
+The rendering counterpart of :mod:`repro.obs.evidence`: given the
+bundles a detection session captured (plus an optional metrics time
+series from :mod:`repro.obs.timeseries`), produce
+
+- a **self-contained HTML report** — per-unit LR trajectories, density
+  histograms, and autocorrelograms as inline SVG (no external assets),
+  with verdict/health badges, fault timelines, and raw-data tables;
+- a **Markdown report** with the same structure rendered as tables;
+- a **live watch view** (:class:`WatchSink`) that refreshes a compact
+  status block in place during long runs.
+
+Exposed on the CLI as ``repro report`` and via ``repro detect/analyze
+--report-out`` / ``--watch``. See docs/FORENSICS.md.
+"""
+
+from repro.report.live import WatchSink
+from repro.report.render import (
+    forensic_report_html,
+    forensic_report_markdown,
+    render_report,
+)
+from repro.report.svg import bar_chart, line_chart
+
+__all__ = [
+    "WatchSink",
+    "forensic_report_html",
+    "forensic_report_markdown",
+    "render_report",
+    "bar_chart",
+    "line_chart",
+]

@@ -1,0 +1,109 @@
+"""Live watch view: a redrawing per-quantum status block for long runs.
+
+:class:`WatchSink` is a verdict sink (see :mod:`repro.pipeline.sinks`)
+that keeps a small status block — one line per audited unit plus a
+header — refreshed in place on a TTY using ANSI cursor movement. On a
+non-TTY stream (file, pipe, CI log) it degrades to appending a full
+block every ``refresh_every`` quanta, so redirected output stays a
+readable log instead of a soup of escape codes.
+
+Wired up as ``repro detect --watch``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, TextIO
+
+from repro.core.report import DetectionReport, UnitVerdict
+
+_ANSI_PREV_LINE = "\x1b[F"  # cursor up one line, to column 0
+_ANSI_CLEAR_LINE = "\x1b[2K"  # erase entire line
+
+
+def _signal(verdict: UnitVerdict) -> str:
+    if verdict.method == "burst":
+        lr = (
+            f"{verdict.max_likelihood_ratio:.3f}"
+            if verdict.max_likelihood_ratio is not None
+            else "  n/a"
+        )
+        return f"lr={lr}"
+    peak = (
+        f"{verdict.max_peak:.3f}" if verdict.max_peak is not None else "  n/a"
+    )
+    return f"peak={peak} windows={verdict.oscillating_windows or 0}"
+
+
+class WatchSink:
+    """Renders a compact, continuously refreshed detection status block."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        refresh_every: int = 1,
+        sticky: Optional[bool] = None,
+    ):
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh_every = refresh_every
+        #: Redraw in place (ANSI) vs append blocks. Defaults to whether
+        #: the stream is an interactive terminal.
+        if sticky is None:
+            isatty = getattr(self.stream, "isatty", None)
+            sticky = bool(isatty and isatty())
+        self.sticky = sticky
+        self._drawn_lines = 0
+        self._quanta_seen = 0
+
+    # ------------------------------------------------------------- rendering
+
+    def _render(self, header: str, report: DetectionReport) -> List[str]:
+        lines = [header]
+        for verdict in report.verdicts:
+            flag = "LIKELY" if verdict.detected else "clear "
+            health = (
+                "" if verdict.health == "ok"
+                else f"  [{verdict.health.upper()}]"
+            )
+            lines.append(
+                f"  {verdict.unit:<18} {verdict.method:<11} {flag} "
+                f"{_signal(verdict)}{health}"
+            )
+        if not report.verdicts:
+            lines.append("  (no audited units)")
+        return lines
+
+    def _draw(self, lines: List[str]) -> None:
+        out = []
+        if self.sticky and self._drawn_lines:
+            out.append((_ANSI_PREV_LINE + _ANSI_CLEAR_LINE) * self._drawn_lines)
+        out.append("\n".join(lines))
+        out.append("\n")
+        self.stream.write("".join(out))
+        self.stream.flush()
+        self._drawn_lines = len(lines) if self.sticky else 0
+
+    # ------------------------------------------------------------- sink API
+
+    def on_quantum(self, quantum: int, report: DetectionReport) -> None:
+        self._quanta_seen += 1
+        if self._quanta_seen % self.refresh_every:
+            return
+        self._draw(
+            self._render(f"CC-Hunter watch — quantum {quantum}", report)
+        )
+
+    def on_close(self, report: DetectionReport) -> None:
+        verdict = (
+            "channel activity detected" if report.any_detected
+            else "no channel activity"
+        )
+        self._draw(
+            self._render(
+                f"CC-Hunter watch — session closed: {verdict}", report
+            )
+        )
+        # The final block stays on screen; stop treating it as redrawable.
+        self._drawn_lines = 0

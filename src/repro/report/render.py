@@ -1,0 +1,617 @@
+"""Forensic report renderer: evidence documents → HTML / Markdown.
+
+Takes the self-describing evidence document produced by
+:func:`repro.obs.evidence.evidence_document` (optionally plus a metrics
+time series from :mod:`repro.obs.timeseries`) and renders a single
+self-contained file — no external assets, scripts, or network fetches —
+that walks an auditor through every audited unit the way the paper does:
+
+- the burst likelihood-ratio trajectory against its 0.5 decision rule;
+- the density histogram frozen at the decisive threshold crossing, with
+  the burst bins highlighted (Figure 6);
+- the autocorrelogram with its peak lags marked (Figure 8);
+- cluster assignments behind the recurrence verdict (Figure 4 context);
+- the verdict timeline annotated with fault tags and health transitions.
+
+Colors are CSS custom properties with an automatic dark theme
+(``prefers-color-scheme``) and an explicit ``data-theme`` override;
+health states always pair color with a text label. Raw numbers are kept
+reachable via ``<details>`` data tables so the charts never become the
+only copy of the evidence.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.timeseries import series_keys, series_values
+from repro.report.svg import bar_chart, line_chart
+
+#: Health → (CSS status class, visible text label). Text label always
+#: accompanies the color so state is never encoded by color alone.
+_HEALTH_BADGES = {
+    "ok": ("good", "OK"),
+    "degraded": ("warn", "DEGRADED"),
+    "failed": ("crit", "FAILED"),
+}
+
+#: Palette roles (light, dark) — the validated default palette.
+_CSS = """\
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #5f5e58;
+  --grid: #e1e0d9; --series: #2a78d6; --accent: #eb6834;
+  --good: #0ca30c; --warn: #fab219; --crit: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ffffff; --ink-2: #b4b2aa;
+    --grid: #2c2c2a; --series: #3987e5;
+  }
+}
+[data-theme="light"] {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #5f5e58;
+  --grid: #e1e0d9; --series: #2a78d6;
+}
+[data-theme="dark"] {
+  --surface: #1a1a19; --ink: #ffffff; --ink-2: #b4b2aa;
+  --grid: #2c2c2a; --series: #3987e5;
+}
+body {
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, sans-serif;
+  max-width: 760px; margin: 2rem auto; padding: 0 1rem;
+}
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+h3 { font-size: 0.95rem; color: var(--ink-2); }
+.chart { display: block; margin: 0.5rem 0; }
+.chart .grid { stroke: var(--grid); stroke-width: 1; }
+.chart .axis { stroke: var(--ink-2); stroke-width: 1; }
+.chart .tick, .chart .label { fill: var(--ink-2); font-size: 10px; }
+.chart .series { fill: none; stroke: var(--series); stroke-width: 2; }
+.chart .dot { fill: var(--series); }
+.chart .dot.marker { fill: var(--accent); }
+.chart .bar { fill: var(--series); }
+.chart .bar.hot { fill: var(--accent); }
+.chart .thr { stroke: var(--accent); stroke-width: 1;
+  stroke-dasharray: 4 3; }
+.chart .thr-label { fill: var(--accent); }
+.badge { display: inline-block; padding: 0 0.5em; border-radius: 3px;
+  font-size: 0.8rem; font-weight: 600; color: #fff; }
+.badge.good { background: var(--good); }
+.badge.warn { background: var(--warn); color: #0b0b0b; }
+.badge.crit { background: var(--crit); }
+.badge.neutral { background: var(--ink-2); }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border-bottom: 1px solid var(--grid); padding: 2px 10px;
+  text-align: left; font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+details { margin: 0.5rem 0; }
+summary { cursor: pointer; color: var(--ink-2); }
+.empty { color: var(--ink-2); font-style: italic; }
+footer { margin-top: 3rem; color: var(--ink-2); font-size: 0.8rem; }
+"""
+
+
+def _esc(text) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _badge(kind: str, text: str) -> str:
+    return f'<span class="badge {kind}">{_esc(text)}</span>'
+
+
+def _health_badge(health: str) -> str:
+    kind, label = _HEALTH_BADGES.get(health, ("crit", health.upper()))
+    return _badge(kind, f"health: {label}")
+
+
+def _verdict_badge(detected: Optional[bool]) -> str:
+    if detected is None:
+        return _badge("neutral", "no verdict")
+    return (
+        _badge("crit", "CHANNEL LIKELY") if detected
+        else _badge("good", "clear")
+    )
+
+
+def _table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    if not body:
+        return '<p class="empty">none recorded</p>'
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _details(summary: str, inner: str) -> str:
+    return f"<details><summary>{_esc(summary)}</summary>{inner}</details>"
+
+
+def _verdict_for(doc: Mapping[str, Any], unit: str) -> Optional[Dict[str, Any]]:
+    """The unit's final verdict dict from meta, if the run attached one."""
+    report = doc.get("meta", {}).get("report")
+    if isinstance(report, Mapping):
+        for verdict in report.get("verdicts", ()):
+            if verdict.get("unit") == unit:
+                return dict(verdict)
+    return None
+
+
+def _detected(
+    bundle: Mapping[str, Any], verdict: Optional[Mapping[str, Any]]
+) -> Optional[bool]:
+    if verdict is not None:
+        return bool(verdict.get("detected"))
+    timeline = bundle.get("verdict_timeline") or []
+    return bool(timeline[-1][1]) if timeline else None
+
+
+def _latest_histogram(bundle: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    snaps = bundle.get("histogram_snapshots") or []
+    if snaps:
+        return dict(snaps[-1])
+    cluster = bundle.get("cluster_snapshot")
+    if cluster and cluster.get("aggregate_hist"):
+        return {
+            "quantum": cluster["quantum"],
+            "reason": "aggregate over all windows",
+            "hist": cluster["aggregate_hist"],
+            "threshold_bin": None,
+            "likelihood_ratio": None,
+        }
+    return None
+
+
+def _burst_figures(bundle: Mapping[str, Any], lr_threshold: float) -> str:
+    parts = []
+    parts.append("<h3>Likelihood-ratio trajectory</h3>")
+    parts.append(
+        line_chart(
+            bundle.get("lr_trajectory") or (),
+            x_label="quantum",
+            y_label="likelihood ratio",
+            threshold=lr_threshold,
+            threshold_label=f"detection threshold {lr_threshold:g}",
+            y_floor=0.0,
+            desc="likelihood ratio per quantum",
+        )
+    )
+    snap = _latest_histogram(bundle)
+    if snap is not None:
+        reason = snap.get("reason", "")
+        lr = snap.get("likelihood_ratio")
+        caption = f"quantum {snap.get('quantum')}, {reason}"
+        if lr is not None:
+            caption += f", LR {lr:.3f}"
+        parts.append(f"<h3>Density histogram ({_esc(caption)})</h3>")
+        parts.append(
+            bar_chart(
+                snap.get("hist") or (),
+                x_label="events per Δt window (bin)",
+                y_label="windows",
+                highlight_from=snap.get("threshold_bin"),
+                highlight_label="burst bins",
+                desc="burst density histogram",
+            )
+        )
+    cluster = bundle.get("cluster_snapshot")
+    if cluster:
+        labels = cluster.get("labels") or []
+        burst = set(cluster.get("burst_clusters") or ())
+        strip = "".join(
+            "&#9632;" if lab in burst else "&#9633;" for lab in labels
+        )
+        parts.append("<h3>Recurrence clustering</h3>")
+        parts.append(
+            "<p>window clusters (&#9632; = burst cluster): "
+            f'<span style="letter-spacing:2px">{strip}</span><br>'
+            f"recurrent: <strong>{cluster.get('recurrent')}</strong>, "
+            f"burst clusters {sorted(burst)}, "
+            f"{len(labels)} windows</p>"
+        )
+    return "".join(parts)
+
+
+def _oscillation_figures(bundle: Mapping[str, Any]) -> str:
+    parts = []
+    parts.append("<h3>Correlogram peak trajectory</h3>")
+    parts.append(
+        line_chart(
+            bundle.get("peak_trajectory") or (),
+            x_label="quantum (window close)",
+            y_label="max ACF peak",
+            y_floor=0.0,
+            y_ceil=1.0,
+            desc="max autocorrelogram peak per window",
+        )
+    )
+    snap = bundle.get("acf_snapshot")
+    if snap and snap.get("acf"):
+        acf = snap["acf"]
+        points = list(enumerate(acf))
+        lags = set(snap.get("peak_lags") or ())
+        markers = [(lag, acf[lag]) for lag in sorted(lags) if lag < len(acf)]
+        sig = "significant" if snap.get("significant") else "not significant"
+        parts.append(
+            f"<h3>Autocorrelogram (quantum {snap.get('quantum')}, "
+            f"{sig} window)</h3>"
+        )
+        parts.append(
+            line_chart(
+                points,
+                x_label="lag (events)",
+                y_label="autocorrelation",
+                markers=markers,
+                marker_label="peak at lag",
+                desc="event-train autocorrelogram",
+            )
+        )
+    windows = bundle.get("acf_windows") or []
+    if windows:
+        parts.append(
+            _details(
+                f"per-window peak data ({len(windows)} windows)",
+                _table(
+                    (
+                        "quantum", "peaks", "top peak", "period",
+                        "min dip", "coverage", "significant",
+                    ),
+                    (
+                        (
+                            w.get("quantum"),
+                            len(w.get("peak_lags") or ()),
+                            (
+                                f"{max(w['peak_heights']):.3f}"
+                                if w.get("peak_heights") else "—"
+                            ),
+                            (
+                                f"{w['dominant_period']:.0f}"
+                                if w.get("dominant_period") else "—"
+                            ),
+                            f"{w.get('min_dip', 0):.3f}",
+                            f"{w.get('coverage', 0):.2f}",
+                            w.get("significant"),
+                        )
+                        for w in windows
+                    ),
+                ),
+            )
+        )
+    return "".join(parts)
+
+
+def _timeline_section(bundle: Mapping[str, Any]) -> str:
+    parts = ["<h3>Verdict timeline &amp; pipeline health</h3>"]
+    rows: List[Tuple[int, str, str]] = []
+    for quantum, detected in bundle.get("verdict_timeline") or ():
+        rows.append(
+            (quantum, "verdict", "detected" if detected else "clear")
+        )
+    for quantum, health in bundle.get("health_transitions") or ():
+        kind, label = _HEALTH_BADGES.get(health, ("crit", health))
+        rows.append((quantum, "health", _badge(kind, label)))
+    for quantum, tag in bundle.get("fault_events") or ():
+        rows.append((quantum, "fault", _esc(tag)))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    if not rows:
+        return parts[0] + '<p class="empty">no transitions recorded</p>'
+    body = "".join(
+        f"<tr><td>{q}</td><td>{kind}</td><td>{what}</td></tr>"
+        for q, kind, what in rows
+    )
+    parts.append(
+        "<table><tr><th>quantum</th><th>event</th><th>detail</th></tr>"
+        f"{body}</table>"
+    )
+    return "".join(parts)
+
+
+def _dropped_note(bundle: Mapping[str, Any]) -> str:
+    dropped = {k: v for k, v in (bundle.get("dropped") or {}).items() if v}
+    if not dropped:
+        return ""
+    items = ", ".join(f"{k}: {v}" for k, v in sorted(dropped.items()))
+    return (
+        f'<p class="empty">ring-buffer evictions (oldest records '
+        f"dropped): {_esc(items)}</p>"
+    )
+
+
+def _raw_tables(bundle: Mapping[str, Any]) -> str:
+    inner = []
+    lr = bundle.get("lr_trajectory") or []
+    if lr:
+        inner.append(
+            _table(("quantum", "likelihood ratio"),
+                   ((q, f"{v:.4f}") for q, v in lr))
+        )
+    peaks = bundle.get("peak_trajectory") or []
+    if peaks:
+        inner.append(
+            _table(("quantum", "max peak"),
+                   ((q, f"{v:.4f}") for q, v in peaks))
+        )
+    if not inner:
+        return ""
+    return _details("raw trajectory data", "".join(inner))
+
+
+def _unit_section(
+    unit: str,
+    bundle: Mapping[str, Any],
+    doc: Mapping[str, Any],
+    lr_threshold: float,
+) -> str:
+    verdict = _verdict_for(doc, unit)
+    detected = _detected(bundle, verdict)
+    health = (
+        verdict.get("health") if verdict
+        else (bundle.get("health_transitions") or [[0, "ok"]])[-1][1]
+    )
+    parts = [
+        f'<section id="unit-{_esc(unit)}">',
+        f"<h2>{_esc(unit)} <small>({_esc(bundle.get('method', '?'))} "
+        f"method)</small> {_verdict_badge(detected)} "
+        f"{_health_badge(health or 'ok')}</h2>",
+    ]
+    if verdict:
+        keys = (
+            "quanta_analyzed", "max_likelihood_ratio", "recurrent",
+            "burst_window_fraction", "oscillating_windows", "max_peak",
+            "dominant_period",
+        )
+        rows = [(k, verdict[k]) for k in keys if verdict.get(k) is not None]
+        parts.append(_table(("measure", "value"), rows))
+        for note in verdict.get("notes") or ():
+            parts.append(f"<p>note: {_esc(note)}</p>")
+    if bundle.get("method") == "burst":
+        parts.append(_burst_figures(bundle, lr_threshold))
+    else:
+        parts.append(_oscillation_figures(bundle))
+    parts.append(_timeline_section(bundle))
+    parts.append(_dropped_note(bundle))
+    parts.append(_raw_tables(bundle))
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def _interesting_series(records: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Series worth charting: ≥2 points and not constant."""
+    chosen = []
+    for key in series_keys(records):
+        values = series_values(records, key)
+        if len(values) >= 2 and len({v for _x, v in values}) > 1:
+            chosen.append(key)
+    return chosen
+
+
+def _timeseries_section(
+    records: Sequence[Mapping[str, Any]], max_charts: int = 8
+) -> str:
+    records = list(records)
+    if not records:
+        return ""
+    parts = ["<h2>Metrics time series</h2>"]
+    keys = _interesting_series(records)
+    shown = keys[:max_charts]
+    x_is_quantum = any(r.get("quantum") is not None for r in records)
+    for key in shown:
+        parts.append(f"<h3>{_esc(key)}</h3>")
+        parts.append(
+            line_chart(
+                series_values(records, key),
+                x_label="quantum" if x_is_quantum else "seconds",
+                y_label="value",
+                desc=f"time series for {key}",
+            )
+        )
+    if len(keys) > len(shown):
+        parts.append(
+            f'<p class="empty">{len(keys) - len(shown)} further varying '
+            "series omitted from charts (see final values below)</p>"
+        )
+    last = records[-1].get("values", {})
+    parts.append(
+        _details(
+            f"final sample ({len(last)} series)",
+            _table(
+                ("series", "value"),
+                ((k, last[k]) for k in sorted(last)),
+            ),
+        )
+    )
+    return "".join(parts)
+
+
+def _meta_section(doc: Mapping[str, Any]) -> str:
+    meta = doc.get("meta") or {}
+    rows = [
+        (key, value)
+        for key, value in sorted(meta.items())
+        if isinstance(value, (str, int, float, bool))
+    ]
+    if not rows:
+        return ""
+    return "<h3>Run context</h3>" + _table(("key", "value"), rows)
+
+
+def forensic_report_html(
+    doc: Mapping[str, Any],
+    timeseries: Optional[Sequence[Mapping[str, Any]]] = None,
+    title: str = "CC-Hunter forensic report",
+) -> str:
+    """Render one evidence document as a self-contained HTML page."""
+    units = doc.get("units") or {}
+    report = doc.get("meta", {}).get("report")
+    overall = (
+        _verdict_badge(bool(report.get("any_detected")))
+        if isinstance(report, Mapping) else ""
+    )
+    body = [
+        f"<h1>{_esc(title)} {overall}</h1>",
+        _meta_section(doc),
+    ]
+    lr_threshold = float(doc.get("meta", {}).get("lr_threshold", 0.5))
+    for unit in sorted(units):
+        body.append(_unit_section(unit, units[unit], doc, lr_threshold))
+    if not units:
+        body.append('<p class="empty">document contains no unit bundles</p>')
+    if timeseries:
+        body.append(_timeseries_section(timeseries))
+    body.append(
+        f"<footer>format {_esc(doc.get('format', '?'))} · rendered by "
+        "repro report · charts carry data tables under "
+        "&ldquo;details&rdquo;</footer>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title>"
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(body)
+        + "</body></html>\n"
+    )
+
+
+# ------------------------------------------------------------------ markdown
+
+
+def _md_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    if len(lines) == 2:
+        return "_none recorded_\n"
+    return "\n".join(lines) + "\n"
+
+
+def forensic_report_markdown(
+    doc: Mapping[str, Any],
+    timeseries: Optional[Sequence[Mapping[str, Any]]] = None,
+    title: str = "CC-Hunter forensic report",
+) -> str:
+    """Render one evidence document as plain Markdown (no figures)."""
+    out = [f"# {title}\n"]
+    report = doc.get("meta", {}).get("report")
+    if isinstance(report, Mapping):
+        overall = (
+            "covert timing channel activity detected"
+            if report.get("any_detected")
+            else "no covert timing channel activity detected"
+        )
+        out.append(f"**Overall:** {overall} (health: {report.get('health')})\n")
+    units = doc.get("units") or {}
+    for unit in sorted(units):
+        bundle = units[unit]
+        verdict = _verdict_for(doc, unit)
+        detected = _detected(bundle, verdict)
+        flag = (
+            "no verdict" if detected is None
+            else ("CHANNEL LIKELY" if detected else "clear")
+        )
+        out.append(f"## {unit} ({bundle.get('method')}) — {flag}\n")
+        if verdict:
+            rows = [
+                (k, v) for k, v in verdict.items()
+                if k not in ("unit", "evidence", "notes")
+                and v is not None
+            ]
+            out.append(_md_table(("measure", "value"), rows))
+        lr = bundle.get("lr_trajectory") or []
+        if lr:
+            out.append("### Likelihood-ratio trajectory\n")
+            out.append(
+                _md_table(("quantum", "LR"), ((q, f"{v:.4f}") for q, v in lr))
+            )
+        snap = _latest_histogram(bundle)
+        if snap is not None:
+            hist = snap.get("hist") or []
+            out.append(
+                f"### Density histogram (quantum {snap.get('quantum')}, "
+                f"{snap.get('reason')})\n"
+            )
+            out.append(
+                _md_table(
+                    ("bin", "count"),
+                    ((i, c) for i, c in enumerate(hist) if c),
+                )
+            )
+        peaks = bundle.get("peak_trajectory") or []
+        if peaks:
+            out.append("### Correlogram peak trajectory\n")
+            out.append(
+                _md_table(
+                    ("quantum", "max peak"),
+                    ((q, f"{v:.4f}") for q, v in peaks),
+                )
+            )
+        acf_snap = bundle.get("acf_snapshot")
+        if acf_snap and acf_snap.get("peak_lags"):
+            acf = acf_snap.get("acf") or []
+            out.append(
+                f"### Autocorrelogram peaks (quantum "
+                f"{acf_snap.get('quantum')})\n"
+            )
+            out.append(
+                _md_table(
+                    ("lag", "height"),
+                    (
+                        (lag, f"{acf[lag]:.4f}" if lag < len(acf) else "—")
+                        for lag in acf_snap["peak_lags"]
+                    ),
+                )
+            )
+        events = []
+        for q, detected_flip in bundle.get("verdict_timeline") or ():
+            events.append(
+                (q, "verdict", "detected" if detected_flip else "clear")
+            )
+        for q, health in bundle.get("health_transitions") or ():
+            events.append((q, "health", health))
+        for q, tag in bundle.get("fault_events") or ():
+            events.append((q, "fault", tag))
+        if events:
+            events.sort(key=lambda r: (r[0], r[1]))
+            out.append("### Timeline\n")
+            out.append(_md_table(("quantum", "event", "detail"), events))
+    if timeseries:
+        records = list(timeseries)
+        keys = _interesting_series(records)
+        if keys:
+            out.append("## Metrics time series (varying series)\n")
+            for key in keys:
+                values = series_values(records, key)
+                out.append(f"### `{key}`\n")
+                out.append(
+                    _md_table(
+                        ("x", "value"),
+                        ((f"{x:g}", f"{v:g}") for x, v in values),
+                    )
+                )
+    out.append(f"---\nformat `{doc.get('format', '?')}` · rendered by "
+               "`repro report`\n")
+    return "\n".join(out)
+
+
+def render_report(
+    doc: Mapping[str, Any],
+    fmt: str = "html",
+    timeseries: Optional[Sequence[Mapping[str, Any]]] = None,
+    title: str = "CC-Hunter forensic report",
+) -> str:
+    """Dispatch on ``fmt`` ("html" or "md"/"markdown")."""
+    if fmt == "html":
+        return forensic_report_html(doc, timeseries=timeseries, title=title)
+    if fmt in ("md", "markdown"):
+        return forensic_report_markdown(
+            doc, timeseries=timeseries, title=title
+        )
+    raise ValueError(f"unknown report format {fmt!r} (expected html or md)")

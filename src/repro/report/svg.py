@@ -1,0 +1,252 @@
+"""Dependency-free inline-SVG chart primitives for forensic reports.
+
+Small, deliberate subset of charting: a line chart (trajectories,
+correlograms) and a bar chart (density histograms), both emitting
+self-contained ``<svg>`` fragments. Styling is entirely class-based —
+the document that embeds these fragments defines the color roles as CSS
+custom properties (see :mod:`repro.report.render`), so light/dark
+theming never touches this module.
+
+Marks follow the repo's chart rules: thin strokes, hairline grid, one
+y-axis, direct labels only where they inform (the burst bin, the
+highest peak), and a ``<title>`` tooltip on every discrete mark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 52, 14, 10, 30
+
+
+def _esc(text) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric label: no trailing float noise."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+class _Scale:
+    """Affine data→pixel mapping for one plot area."""
+
+    def __init__(self, lo: float, hi: float, p0: float, p1: float):
+        if hi <= lo:
+            hi = lo + 1.0
+        self.lo, self.hi, self.p0, self.p1 = lo, hi, p0, p1
+
+    def __call__(self, v: float) -> float:
+        frac = (v - self.lo) / (self.hi - self.lo)
+        return self.p0 + frac * (self.p1 - self.p0)
+
+
+def _frame(
+    width: int,
+    height: int,
+    xs: _Scale,
+    ys: _Scale,
+    x_label: str,
+    y_label: str,
+    y_ticks: Sequence[float],
+    x_ticks: Sequence[float],
+) -> List[str]:
+    """Grid, baseline, and tick labels shared by both chart forms."""
+    parts = []
+    for tick in y_ticks:
+        y = ys(tick)
+        parts.append(
+            f'<line class="grid" x1="{_PAD_L}" y1="{y:.1f}" '
+            f'x2="{width - _PAD_R}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{_PAD_L - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    base = height - _PAD_B
+    parts.append(
+        f'<line class="axis" x1="{_PAD_L}" y1="{base}" '
+        f'x2="{width - _PAD_R}" y2="{base}"/>'
+    )
+    for tick in x_ticks:
+        x = xs(tick)
+        parts.append(
+            f'<text class="tick" x="{x:.1f}" y="{base + 14}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text class="label" x="{(width + _PAD_L - _PAD_R) / 2:.0f}" '
+            f'y="{height - 4}" text-anchor="middle">{_esc(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text class="label" x="12" y="{_PAD_T + 2}" '
+            f'transform="rotate(-90 12 {_PAD_T + 2})" '
+            f'text-anchor="end">{_esc(y_label)}</text>'
+        )
+    return parts
+
+
+def _open_svg(width: int, height: int, desc: str) -> str:
+    return (
+        f'<svg class="chart" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="{_esc(desc)}">'
+    )
+
+
+def line_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 640,
+    height: int = 200,
+    x_label: str = "",
+    y_label: str = "",
+    threshold: Optional[float] = None,
+    threshold_label: str = "",
+    markers: Iterable[Tuple[float, float]] = (),
+    marker_label: str = "",
+    y_floor: Optional[float] = None,
+    y_ceil: Optional[float] = None,
+    desc: str = "line chart",
+) -> str:
+    """One series as a thin polyline, optional dashed threshold rule.
+
+    ``markers`` draws labeled dots (e.g. correlogram peaks); a single
+    point falls back to one visible dot so short runs still render.
+    """
+    points = [(float(x), float(y)) for x, y in points]
+    if not points:
+        return '<p class="empty">no data captured</p>'
+    xs_ = [p[0] for p in points]
+    ys_ = [p[1] for p in points]
+    lo = min(ys_) if y_floor is None else y_floor
+    hi = max(ys_) if y_ceil is None else y_ceil
+    if threshold is not None:
+        lo, hi = min(lo, threshold), max(hi, threshold)
+    if hi - lo < 1e-12:
+        lo, hi = lo - 0.5, hi + 0.5
+    xscale = _Scale(min(xs_), max(xs_), _PAD_L, width - _PAD_R)
+    yscale = _Scale(hi, lo, _PAD_T, height - _PAD_B)  # inverted: y grows down
+    parts = [_open_svg(width, height, desc)]
+    parts += _frame(
+        width, height, xscale, yscale, x_label, y_label,
+        y_ticks=(lo, (lo + hi) / 2, hi),
+        x_ticks=(min(xs_), max(xs_)) if len(points) > 1 else (xs_[0],),
+    )
+    if threshold is not None:
+        ty = yscale(threshold)
+        parts.append(
+            f'<line class="thr" x1="{_PAD_L}" y1="{ty:.1f}" '
+            f'x2="{width - _PAD_R}" y2="{ty:.1f}"/>'
+        )
+        if threshold_label:
+            parts.append(
+                f'<text class="tick thr-label" x="{width - _PAD_R}" '
+                f'y="{ty - 4:.1f}" text-anchor="end">'
+                f"{_esc(threshold_label)}</text>"
+            )
+    if len(points) > 1:
+        coords = " ".join(
+            f"{xscale(x):.1f},{yscale(y):.1f}" for x, y in points
+        )
+        parts.append(f'<polyline class="series" points="{coords}"/>')
+    else:
+        x, y = points[0]
+        parts.append(
+            f'<circle class="dot" cx="{xscale(x):.1f}" '
+            f'cy="{yscale(y):.1f}" r="4">'
+            f"<title>{_fmt(x)}: {_fmt(y)}</title></circle>"
+        )
+    for mx, my in markers:
+        parts.append(
+            f'<circle class="dot marker" cx="{xscale(mx):.1f}" '
+            f'cy="{yscale(my):.1f}" r="4">'
+            f"<title>{_esc(marker_label)} {_fmt(mx)}: {_fmt(my)}</title>"
+            f"</circle>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def bar_chart(
+    values: Sequence[float],
+    width: int = 640,
+    height: int = 200,
+    x_label: str = "",
+    y_label: str = "",
+    highlight_from: Optional[int] = None,
+    highlight_label: str = "",
+    log_scale: bool = True,
+    desc: str = "bar chart",
+) -> str:
+    """Per-bin bars; bins from ``highlight_from`` up use the accent role.
+
+    Density histograms are dominated by the idle bin, so the default
+    y-scale is log10(1+count) — labeled as such — to keep burst bins
+    visible without hiding the imbalance.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return '<p class="empty">no data captured</p>'
+    display = (
+        [math.log10(1.0 + v) for v in values] if log_scale else values
+    )
+    top = max(display) or 1.0
+    xscale = _Scale(0, len(values), _PAD_L, width - _PAD_R)
+    yscale = _Scale(top, 0.0, _PAD_T, height - _PAD_B)
+    parts = [_open_svg(width, height, desc)]
+    raw_top = max(values)
+    parts += _frame(
+        width, height, xscale, yscale,
+        x_label, y_label + (" (log scale)" if log_scale else ""),
+        y_ticks=(0.0, top),
+        x_ticks=(0, len(values) - 1),
+    )
+    # Re-label the top tick with the raw count (the log value is
+    # meaningless to a reader).
+    base = height - _PAD_B
+    slot = (width - _PAD_L - _PAD_R) / len(values)
+    bar_w = max(1.0, slot - 2.0)  # 2px surface gap between fills
+    peak_i = display.index(max(display))
+    for i, (raw, disp) in enumerate(zip(values, display)):
+        if raw <= 0:
+            continue
+        x = xscale(i) + (slot - bar_w) / 2
+        y = yscale(disp)
+        hot = highlight_from is not None and i >= highlight_from
+        cls = "bar hot" if hot else "bar"
+        parts.append(
+            f'<rect class="{cls}" x="{x:.1f}" y="{y:.1f}" '
+            f'width="{bar_w:.1f}" height="{max(1.0, base - y):.1f}" '
+            f'rx="1"><title>bin {i}: {_fmt(raw)}</title></rect>'
+        )
+    # Direct labels: the tallest bar's raw count, and the highlight edge.
+    parts.append(
+        f'<text class="tick" x="{xscale(peak_i) + slot / 2:.1f}" '
+        f'y="{yscale(display[peak_i]) - 4:.1f}" text-anchor="middle">'
+        f"{_fmt(values[peak_i])}</text>"
+    )
+    if highlight_from is not None and 0 <= highlight_from < len(values):
+        hx = xscale(highlight_from)
+        parts.append(
+            f'<line class="thr" x1="{hx:.1f}" y1="{_PAD_T}" '
+            f'x2="{hx:.1f}" y2="{base}"/>'
+        )
+        if highlight_label:
+            parts.append(
+                f'<text class="tick thr-label" x="{hx + 4:.1f}" '
+                f'y="{_PAD_T + 10}">{_esc(highlight_label)}</text>'
+            )
+    _ = raw_top
+    parts.append("</svg>")
+    return "".join(parts)

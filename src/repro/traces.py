@@ -455,6 +455,8 @@ def analyze_traces(
     sinks: Iterable[VerdictSink] = (),
     track_detection_latency: bool = False,
     injectors: Iterable[object] = (),
+    capture_evidence: bool = False,
+    evidence_capacity: Optional[int] = None,
 ) -> DetectionReport:
     """Run the full CC-Hunter analysis offline over a trace archive.
 
@@ -490,7 +492,11 @@ def analyze_traces(
         min_train_events=min_train_events,
         sinks=sinks,
         track_detection_latency=track_detection_latency,
+        capture_evidence=capture_evidence,
+        evidence_capacity=evidence_capacity,
     )
     feed.subscribe(session)
     source.replay()
-    return session.close() if session.sinks else session.current_verdicts()
+    if session.sinks:
+        return session.close()
+    return session.current_verdicts(with_evidence=capture_evidence)

@@ -1,0 +1,205 @@
+"""Tests for evidence bundles: rings, round-trip, pipeline capture, and
+the verdicts-identical-with-capture-on/off invariant."""
+
+import json
+
+import pytest
+
+from repro.analysis import figures as fig
+from repro.errors import EXIT_CORRUPT_ARCHIVE, exit_code_for
+from repro.obs.evidence import (
+    EVIDENCE_FORMAT,
+    EvidenceBundle,
+    EvidenceError,
+    evidence_document,
+    load_evidence,
+    write_evidence,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util.bitstream import Message
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestBundleRings:
+    def test_trajectory_ring_drops_oldest(self, registry):
+        bundle = EvidenceBundle("u", "burst", capacity=2, metrics=registry)
+        for quantum in range(4):
+            bundle.record_lr(quantum, quantum / 10)
+        assert bundle.to_dict()["lr_trajectory"] == [[2, 0.2], [3, 0.3]]
+        assert bundle.dropped == {"lr_trajectory": 2}
+
+    def test_drop_metric_counts(self, registry):
+        bundle = EvidenceBundle("u", "burst", capacity=1, metrics=registry)
+        bundle.record_lr(0, 0.1)
+        bundle.record_lr(1, 0.2)
+        assert (
+            registry.counter(
+                "cchunter_evidence_dropped_total", labels={"unit": "u"}
+            ).value
+            == 1.0
+        )
+
+    def test_health_and_verdict_dedup_consecutive(self, registry):
+        bundle = EvidenceBundle("u", "burst", metrics=registry)
+        bundle.record_health(0, "ok")
+        bundle.record_health(1, "ok")
+        bundle.record_health(2, "degraded")
+        bundle.record_verdict(0, False)
+        bundle.record_verdict(1, False)
+        bundle.record_verdict(2, True)
+        d = bundle.to_dict()
+        assert d["health_transitions"] == [[0, "ok"], [2, "degraded"]]
+        assert d["verdict_timeline"] == [[0, False], [2, True]]
+
+    def test_invalid_capacity_rejected(self, registry):
+        with pytest.raises(EvidenceError):
+            EvidenceBundle("u", "burst", capacity=0, metrics=registry)
+
+
+class TestRoundTrip:
+    def _populated(self, registry):
+        bundle = EvidenceBundle("membus", "burst", metrics=registry)
+        bundle.record_lr(0, 0.2)
+        bundle.record_lr(1, 0.8)
+        bundle.record_fault(1, "drop:membus")
+        bundle.record_health(1, "degraded")
+        bundle.record_verdict(1, True)
+        return bundle
+
+    def test_from_dict_to_dict_identity(self, registry):
+        bundle = self._populated(registry)
+        d = bundle.to_dict()
+        clone = EvidenceBundle.from_dict(
+            json.loads(json.dumps(d)), metrics=registry
+        )
+        assert clone.to_dict() == d
+
+    def test_missing_field_raises(self, registry):
+        with pytest.raises(EvidenceError):
+            EvidenceBundle.from_dict({"unit": "u"}, metrics=registry)
+
+    def test_document_write_load(self, registry, tmp_path):
+        bundle = self._populated(registry)
+        path = tmp_path / "ev.json"
+        doc = write_evidence(
+            str(path), {"membus": bundle}, meta={"seed": 1}
+        )
+        loaded = load_evidence(str(path))
+        assert loaded == doc
+        assert loaded["format"] == EVIDENCE_FORMAT
+        assert loaded["meta"] == {"seed": 1}
+        assert loaded["units"]["membus"] == bundle.to_dict()
+
+    def test_document_accepts_serialized_bundles(self, registry):
+        bundle = self._populated(registry)
+        doc = evidence_document({"membus": bundle.to_dict()})
+        assert doc["units"]["membus"] == bundle.to_dict()
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other/v1", "units": {}}')
+        with pytest.raises(EvidenceError):
+            load_evidence(str(path))
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(EvidenceError):
+            load_evidence(str(path))
+
+    def test_evidence_error_maps_to_corrupt_exit_code(self):
+        assert exit_code_for(EvidenceError("x")) == EXIT_CORRUPT_ARCHIVE
+
+
+class TestPipelineCapture:
+    def _run(self, channel, capture, **kwargs):
+        return fig.run_channel_session(
+            channel,
+            Message.random(8, 3),
+            bandwidth_bps=1000.0,
+            seed=3,
+            noise=False,
+            capture_evidence=capture,
+            **kwargs,
+        )
+
+    def test_burst_capture_populates_bundle(self):
+        run = self._run("membus", True)
+        run.hunter.report()
+        (bundle,) = run.hunter.evidence().values()
+        d = bundle.to_dict()
+        assert d["method"] == "burst"
+        assert d["lr_trajectory"], "LR trajectory must be recorded"
+        assert d["cluster_snapshot"] is not None
+        # The LR starts above threshold here, so the rise crossing at
+        # quantum 0 freezes a histogram snapshot.
+        assert d["histogram_snapshots"]
+        assert d["histogram_snapshots"][0]["reason"].startswith(
+            "lr-threshold-"
+        )
+
+    def test_oscillation_capture_populates_bundle(self):
+        run = self._run("cache", True)
+        run.hunter.report()
+        (bundle,) = run.hunter.evidence().values()
+        d = bundle.to_dict()
+        assert d["method"] == "oscillation"
+        assert d["peak_trajectory"]
+        assert d["acf_windows"]
+        assert d["acf_snapshot"] is not None
+        assert len(d["acf_snapshot"]["acf"]) > 1
+
+    def test_capture_off_keeps_bundles_empty(self):
+        run = self._run("membus", False)
+        assert run.hunter.evidence() == {}
+
+    @pytest.mark.parametrize("channel", ["membus", "cache"])
+    def test_verdicts_bit_identical_on_off(self, channel):
+        rep_off = self._run(channel, False).hunter.report()
+        rep_on = self._run(channel, True).hunter.report()
+        on_dict = rep_on.to_dict()
+        for verdict in on_dict["verdicts"]:
+            verdict.pop("evidence", None)
+        assert on_dict == rep_off.to_dict()
+
+    def test_captured_bundle_round_trips_through_json(self):
+        run = self._run("membus", True)
+        run.hunter.report()
+        (bundle,) = run.hunter.evidence().values()
+        d = bundle.to_dict()
+        clone = EvidenceBundle.from_dict(
+            json.loads(json.dumps(d)), metrics=MetricsRegistry()
+        )
+        assert clone.to_dict() == d
+
+
+class TestVerdictAttachment:
+    def test_session_attaches_evidence_to_verdicts(self):
+        run = fig.run_channel_session(
+            "membus",
+            Message.random(8, 3),
+            bandwidth_bps=1000.0,
+            seed=3,
+            noise=False,
+            capture_evidence=True,
+        )
+        report = run.hunter.session.current_verdicts(with_evidence=True)
+        (verdict,) = report.verdicts
+        (bundle,) = run.hunter.evidence().values()
+        assert verdict.evidence == bundle.to_dict()
+        assert "evidence" in verdict.to_dict()
+
+    def test_plain_verdict_dict_has_no_evidence_key(self):
+        run = fig.run_channel_session(
+            "membus",
+            Message.random(8, 3),
+            bandwidth_bps=1000.0,
+            seed=3,
+            noise=False,
+        )
+        (verdict,) = run.hunter.report().verdicts
+        assert "evidence" not in verdict.to_dict()

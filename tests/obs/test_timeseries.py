@@ -1,0 +1,162 @@
+"""Tests for the metrics time-series sampler and JSONL series helpers."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    TIMESERIES_FORMAT,
+    MetricsSampler,
+    TimeseriesError,
+    flatten_snapshot,
+    load_jsonl,
+    merge_records,
+    series_keys,
+    series_values,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestFlatten:
+    def test_counter_gauge_series_keys(self, registry):
+        registry.counter("a_total", "help").inc(3)
+        registry.gauge("g", "help", labels={"unit": "membus"}).set(2.5)
+        flat = flatten_snapshot(registry.to_dict())
+        assert flat["a_total"] == 3.0
+        assert flat['g{unit="membus"}'] == 2.5
+
+    def test_histogram_flattens_to_sum_and_count(self, registry):
+        h = registry.histogram("lat_seconds", "help", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        flat = flatten_snapshot(registry.to_dict())
+        assert flat["lat_seconds_count"] == 2.0
+        assert flat["lat_seconds_sum"] == pytest.approx(0.55)
+
+    def test_label_keys_sorted_deterministically(self, registry):
+        registry.counter("c", "h", labels={"b": "2", "a": "1"}).inc()
+        (key,) = flatten_snapshot(registry.to_dict())
+        assert key == 'c{a="1",b="2"}'
+
+
+class TestMetricsSampler:
+    def test_every_quanta_cadence(self, registry):
+        gauge = registry.gauge("v", "h")
+        sampler = MetricsSampler(registry=registry, every_quanta=2)
+        for quantum in range(6):
+            gauge.set(quantum)
+            sampler.maybe_sample(quantum=quantum)
+        quanta = [r["quantum"] for r in sampler.records()]
+        assert quanta == [0, 2, 4]
+        assert [r["values"]["v"] for r in sampler.records()] == [0, 2, 4]
+
+    def test_wall_clock_cadence(self, registry):
+        clock = FakeClock()
+        sampler = MetricsSampler(
+            registry=registry, every_seconds=1.0, clock=clock
+        )
+        for step in range(5):
+            clock.t = step * 0.6  # 0.0 0.6 1.2 1.8 2.4
+            sampler.maybe_sample()
+        assert [r["t_s"] for r in sampler.records()] == [0.0, 1.2, 2.4]
+
+    def test_ring_retention_counts_drops(self, registry):
+        sampler = MetricsSampler(registry=registry, capacity=3)
+        for i in range(5):
+            sampler.sample(quantum=i)
+        assert len(sampler) == 3
+        assert [r["quantum"] for r in sampler.records()] == [2, 3, 4]
+        assert sampler.samples_taken == 5
+        assert sampler.samples_dropped == 2
+
+    def test_label_and_seq_monotonic(self, registry):
+        sampler = MetricsSampler(registry=registry)
+        sampler.sample(quantum=0)
+        sampler.sample(label="close")
+        first, second = sampler.records()
+        assert "label" not in first
+        assert second["label"] == "close"
+        assert second["seq"] == first["seq"] + 1
+
+    def test_self_metrics(self, registry):
+        sampler = MetricsSampler(registry=registry, capacity=1, source="t")
+        sampler.sample()
+        sampler.sample()
+        flat = flatten_snapshot(registry.to_dict())
+        assert flat['cchunter_sampler_samples_total{source="t"}'] == 2.0
+        assert flat['cchunter_sampler_dropped_total{source="t"}'] == 1.0
+
+    def test_invalid_capacity_rejected(self, registry):
+        with pytest.raises(TimeseriesError):
+            MetricsSampler(registry=registry, capacity=0)
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_load(self, registry, tmp_path):
+        registry.counter("c_total", "h").inc()
+        sampler = MetricsSampler(registry=registry, source="main")
+        sampler.sample(quantum=0)
+        sampler.sample(quantum=1)
+        path = tmp_path / "ts.jsonl"
+        sampler.write_jsonl(str(path))
+        header, records = load_jsonl(str(path))
+        assert header["format"] == TIMESERIES_FORMAT
+        assert header["source"] == "main"
+        assert records == sampler.records()
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "nope"}) + "\n")
+        with pytest.raises(TimeseriesError):
+            load_jsonl(str(path))
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TimeseriesError):
+            load_jsonl(str(path))
+
+
+class TestSeriesHelpers:
+    def _sampled(self, registry):
+        gauge = registry.gauge("v", "h")
+        sampler = MetricsSampler(registry=registry)
+        for quantum in range(3):
+            gauge.set(quantum * 10)
+            sampler.sample(quantum=quantum)
+        return sampler.records()
+
+    def test_series_values_by_quantum(self, registry):
+        records = self._sampled(registry)
+        assert series_values(records, "v") == [(0, 0.0), (1, 10.0), (2, 20.0)]
+
+    def test_series_keys_union(self, registry):
+        records = self._sampled(registry)
+        registry.counter("late_total", "h").inc()
+        sampler = MetricsSampler(registry=registry)
+        sampler.sample(quantum=3)
+        keys = series_keys(records + sampler.records())
+        assert "v" in keys and "late_total" in keys
+
+    def test_merge_records_orders_by_quantum(self, registry):
+        a = MetricsSampler(registry=registry, source="a")
+        b = MetricsSampler(registry=registry, source="b")
+        a.sample(quantum=0)
+        b.sample(quantum=1)
+        a.sample(quantum=2)
+        merged = merge_records([b.records(), a.records()])
+        assert [r["quantum"] for r in merged] == [0, 1, 2]
+        assert [r["source"] for r in merged] == ["a", "b", "a"]

@@ -103,3 +103,55 @@ class TestSpanRecorder:
         recorder.record("a", 0.0, 0.0, {})
         recorder.clear()
         assert recorder.spans() == []
+
+
+class TestRingWraparound:
+    """The ring under sustained pressure: multiple full wraps."""
+
+    def test_multiple_wraps_keep_exactly_newest_window(self):
+        recorder = SpanRecorder(capacity=4)
+        for i in range(11):  # wraps the 4-slot ring twice and change
+            recorder.record(f"s{i}", float(i), 0.1, {"i": i})
+        names = [s.name for s in recorder.spans()]
+        assert names == ["s7", "s8", "s9", "s10"]
+        assert recorder.spans_recorded == 11
+        assert recorder.spans_dropped == 7
+        # Order inside the window stays chronological after wrapping.
+        assert [s.attrs["i"] for s in recorder.spans()] == [7, 8, 9, 10]
+
+    def test_exact_capacity_boundary_drops_nothing(self):
+        recorder = SpanRecorder(capacity=3)
+        for i in range(3):
+            recorder.record(f"s{i}", float(i), 0.0, {})
+        assert recorder.spans_dropped == 0
+        recorder.record("s3", 3.0, 0.0, {})
+        assert recorder.spans_dropped == 1
+        assert [s.name for s in recorder.spans()] == ["s1", "s2", "s3"]
+
+    def test_chrome_trace_export_of_wrapped_buffer(self, tmp_path):
+        recorder = SpanRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(
+                f"span{i}", recorder.origin + i, 0.25, {"i": i}
+            )
+        path = tmp_path / "wrapped.json"
+        recorder.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        # Only the retained window is exported — no ghost events from
+        # evicted spans, and timestamps stay monotonic.
+        assert [e["name"] for e in events] == ["span3", "span4"]
+        assert [e["args"]["i"] for e in events] == [3, 4]
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        assert all(e["dur"] == pytest.approx(250000.0) for e in events)
+
+    def test_wrapped_to_dicts_matches_spans(self):
+        recorder = SpanRecorder(capacity=2)
+        for i in range(4):
+            recorder.record(f"s{i}", recorder.origin + i, 0.1, {})
+        dicts = recorder.to_dicts()
+        assert [d["name"] for d in dicts] == ["s2", "s3"]
+        assert [d["start_s"] for d in dicts] == [
+            pytest.approx(2.0), pytest.approx(3.0),
+        ]

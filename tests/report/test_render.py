@@ -1,0 +1,204 @@
+"""Tests for the forensic report renderer (SVG charts, HTML, Markdown)."""
+
+import pytest
+
+from repro.obs.evidence import EvidenceBundle, evidence_document
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import MetricsSampler
+from repro.report import (
+    bar_chart,
+    forensic_report_html,
+    forensic_report_markdown,
+    line_chart,
+    render_report,
+)
+
+
+def _burst_doc(registry, detected=True):
+    bundle = EvidenceBundle("membus", "burst", metrics=registry)
+    bundle.record_lr(0, 0.2)
+    bundle.record_lr(1, 0.9)
+    bundle._push(
+        "histogram_snapshots",
+        {
+            "quantum": 1,
+            "reason": "lr-threshold-rise",
+            "likelihood_ratio": 0.9,
+            "threshold_bin": 3,
+            "hist": [40, 0, 0, 5, 2],
+        },
+    )
+    bundle.cluster_snapshot = {
+        "quantum": 1,
+        "labels": [0, 1, 0],
+        "burst_clusters": [1],
+        "burst_window_indices": [1],
+        "recurrent": True,
+        "aggregate_hist": [40, 0, 0, 5, 2],
+    }
+    bundle.record_fault(1, "drop:membus")
+    bundle.record_health(1, "degraded")
+    bundle.record_verdict(1, detected)
+    report = {
+        "any_detected": detected,
+        "health": "degraded",
+        "verdicts": [
+            {
+                "unit": "membus",
+                "method": "burst",
+                "detected": detected,
+                "quanta_analyzed": 2,
+                "max_likelihood_ratio": 0.9,
+                "recurrent": True,
+                "burst_window_fraction": 0.5,
+                "oscillating_windows": None,
+                "max_peak": None,
+                "dominant_period": None,
+                "notes": ["evidence degraded"],
+                "health": "degraded",
+            }
+        ],
+    }
+    return evidence_document(
+        {"membus": bundle},
+        meta={"channel": "membus", "seed": 7, "report": report},
+    )
+
+
+def _oscillation_doc(registry):
+    bundle = EvidenceBundle("cache", "oscillation", metrics=registry)
+    bundle.record_peak(0, 0.3)
+    bundle.record_peak(1, 0.92)
+    bundle._push(
+        "acf_windows",
+        {
+            "quantum": 1,
+            "peak_lags": [4, 8],
+            "peak_heights": [0.92, 0.88],
+            "dominant_period": 4.0,
+            "min_dip": -0.4,
+            "coverage": 1.0,
+            "significant": True,
+        },
+    )
+    bundle.acf_snapshot = {
+        "quantum": 1,
+        "acf": [1.0, -0.3, 0.1, -0.2, 0.92, 0.0, 0.1, 0.0, 0.88],
+        "peak_lags": [4, 8],
+        "significant": True,
+    }
+    bundle.record_verdict(1, True)
+    return evidence_document({"cache": bundle}, meta={})
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSvgPrimitives:
+    def test_line_chart_structure(self):
+        svg = line_chart(
+            [(0, 0.1), (1, 0.9)], threshold=0.5, threshold_label="thr"
+        )
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
+        assert 'class="thr"' in svg
+        assert "thr" in svg
+
+    def test_line_chart_empty_and_single_point(self):
+        assert "no data" in line_chart([])
+        svg = line_chart([(0, 1.0)])
+        assert "circle" in svg  # single sample degrades to a dot
+
+    def test_line_chart_markers(self):
+        svg = line_chart(
+            [(0, 0.0), (5, 1.0)], markers=[(5, 1.0)], marker_label="peak"
+        )
+        assert 'class="dot marker"' in svg
+
+    def test_bar_chart_highlight_and_tooltips(self):
+        svg = bar_chart([100, 0, 3, 7], highlight_from=2)
+        assert svg.count('class="bar hot"') == 2  # bins 2 and 3
+        assert "<title>bin 0: 100</title>" in svg
+        assert "log scale" in svg
+
+    def test_bar_chart_empty(self):
+        assert "no data" in bar_chart([])
+
+    def test_escaping(self):
+        svg = line_chart([(0, 1.0), (1, 2.0)], x_label="<q&a>")
+        assert "<q&a>" not in svg
+        assert "&lt;q&amp;a&gt;" in svg
+
+
+class TestHtmlReport:
+    def test_self_contained_with_figures(self, registry):
+        html = forensic_report_html(_burst_doc(registry))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "http://" not in html and "https://" not in html
+        assert "Likelihood-ratio trajectory" in html
+        assert "Density histogram" in html
+        assert "CHANNEL LIKELY" in html
+        assert "DEGRADED" in html  # health label is text, not just color
+        assert "drop:membus" in html
+        assert "prefers-color-scheme: dark" in html
+        assert "<details>" in html  # raw data stays reachable
+
+    def test_oscillation_figures(self, registry):
+        html = forensic_report_html(_oscillation_doc(registry))
+        assert "Autocorrelogram" in html
+        assert "Correlogram peak trajectory" in html
+        assert 'class="dot marker"' in html  # peak markers on the ACF
+
+    def test_clear_unit_badge(self, registry):
+        html = forensic_report_html(_burst_doc(registry, detected=False))
+        assert "clear" in html
+        assert "CHANNEL LIKELY" not in html
+
+    def test_timeseries_section(self, registry):
+        gauge = registry.gauge("v", "h")
+        sampler = MetricsSampler(registry=registry)
+        for quantum in range(3):
+            gauge.set(quantum)
+            sampler.sample(quantum=quantum)
+        html = forensic_report_html(
+            _burst_doc(registry), timeseries=sampler.records()
+        )
+        assert "Metrics time series" in html
+
+    def test_empty_document(self):
+        html = forensic_report_html({"format": "x", "units": {}})
+        assert "no unit bundles" in html
+
+
+class TestMarkdownReport:
+    def test_structure(self, registry):
+        md = forensic_report_markdown(_burst_doc(registry))
+        assert md.startswith("# CC-Hunter forensic report")
+        assert "## membus (burst) — CHANNEL LIKELY" in md
+        assert "| quantum | LR |" in md
+        assert "lr-threshold-rise" in md
+        assert "drop:membus" in md
+
+    def test_oscillation_tables(self, registry):
+        md = forensic_report_markdown(_oscillation_doc(registry))
+        assert "Correlogram peak trajectory" in md
+        assert "Autocorrelogram peaks" in md
+        assert "| 4 | 0.9200 |" in md
+
+
+class TestRenderDispatch:
+    def test_dispatch(self, registry):
+        doc = _burst_doc(registry)
+        assert render_report(doc, "html").startswith("<!DOCTYPE")
+        assert render_report(doc, "md").startswith("#")
+        assert render_report(doc, "markdown").startswith("#")
+        with pytest.raises(ValueError):
+            render_report(doc, "pdf")
+
+    def test_title_propagates(self, registry):
+        doc = _burst_doc(registry)
+        assert "Custom Title" in render_report(doc, "html", title="Custom Title")
+        assert "Custom Title" in render_report(doc, "md", title="Custom Title")

@@ -319,3 +319,133 @@ class TestObservability:
         for line in lines:
             record = json.loads(line)
             assert record["logger"].startswith("repro.")
+
+
+class TestForensics:
+    DETECT = [
+        "detect", "--channel", "membus", "--bandwidth", "1000",
+        "--bits", "8", "--no-noise",
+    ]
+
+    def _record(self, tmp_path):
+        archive = str(tmp_path / "trace.npz")
+        assert main([
+            "record", archive, "--channel", "membus",
+            "--bandwidth", "100", "--bits", "30", "--seed", "2",
+        ]) == 0
+        return archive
+
+    def test_detect_evidence_out(self, tmp_path, capsys):
+        from repro.obs.evidence import EVIDENCE_FORMAT, load_evidence
+
+        path = str(tmp_path / "ev.json")
+        assert main(self.DETECT + ["--evidence-out", path]) == 0
+        assert "evidence bundles" in capsys.readouterr().err
+        doc = load_evidence(path)
+        assert doc["format"] == EVIDENCE_FORMAT
+        bundle = doc["units"]["membus"]
+        assert bundle["method"] == "burst"
+        assert bundle["lr_trajectory"]
+        meta = doc["meta"]
+        assert meta["channel"] == "membus"
+        assert meta["lr_threshold"] == 0.5
+        verdicts = meta["report"]["verdicts"]
+        assert verdicts and "evidence" not in verdicts[0]
+
+    def test_detect_report_out_html(self, tmp_path, capsys):
+        path = str(tmp_path / "report.html")
+        assert main(self.DETECT + ["--report-out", path]) == 0
+        assert "forensic report (html)" in capsys.readouterr().err
+        html = open(path).read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "membus" in html
+
+    def test_detect_timeseries_out(self, tmp_path, capsys):
+        from repro.obs.timeseries import load_jsonl, series_keys
+
+        path = str(tmp_path / "ts.jsonl")
+        assert main(self.DETECT + ["--timeseries-out", path]) == 0
+        assert "metrics time series" in capsys.readouterr().err
+        header, records = load_jsonl(path)
+        assert header["source"] == "detect"
+        assert records
+        assert records[-1]["label"] == "close"
+        assert "cchunter_sim_quanta_total" in series_keys(records)
+
+    def test_detect_watch_plain_stream(self, capsys):
+        assert main(self.DETECT + ["--watch"]) == 0
+        err = capsys.readouterr().err
+        assert "CC-Hunter watch" in err
+        assert "session closed" in err
+
+    def test_report_subcommand_stdout(self, tmp_path, capsys):
+        ev = str(tmp_path / "ev.json")
+        assert main(self.DETECT + ["--evidence-out", ev]) == 0
+        capsys.readouterr()
+        assert main(["report", ev]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<!DOCTYPE html>")
+        assert "<svg" in out
+
+    def test_report_subcommand_markdown_out(self, tmp_path, capsys):
+        ev = str(tmp_path / "ev.json")
+        ts = str(tmp_path / "ts.jsonl")
+        assert main(
+            self.DETECT + ["--evidence-out", ev, "--timeseries-out", ts]
+        ) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "report.md")
+        assert main(["report", ev, "--timeseries", ts, "--out", out]) == 0
+        assert "forensic report (md)" in capsys.readouterr().err
+        text = open(out).read()
+        assert text.startswith("# CC-Hunter forensic report")
+        assert "## membus" in text
+
+    def test_report_rejects_corrupt_evidence(self, tmp_path, capsys):
+        from repro.errors import EXIT_CORRUPT_ARCHIVE
+
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            handle.write('{"format": "other"}')
+        assert main(["report", path]) == EXIT_CORRUPT_ARCHIVE
+        assert "error" in capsys.readouterr().err
+
+    def test_analyze_forensic_outputs(self, tmp_path, capsys):
+        from repro.obs.evidence import load_evidence
+
+        archive = self._record(tmp_path)
+        ev = str(tmp_path / "ev.json")
+        report_path = str(tmp_path / "report.html")
+        assert main([
+            "analyze", archive, "--evidence-out", ev,
+            "--report-out", report_path,
+        ]) == 3  # the recorded channel is detected
+        capsys.readouterr()
+        doc = load_evidence(ev)
+        assert set(doc["units"]) == {"membus", "cache"}
+        assert doc["meta"]["command"] == "analyze"
+        html = open(report_path).read()
+        assert "<svg" in html and "cache" in html
+
+    def test_figure_metrics_out(self, tmp_path, capsys):
+        from repro.obs.metrics import load_snapshot, metric_names
+
+        path = str(tmp_path / "m.json")
+        assert main(["figure", "6", "--metrics-out", path]) == 0
+        assert "metrics snapshot written" in capsys.readouterr().err
+        names = set(metric_names(load_snapshot(path)))
+        assert "cchunter_sim_quanta_total" in names
+
+    def test_false_alarms_metrics_out(self, tmp_path, capsys):
+        from repro.obs.metrics import load_snapshot
+
+        path = str(tmp_path / "m.json")
+        code = main([
+            "false-alarms", "--quanta", "2", "--metrics-out", path,
+        ])
+        assert code in (0, 1)
+        assert "metrics snapshot written" in capsys.readouterr().err
+        snapshot = load_snapshot(path)
+        series = snapshot["metrics"]["cchunter_exec_trials_total"]["series"]
+        assert sum(s["value"] for s in series) > 0
