@@ -11,13 +11,24 @@ identical audited workload through three instrumentation modes:
 - ``evidence``  — counters plus per-unit forensic evidence capture
   (``capture_evidence=True``, docs/FORENSICS.md).
 
-Trials are interleaved (one trial per mode, repeated) so drift in the
-host machine hits every mode equally, and medians damp outliers. The
-default mode must stay within 10% of fully-off — that bound is the
+Each round runs one trial per mode with the mode order *rotated* between
+rounds, after one warmup trial per mode. A fixed order had put ``off``
+first in every round, so it alone absorbed the allocator/branch-predictor
+warmup cost of each round and benchmarked *slower* than the instrumented
+modes — an artifact, not a property of the code. Rotation plus per-mode
+warmup spreads any residual drift evenly, and medians damp outliers.
+
+The default mode must stay within 10% of fully-off — that bound is the
 contract docs/OBSERVABILITY.md advertises — evidence capture within 15%
 of counters-only (the docs/FORENSICS.md bound) *and* bit-identical in
 its verdicts, and the measured numbers are committed to
-``BENCH_obs.json`` at the repo root.
+``BENCH_obs.json`` at the repo root. The columnar hot path
+(docs/PERFORMANCE.md) also carries an absolute throughput floor,
+:data:`FLOOR_QUANTA_PER_SECOND`: the fully-off mode must clear it on any
+machine, so a regression that undoes the batching fails loudly in CI.
+``REPRO_BENCH_QUICK=1`` shrinks the trial count for the CI smoke run
+(the floor still applies; the committed JSON is only rewritten by a full
+run).
 """
 
 import json
@@ -34,8 +45,16 @@ from repro.obs.tracing import disable_tracing, enable_tracing
 from repro.sim.machine import Machine
 from repro.sim.process import BusLockBurst, Process
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 N_QUANTA = 30
-N_TRIALS = 5
+N_TRIALS = 2 if QUICK else 5
+
+#: Absolute throughput floor for the uninstrumented audited session,
+#: in quanta per second. The columnar hot path measures ~1600 q/s on a
+#: development machine; the floor is set well below that to leave
+#: headroom for slow shared CI runners while still catching any
+#: regression back toward the ~156 q/s pre-columnar baseline.
+FLOOR_QUANTA_PER_SECOND = 400.0
 
 _OUT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -90,14 +109,21 @@ def verdicts_identical_with_capture():
 def measure_overhead():
     modes = ("off", "counters", "spans", "evidence")
     timings = {mode: [] for mode in modes}
-    _trial("off")  # warm caches/JIT-free but import- and allocator-warm
-    for _ in range(N_TRIALS):
-        for mode in modes:  # interleaved: drift hits every mode equally
+    for mode in modes:  # per-mode warmup: no mode pays first-run cost
+        _trial(mode)
+    for round_idx in range(N_TRIALS):
+        # Rotate the order each round so no single mode always runs
+        # first (the old fixed order made "off" eat every round's
+        # warmup drift and benchmark slower than the instrumented
+        # modes).
+        order = modes[round_idx % len(modes):] + modes[: round_idx % len(modes)]
+        for mode in order:
             timings[mode].append(_trial(mode))
     medians = {mode: statistics.median(timings[mode]) for mode in modes}
     return {
         "n_quanta": N_QUANTA,
         "n_trials": N_TRIALS,
+        "floor_quanta_per_second": FLOOR_QUANTA_PER_SECOND,
         "median_seconds": medians,
         "quanta_per_second": {
             mode: N_QUANTA / sec for mode, sec in medians.items()
@@ -115,9 +141,10 @@ def measure_overhead():
 
 def test_obs_overhead(benchmark):
     results = benchmark.pedantic(measure_overhead, rounds=1, iterations=1)
-    with open(_OUT_PATH, "w") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    if not QUICK:  # quick CI smoke must not rewrite the committed JSON
+        with open(_OUT_PATH, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     lines = [
         f"{mode:<9} {results['quanta_per_second'][mode]:8.1f} quanta/s "
         f"(median of {N_TRIALS})"
@@ -137,9 +164,19 @@ def test_obs_overhead(benchmark):
     )
     lines.append(f"(written to {_OUT_PATH})")
     record("Extension: instrumentation overhead", *lines)
+    # Columnar hot-path floor: the uninstrumented session must clear an
+    # absolute throughput bar on any machine (docs/PERFORMANCE.md).
+    assert (
+        results["quanta_per_second"]["off"] >= FLOOR_QUANTA_PER_SECOND
+    ), results
+    assert results["evidence_verdicts_identical"], results
+    if QUICK:
+        # Two trials can't resolve few-percent relative overheads; the
+        # quick CI smoke only guards the absolute floor and verdict
+        # identity above.
+        return
     # The default mode (counters) must stay within 10% of fully off.
     assert results["overhead_vs_off"]["counters"] < 0.10, results
     # Evidence capture: < 15% over counters-only, and strictly
     # read-only — the verdicts must be bit-identical either way.
     assert results["evidence_overhead_vs_counters"] < 0.15, results
-    assert results["evidence_verdicts_identical"], results

@@ -90,6 +90,8 @@ def run_channel_session(
     track_detection_latency: bool = False,
     injectors=(),
     capture_evidence: bool = False,
+    metrics=None,
+    columnar: bool = True,
     **channel_kwargs,
 ) -> ChannelRun:
     """Run one covert transmission under CC-Hunter audit.
@@ -101,11 +103,13 @@ def run_channel_session(
     the session runs — the streaming pipeline's online view.
     ``injectors`` (see :mod:`repro.faults`) perturb the observation
     stream before it reaches the analyzers — the robustness drills'
-    entry point into a live session.
+    entry point into a live session. ``columnar`` selects the tap read
+    strategy (hot path vs legacy full-history reference) and exists so
+    the parity tests can run the same session both ways.
     """
     if kind not in _CHANNELS:
         raise ReproError(f"unknown channel kind {kind!r}")
-    machine = Machine(seed=seed)
+    machine = Machine(seed=seed, metrics=metrics)
     hunter = CCHunter(
         machine,
         window_fraction=window_fraction,
@@ -113,6 +117,8 @@ def run_channel_session(
         track_detection_latency=track_detection_latency,
         injectors=injectors,
         capture_evidence=capture_evidence,
+        metrics=metrics,
+        columnar=columnar,
     )
     config = ChannelConfig(message=message, bandwidth_bps=bandwidth_bps)
     channel = _CHANNELS[kind](machine, config, **channel_kwargs)

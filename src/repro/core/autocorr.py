@@ -75,8 +75,9 @@ class RunningAutocorrelogram:
     the lagged cross products ``C_p = Σ_i x_i · x_{i-p}``, and the first
     and last ``max_lag`` values (for the end-correction terms of the
     paper's r_p). Appending ``m`` values costs one C-level sliding
-    correlation, O((max_lag + m) · m), independent of how long the series
-    already is; ``correlogram()`` reads the current r_0..r_max_lag in
+    correlation — O(max_lag · m) however the series is chunked,
+    independent of how long it already is; ``correlogram()`` reads the
+    current r_0..r_max_lag in
     O(max_lag). Memory is O(max_lag) no matter how many events stream in.
 
     For integer-valued series (the detector's 0/1 identifier trains)
@@ -101,16 +102,41 @@ class RunningAutocorrelogram:
         """Number of samples consumed so far."""
         return self._n
 
+    def _advance_window(self, y: np.ndarray, y_sum: float) -> None:
+        """Slide the head/tail windows and running sums past chunk ``y``.
+
+        The single shared implementation of the end-correction window
+        bookkeeping: both :meth:`push` and :meth:`push_batch` delegate
+        here after updating the cross products, so the two entry points
+        cannot drift apart (the property tests additionally pin both to
+        the O(n·lags) reference estimator).
+        """
+        m = y.size
+        self._sum += y_sum
+        self._n += m
+        if self._head.size < self.max_lag:
+            need = self.max_lag - self._head.size
+            self._head = np.concatenate([self._head, y[:need]])
+        if not self.max_lag:
+            return
+        t = self._tail.size
+        if t == self.max_lag and m == 1:
+            # Full tail, one sample: shift in place, no reallocation.
+            self._tail[:-1] = self._tail[1:]
+            self._tail[-1] = y[0]
+            return
+        z = np.concatenate([self._tail, y])
+        self._tail = z[z.size - min(self._n, self.max_lag) :]
+
     def push(self, value: float) -> None:
         """Append a single sample.
 
-        Allocation-light fast path of :meth:`extend`: for one sample the
-        sliding correlation collapses to ``ΔC_p = v · tail[t − p]``, so
-        the cross products update with a single vector
-        multiply-accumulate and the tail shifts in place — none of the
-        per-call ``np.concatenate``/``np.correlate`` churn of the chunk
-        path. Arithmetic is identical (the same products, added once),
-        so results match ``extend([value])`` bit for bit.
+        Thin adapter over the same state transitions as
+        :meth:`push_batch`: for one sample the sliding correlation
+        collapses to ``ΔC_p = v · tail[t − p]``, a single vector
+        multiply-accumulate. Arithmetic is identical (the same products,
+        added once), so results match ``push_batch([value])`` bit for
+        bit; the window slide is shared code.
         """
         v = float(value)
         t = self._tail.size
@@ -118,17 +144,9 @@ class RunningAutocorrelogram:
         self._cross[0] += v * v
         if k:
             self._cross[1 : k + 1] += v * self._tail[t - k :][::-1]
-        self._sum += v
-        self._n += 1
-        if self._head.size < self.max_lag:
-            self._head = np.append(self._head, v)
-        if t < self.max_lag:
-            self._tail = np.append(self._tail, v)
-        elif self.max_lag:
-            self._tail[:-1] = self._tail[1:]
-            self._tail[-1] = v
+        self._advance_window(np.array([v], dtype=np.float64), v)
 
-    def extend(self, values: np.ndarray) -> None:
+    def push_batch(self, values: np.ndarray) -> None:
         """Append a chunk of samples (order is the series order)."""
         y = np.asarray(values, dtype=np.float64).ravel()
         if y.size == 0:
@@ -136,18 +154,28 @@ class RunningAutocorrelogram:
         m = y.size
         t = self._tail.size
         z = np.concatenate([self._tail, y])
-        # ΔC_p = Σ_j y[j] · z[t + j − p]: one sliding correlation covers
-        # every lag at once. np.correlate(z, y, 'full')[k] = Σ_j z[j + k
-        # − (m−1)] y[j], so lag p lives at index k = m − 1 + t − p.
-        c = np.correlate(z, y, mode="full")
         p_hi = min(self.max_lag, m - 1 + t)
-        self._cross[: p_hi + 1] += c[m - 1 + t - p_hi : m + t][::-1]
-        self._sum += float(y.sum())
-        self._n += m
-        if self._head.size < self.max_lag:
-            need = self.max_lag - self._head.size
-            self._head = np.concatenate([self._head, y[:need]])
-        self._tail = z[z.size - min(self._n, self.max_lag) :]
+        if m <= 4 * (self.max_lag + 1):
+            # ΔC_p = Σ_j y[j] · z[t + j − p]: one sliding correlation
+            # covers every lag at once. np.correlate(z, y, 'full')[k] =
+            # Σ_j z[j + k − (m−1)] y[j], so lag p lives at index
+            # k = m − 1 + t − p.
+            c = np.correlate(z, y, mode="full")
+            self._cross[: p_hi + 1] += c[m - 1 + t - p_hi : m + t][::-1]
+        else:
+            # Chunk much longer than the lag range: the full correlation
+            # would cost O(m²); the max_lag + 1 needed lags cost O(m)
+            # each as direct dot products (same products, same sums).
+            for p in range(p_hi + 1):
+                lo = p - t
+                if lo <= 0:
+                    self._cross[p] += np.dot(y, z[t - p : t - p + m])
+                else:
+                    self._cross[p] += np.dot(y[lo:], z[: m - lo])
+        self._advance_window(y, float(y.sum()))
+
+    #: Backwards-compatible name for the batch kernel.
+    extend = push_batch
 
     def correlogram(self) -> np.ndarray:
         """Current r_p for p = 0 .. min(max_lag, n−1), as in the batch path.

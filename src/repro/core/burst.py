@@ -16,7 +16,7 @@ covert channels measure ≥ 0.9 even at 0.1 bps; benign programs stay below
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -47,17 +47,18 @@ def find_threshold_bin(
     arr = np.asarray(hist, dtype=np.float64)
     if arr.size < 3:
         return None
-    for i in range(1, arr.size - 1):
-        if arr[i] < arr[i - 1] and arr[i] <= arr[i + 1]:
-            return i
+    inner = arr[1:-1]
+    valleys = np.nonzero((inner < arr[:-2]) & (inner <= arr[2:]))[0]
+    if valleys.size:
+        return int(valleys[0]) + 1
     smooth = _moving_average(arr)
     slopes = np.abs(np.diff(smooth))
     max_slope = slopes.max()
     if max_slope == 0:
         return None
-    for i in range(1, slopes.size):
-        if slopes[i] <= gentle_fraction * max_slope:
-            return i
+    gentle = np.nonzero(slopes[1:] <= gentle_fraction * max_slope)[0]
+    if gentle.size:
+        return int(gentle[0]) + 1
     return None
 
 
@@ -132,6 +133,28 @@ class StreamingBurstEstimator:
             )
         self._agg += arr
         self.windows += 1
+        self._cached = None
+        return self
+
+    def update_batch(
+        self, hists: "Sequence[np.ndarray]"
+    ) -> "StreamingBurstEstimator":
+        """Fold a sequence of histograms in one summed pass.
+
+        Integer addition is exact and order-free, so the aggregate is
+        identical to calling :meth:`update` once per histogram.
+        """
+        stack = [np.asarray(h, dtype=np.int64) for h in hists]
+        if not stack:
+            return self
+        for arr in stack:
+            if arr.shape != self._agg.shape:
+                raise DetectionError(
+                    f"histogram shape {arr.shape} does not match "
+                    f"{self._agg.shape}"
+                )
+        self._agg += np.sum(stack, axis=0)
+        self.windows += len(stack)
         self._cached = None
         return self
 

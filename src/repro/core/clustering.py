@@ -112,6 +112,7 @@ def analyze_recurrence(
     min_burst_windows: int = 2,
     rng: RngLike = 0,
     max_windows: int = CLUSTERING_WINDOW_QUANTA,
+    features: Optional[Sequence[np.ndarray]] = None,
 ) -> RecurrenceAnalysis:
     """Cluster per-window histograms and decide whether bursts recur.
 
@@ -120,6 +121,12 @@ def analyze_recurrence(
     A channel is recurrent when the windows that land in burst-significant
     clusters number at least ``min_burst_windows`` and are not all
     contiguous (a single isolated burst episode does not recur).
+
+    ``features`` optionally supplies the per-window discretized
+    histograms (``discretize_histogram(h)`` for each window, parallel to
+    ``histograms``): streaming callers evaluating verdicts every quantum
+    discretize each window once at push time instead of re-discretizing
+    the whole horizon per evaluation. The result is identical either way.
     """
     if not histograms:
         raise DetectionError("need at least one window histogram")
@@ -130,12 +137,29 @@ def analyze_recurrence(
             raise DetectionError("all window histograms must share bin count")
     n = len(hists)
 
-    features = np.stack([discretize_histogram(h) for h in hists]).astype(
-        np.float64
-    )
-    n_distinct = np.unique(features, axis=0).shape[0]
+    if features is None:
+        feats = [discretize_histogram(h) for h in hists]
+    else:
+        if len(features) != len(histograms):
+            raise DetectionError(
+                "features must parallel histograms (one per window)"
+            )
+        feats = [
+            np.asarray(f, dtype=np.int64) for f in features[-max_windows:]
+        ]
+    # Distinct-row count over integer symbol strings: byte equality is
+    # exactly value equality for int64 rows, and hashing is much cheaper
+    # than np.unique's lexicographic row sort.
+    n_distinct = len({f.tobytes() for f in feats})
     k_eff = k if k is not None else max(1, min(4, n_distinct))
-    labels, _centroids, _inertia = kmeans(features, k_eff, rng=rng)
+    if k_eff == 1:
+        # One cluster: k-means labels every point 0 regardless of
+        # seeding (argmin over a single column), so skip it outright —
+        # the centroid is never used. Same labels, bit for bit.
+        labels = np.zeros(n, dtype=np.int64)
+    else:
+        feature_matrix = np.stack(feats).astype(np.float64)
+        labels, _centroids, _inertia = kmeans(feature_matrix, k_eff, rng=rng)
 
     burst_clusters: List[int] = []
     analyses: List[BurstAnalysis] = []

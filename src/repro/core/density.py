@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.config import DIVIDER_DELTA_T_CYCLES, MEMBUS_DELTA_T_CYCLES
 from repro.errors import DetectionError
+from repro.util.dtypes import ensure_int64
 from repro.util.stats import sample_counts_to_histogram
 
 
@@ -176,8 +177,13 @@ class StreamingDensityHistogram:
         self.windows_recorded += int(counts.size)
 
     def ingest_window_counts(self, counts: np.ndarray) -> None:
-        """Fold per-Δt-window event counts (whole windows) into the histogram."""
-        arr = np.asarray(counts, dtype=np.int64).ravel()
+        """Fold per-Δt-window event counts (whole windows) into the histogram.
+
+        This is the vectorized batch kernel of the estimator (one
+        ``bincount`` folds any number of windows); float columns are
+        rejected loudly rather than silently truncated.
+        """
+        arr = ensure_int64(counts, "window counts").ravel()
         if arr.size == 0:
             return
         if arr.min() < 0:
@@ -193,6 +199,12 @@ class StreamingDensityHistogram:
         self._window_start = self._cursor
 
     push_counts = ingest_window_counts
+    #: Batch kernel alias, matching the other streaming estimators.
+    push_batch = ingest_window_counts
+
+    def push(self, count: int) -> None:
+        """Per-window adapter over :meth:`push_batch` (one window's count)."""
+        self.ingest_window_counts(np.array([count]))
 
     def push_times(self, times: np.ndarray, up_to: int) -> None:
         """Consume event timestamps covering ``[cursor, up_to)``.
@@ -207,7 +219,7 @@ class StreamingDensityHistogram:
             raise DetectionError(
                 f"stream cursor already at {self._cursor}, cannot rewind to {up_to}"
             )
-        t = np.asarray(times, dtype=np.int64).ravel()
+        t = ensure_int64(times, "event timestamps").ravel()
         if t.size and (t.min() < self._window_start or t.max() >= up_to):
             raise DetectionError(
                 f"timestamps outside the open range [{self._window_start}, {up_to})"

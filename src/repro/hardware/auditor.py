@@ -121,8 +121,45 @@ class VectorRegisterPair:
             self.swaps += 1
 
     def record_batch(self, replacers: np.ndarray, victims: np.ndarray) -> None:
-        for r, v in zip(replacers, victims):
-            self.record(int(r), int(v))
+        """Record a column of conflict-miss pairs in one shot.
+
+        Validation and packing are vectorized; the register fill/drain
+        walk then advances in capacity-sized slices, so the alternation
+        (a swap exactly when the active register reaches capacity) and
+        the final register contents match the per-record path exactly.
+        Unlike :meth:`record`, an out-of-range id rejects the whole
+        batch before anything is recorded.
+        """
+        reps = np.asarray(replacers, dtype=np.int64).ravel()
+        vics = np.asarray(victims, dtype=np.int64).ravel()
+        if reps.shape != vics.shape:
+            raise HardwareError(
+                "replacer and victim columns must be the same length"
+            )
+        if reps.size == 0:
+            return
+        limit = 1 << self.config.context_id_bits
+        if (
+            reps.min() < 0
+            or vics.min() < 0
+            or reps.max() >= limit
+            or vics.max() >= limit
+        ):
+            raise HardwareError(
+                f"context ids must fit in {self.config.context_id_bits} bits"
+            )
+        packed = ((reps << self.config.context_id_bits) | vics).tolist()
+        i, n = 0, len(packed)
+        while True:
+            room = self.capacity - len(self._active)
+            if n - i < room:
+                self._active.extend(packed[i:])
+                return
+            self._active.extend(packed[i : i + room])
+            i += room
+            self._drained.extend(self._active)
+            self._active = []
+            self.swaps += 1
 
     def drain(self) -> Tuple[np.ndarray, np.ndarray]:
         """Software drain: all records so far, as (replacers, victims)."""

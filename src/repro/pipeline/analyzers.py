@@ -50,6 +50,7 @@ from repro.obs.evidence import EvidenceBundle
 from repro.obs.metrics import MetricsRegistry, get_default
 from repro.pipeline.health import Health
 from repro.pipeline.source import QuantumObservation
+from repro.util.strings import discretize_histogram
 
 
 class Analyzer(Protocol):
@@ -158,6 +159,10 @@ class BurstAnalyzer(_HealthMixin):
             else StreamingDensityHistogram(dt=dt, n_bins=n_bins)
         )
         self.histograms: Deque[np.ndarray] = deque(maxlen=max_windows)
+        #: Discretized feature string per histogram (parallel deque):
+        #: computed once at push time, handed to recurrence clustering so
+        #: eager per-quantum verdicts never re-discretize the horizon.
+        self._features: Deque[np.ndarray] = deque(maxlen=max_windows)
         self.analyses: Deque[BurstAnalysis] = deque(maxlen=max_windows)
         self.quanta_seen = 0
         m = metrics if metrics is not None else get_default()
@@ -209,6 +214,7 @@ class BurstAnalyzer(_HealthMixin):
         self._acc.ingest_window_counts(counts)
         hist = self._acc.read_and_reset()
         self.histograms.append(hist)
+        self._features.append(discretize_histogram(hist))
         analysis = analyze_histogram(hist, lr_threshold=self.lr_threshold)
         self.analyses.append(analysis)
         if self.evidence is not None:
@@ -259,7 +265,9 @@ class BurstAnalyzer(_HealthMixin):
                 health=self._health.value,
             )
         recurrence = analyze_recurrence(
-            list(self.histograms), lr_threshold=self.lr_threshold
+            list(self.histograms),
+            lr_threshold=self.lr_threshold,
+            features=list(self._features),
         )
         best_lr = max(
             (a.likelihood_ratio for a in recurrence.burst_analyses),
@@ -286,10 +294,13 @@ class BurstAnalyzer(_HealthMixin):
     def first_detection_quantum(self) -> Optional[int]:
         """Earliest retained quantum whose histogram prefix detects."""
         hists: List[np.ndarray] = list(self.histograms)
+        feats: List[np.ndarray] = list(self._features)
         offset = self.quanta_seen - len(hists)
         for upto in range(1, len(hists) + 1):
             recurrence = analyze_recurrence(
-                hists[:upto], lr_threshold=self.lr_threshold
+                hists[:upto],
+                lr_threshold=self.lr_threshold,
+                features=feats[:upto],
             )
             if recurrence.recurrent and recurrence.burst_clusters:
                 return offset + upto - 1
@@ -428,7 +439,7 @@ class OscillationAnalyzer(_HealthMixin):
                 state = self._pairs[int(key)] = _PairState(self.max_lag)
             state.count += labels.size
             state.ones += int(labels.sum())
-            state.acf.extend(labels)
+            state.acf.push_batch(labels)
             self._m_train_events.inc(labels.size)
 
     def _close_window(self, quantum: int) -> None:

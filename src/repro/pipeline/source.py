@@ -11,6 +11,13 @@ per audited core pair — can subscribe to the same source.
 quantum hook on the :class:`~repro.sim.machine.Machine` and reads the
 taps at each boundary. ``repro.traces.ArchiveEventSource`` is the second
 implementation, replaying recorded archives through the same interface.
+
+By default the machine source is *columnar* (docs/PERFORMANCE.md): each
+tap read goes through an incremental window reader that consumes the
+tap's append-only numpy columns once, instead of re-sorting the tap's
+whole history at every quantum boundary. ``columnar=False`` keeps the
+legacy full-history reads — the two paths are proven bit-identical by
+the ``parity``-marked tests and the legacy path remains the reference.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import numpy as np
 from repro.errors import DetectionError
 from repro.obs.metrics import MetricsRegistry, get_default
 from repro.obs.tracing import trace_span
+from repro.util.dtypes import require_int64
 
 
 class ChannelKind(enum.Enum):
@@ -110,6 +118,20 @@ class EventSource(Protocol):
     def subscribe(self, consumer: ObservationConsumer) -> None: ...
 
 
+class _FullHistoryReader:
+    """Window-reader shim over a tap that only offers ``density_counts``.
+
+    Keeps :meth:`MachineEventSource.add_burst_channel` accepting any
+    density source, at the legacy full-history cost.
+    """
+
+    def __init__(self, tap):
+        self._tap = tap
+
+    def read_counts(self, dt: int, t0: int, t1: int) -> np.ndarray:
+        return self._tap.density_counts(dt, t0, t1)
+
+
 class MachineEventSource:
     """Live EventSource reading a simulated machine's taps each quantum.
 
@@ -119,13 +141,30 @@ class MachineEventSource:
     conflict records are routed through its alternating vector registers
     — the hardware path software actually reads — before being handed to
     consumers.
+
+    With ``columnar=True`` (the default) every channel is read through
+    an incremental tap window reader
+    (:meth:`~repro.sim.events.EventTap.window_reader`): per quantum this
+    touches only the events of that quantum's window, carried zero-copy
+    as numpy columns into the observation. ``columnar=False`` re-reads
+    the taps' sorted full history each quantum (the original, reference
+    path; bit-identical results, proven by the parity tests).
     """
 
-    def __init__(self, machine, auditor=None, metrics: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        machine,
+        auditor=None,
+        metrics: Optional[MetricsRegistry] = None,
+        columnar: bool = True,
+    ):
         self.machine = machine
         self.auditor = auditor
+        self.columnar = bool(columnar)
         self._burst_taps: Dict[str, Tuple[ChannelSpec, object]] = {}
+        self._burst_readers: Dict[str, object] = {}
         self._conflict_spec: Optional[ChannelSpec] = None
+        self._conflict_reader = None
         self._consumers: List[ObservationConsumer] = []
         self.metrics = metrics if metrics is not None else get_default()
         self._m_observations = self.metrics.counter(
@@ -164,6 +203,12 @@ class MachineEventSource:
             raise DetectionError(f"Δt must be positive, got {dt}")
         spec = ChannelSpec(name=name, kind=ChannelKind.BURST, dt=int(dt))
         self._burst_taps[name] = (spec, tap)
+        if self.columnar:
+            make_reader = getattr(tap, "window_reader", None)
+            self._burst_readers[name] = (
+                make_reader() if make_reader is not None
+                else _FullHistoryReader(tap)
+            )
         self._channel_counters[name] = self.metrics.counter(
             "cchunter_source_channel_events_total",
             "indicator events observed per channel",
@@ -176,6 +221,8 @@ class MachineEventSource:
         if self._conflict_spec is not None:
             raise DetectionError("conflict channel is already enabled")
         self._conflict_spec = ChannelSpec(name=name, kind=ChannelKind.CONFLICT)
+        if self.columnar:
+            self._conflict_reader = self.machine.cache_miss_tap.window_reader()
         return self._conflict_spec
 
     def _emit(self, quantum: int, t0: int, t1: int) -> None:
@@ -184,13 +231,32 @@ class MachineEventSource:
         timed = self.metrics.enabled
         t_start = perf_counter() if timed else 0.0
         with trace_span("source.emit", quantum=quantum):
-            counts = {
-                name: tap.density_counts(spec.dt, t0, t1)
-                for name, (spec, tap) in self._burst_taps.items()
-            }
+            if self.columnar:
+                readers = self._burst_readers
+                counts = {
+                    name: require_int64(
+                        readers[name].read_counts(spec.dt, t0, t1),
+                        f"channel {name!r} window counts",
+                    )
+                    for name, (spec, _tap) in self._burst_taps.items()
+                }
+            else:
+                counts = {
+                    name: require_int64(
+                        tap.density_counts(spec.dt, t0, t1),
+                        f"channel {name!r} window counts",
+                    )
+                    for name, (spec, tap) in self._burst_taps.items()
+                }
             conflicts = None
             if self._conflict_spec is not None:
-                times, reps, vics = self.machine.cache_miss_tap.records_in(t0, t1)
+                if self._conflict_reader is not None:
+                    times, reps, vics = self._conflict_reader.read(t0, t1)
+                else:
+                    times, reps, vics = self.machine.cache_miss_tap.records_in(
+                        t0, t1
+                    )
+                require_int64(times, "conflict record timestamps")
                 if self.auditor is not None:
                     self.auditor.vectors.record_batch(reps, vics)
                     reps, vics = self.auditor.vectors.drain()

@@ -13,14 +13,21 @@ Shared resources report the paper's *indicator events* into taps:
   (replacer context, victim context) ordered pair the CC-auditor's vector
   registers record.
 
-Taps accumulate for the whole run; consumers slice by window with the
-``*_in`` methods. ``clear()`` supports streaming consumers that drain.
+Taps accumulate for the whole run; consumers either slice by window with
+the ``*_in`` methods (full-history reads for trace export and plots) or
+attach a *window reader* (``window_reader()``) that consumes the tap's
+append-only chunk columns incrementally. Readers are the streaming hot
+path: each read costs O(events in the window) instead of re-sorting the
+whole history at every quantum boundary, the tap keeps its full record,
+and any number of readers can coexist on one tap. ``clear()`` supports
+streaming consumers that drain destructively (readers detect it and fail
+loudly rather than silently skipping history).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,19 +40,98 @@ def _concat_chunks(chunks: Sequence[np.ndarray], dtype) -> np.ndarray:
     return np.concatenate([np.asarray(c, dtype=dtype) for c in chunks])
 
 
+def _round_density_counts(counts: np.ndarray) -> np.ndarray:
+    """Round spread float counts half-up with an epsilon.
+
+    The epsilon keeps float residue from the segment cumsum from
+    flipping an x.5 boundary either way. Shared by the full-history and
+    windowed density paths so both round identically.
+    """
+    return np.floor(counts + 0.5 + 1e-6).astype(np.int64)
+
+
+def spread_segment_counts(
+    counts: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    rates: np.ndarray,
+    dt: int,
+    t0: int,
+    t1: int,
+    n_windows: int,
+) -> None:
+    """Spread each segment's event mass over the Δt windows tiling [t0, t1).
+
+    Mutates the float64 ``counts`` array in place. Vectorized over
+    segments: each segment contributes its partial first/last windows via
+    scatter-add and its uniform middle windows via a difference array
+    (one cumulative sum at the end), so cost is O(#segments + #windows)
+    regardless of segment lengths.
+
+    This is THE segment-spread kernel: both
+    :meth:`RateSegmentTap.density_counts` (full history) and
+    :class:`SegmentWindowReader` (streaming) call it with identically
+    ordered segment columns, so the two paths agree bit for bit — float
+    accumulation order included.
+    """
+    if starts.size == 0:
+        return
+    s = np.maximum(starts, t0)
+    e = np.minimum(ends, t1)
+    first = (s - t0) // dt
+    last = (e - 1 - t0) // dt
+    single = first == last
+    # Segments confined to one window.
+    np.add.at(
+        counts, first[single], (e[single] - s[single]) * rates[single]
+    )
+    multi = ~single
+    if multi.any():
+        fm, lm = first[multi], last[multi]
+        sm, em, rm = s[multi], e[multi], rates[multi]
+        first_end = t0 + (fm + 1) * dt
+        np.add.at(counts, fm, (first_end - sm) * rm)
+        last_start = t0 + lm * dt
+        np.add.at(counts, lm, (em - last_start) * rm)
+        # Uniform middle windows fm+1 .. lm-1 via difference array.
+        diff = np.zeros(n_windows + 1, dtype=np.float64)
+        has_mid = lm > fm + 1
+        np.add.at(diff, fm[has_mid] + 1, rm[has_mid] * dt)
+        np.add.at(diff, lm[has_mid], -rm[has_mid] * dt)
+        counts += np.cumsum(diff[:-1])
+
+
 class EventTap:
-    """Collects sparse indicator events as (cycle, context) pairs."""
+    """Collects sparse indicator events as (cycle, context) pairs.
+
+    Storage is columnar: timestamp chunks are int64 arrays appended as
+    recorded; a chunk's context column is either an int16 array (mixed
+    contexts, from single-event staging) or a plain int scalar (one
+    context for the whole chunk — the batch-record case), expanded only
+    when a consumer actually needs per-event contexts.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self._time_chunks: List[np.ndarray] = []
-        self._ctx_chunks: List[np.ndarray] = []
+        self._ctx_chunks: List[Union[np.ndarray, int]] = []
+        # Single-event appends land in plain-list staging buffers and
+        # are consolidated into one chunk lazily. Periodic bursts stage
+        # symbolically as (starts, count, period, ctx) and materialize
+        # on flush. At most one of the two stages is non-empty at any
+        # time, so flush order never affects record order.
+        self._stage_times: List[int] = []
+        self._stage_ctxs: List[int] = []
+        self._stage_grid: Optional[Tuple[List[int], int, int, int]] = None
         self._sorted_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._clear_epoch = 0
 
     def record(self, time: int, ctx: int) -> None:
         """Record a single event."""
-        self._time_chunks.append(np.array([time], dtype=np.int64))
-        self._ctx_chunks.append(np.array([ctx], dtype=np.int16))
+        if self._stage_grid is not None:
+            self._flush_stage()
+        self._stage_times.append(int(time))
+        self._stage_ctxs.append(int(ctx))
         self._sorted_cache = None
 
     def record_batch(self, times: np.ndarray, ctx: int) -> None:
@@ -53,18 +139,72 @@ class EventTap:
         arr = np.asarray(times, dtype=np.int64)
         if arr.size == 0:
             return
+        if self._stage_times or self._stage_grid is not None:
+            self._flush_stage()
         self._time_chunks.append(arr)
-        self._ctx_chunks.append(np.full(arr.size, ctx, dtype=np.int16))
+        self._ctx_chunks.append(int(ctx))
         self._sorted_cache = None
+
+    def record_grid(self, start: int, count: int, period: int, ctx: int) -> None:
+        """Record ``count`` events at ``start, start+period, ...`` (one ctx).
+
+        Bursts stay symbolic — one Python-list append per burst — until a
+        consumer reads; consecutive same-shape bursts then materialize
+        into a single chunk with one vectorized broadcast instead of one
+        numpy allocation per burst. The chunk's row-major layout equals
+        record order, so sorting and tie order match per-burst
+        ``record_batch`` calls exactly.
+        """
+        if count <= 0 or period <= 0:
+            raise SimulationError("event grid needs positive count and period")
+        if self._stage_times:
+            self._flush_stage()
+        g = self._stage_grid
+        if g is not None and g[1] == count and g[2] == period and g[3] == ctx:
+            g[0].append(int(start))
+        else:
+            if g is not None:
+                self._flush_stage()
+            self._stage_grid = ([int(start)], count, period, int(ctx))
+        self._sorted_cache = None
+
+    def _flush_stage(self) -> None:
+        if self._stage_times:
+            self._time_chunks.append(
+                np.array(self._stage_times, dtype=np.int64)
+            )
+            self._ctx_chunks.append(np.array(self._stage_ctxs, dtype=np.int16))
+            self._stage_times = []
+            self._stage_ctxs = []
+        g = self._stage_grid
+        if g is not None:
+            starts, count, period, ctx = g
+            self._stage_grid = None
+            base = np.asarray(starts, dtype=np.int64)[:, None]
+            offsets = period * np.arange(count, dtype=np.int64)
+            self._time_chunks.append((base + offsets).ravel())
+            self._ctx_chunks.append(ctx)
 
     @property
     def count(self) -> int:
-        return sum(c.size for c in self._time_chunks)
+        n = sum(c.size for c in self._time_chunks) + len(self._stage_times)
+        if self._stage_grid is not None:
+            n += len(self._stage_grid[0]) * self._stage_grid[1]
+        return n
+
+    def _ctx_arrays(self) -> List[np.ndarray]:
+        """Context chunks with scalar (single-context) chunks expanded."""
+        return [
+            c if isinstance(c, np.ndarray)
+            else np.full(t.size, c, dtype=np.int16)
+            for t, c in zip(self._time_chunks, self._ctx_chunks)
+        ]
 
     def _sorted(self) -> Tuple[np.ndarray, np.ndarray]:
         if self._sorted_cache is None:
+            self._flush_stage()
             times = _concat_chunks(self._time_chunks, np.int64)
-            ctxs = _concat_chunks(self._ctx_chunks, np.int16)
+            ctxs = _concat_chunks(self._ctx_arrays(), np.int16)
             order = np.argsort(times, kind="stable")
             self._sorted_cache = (times[order], ctxs[order])
         return self._sorted_cache
@@ -95,10 +235,106 @@ class EventTap:
         idx = (times - t0) // dt
         return np.bincount(idx, minlength=n_windows).astype(np.int64)
 
+    def window_reader(self) -> "EventWindowReader":
+        """An incremental windowed reader over this tap (hot path)."""
+        return EventWindowReader(self)
+
     def clear(self) -> None:
         self._time_chunks.clear()
         self._ctx_chunks.clear()
+        self._stage_times = []
+        self._stage_ctxs = []
+        self._stage_grid = None
         self._sorted_cache = None
+        self._clear_epoch += 1
+
+
+class EventWindowReader:
+    """Incremental windowed timestamp reader over one :class:`EventTap`.
+
+    Streaming consumers read consecutive half-open windows; the reader
+    consumes the tap's append-only chunk list through a private cursor
+    and carries events recorded ahead of the current window (resources
+    commit usage covering an operation's whole future duration) into the
+    windows they belong to. The tap keeps its full history, so trace
+    export and plots still see everything, and independent readers never
+    interfere with each other.
+
+    Window selection matches ``EventTap.times_in`` on the fully sorted
+    history exactly: chunks are merged with a stable sort, and carried
+    events always precede later-recorded chunks, so tie order equals the
+    global record order.
+    """
+
+    def __init__(self, tap: EventTap):
+        self._tap = tap
+        self._chunk_idx = 0
+        self._pending = np.zeros(0, dtype=np.int64)
+        self._cursor: Optional[int] = None
+        self._epoch = tap._clear_epoch
+
+    def _check_epoch(self) -> None:
+        if self._tap._clear_epoch != self._epoch:
+            raise SimulationError(
+                f"tap {self._tap.name!r} was cleared under an active "
+                "window reader; create a new reader after clear()"
+            )
+
+    def _merged(self) -> np.ndarray:
+        """All unconsumed timestamps (pending carry + new chunks), sorted."""
+        self._check_epoch()
+        tap = self._tap
+        tap._flush_stage()
+        chunks = tap._time_chunks
+        if len(chunks) > self._chunk_idx:
+            merged = np.concatenate([self._pending] + chunks[self._chunk_idx:])
+            self._chunk_idx = len(chunks)
+            if merged.size > 1 and (merged[1:] < merged[:-1]).any():
+                merged.sort(kind="stable")
+            if (
+                self._cursor is not None
+                and merged.size
+                and merged[0] < self._cursor
+            ):
+                raise SimulationError(
+                    f"tap {tap.name!r} recorded an event at cycle "
+                    f"{int(merged[0])}, before the reader cursor at "
+                    f"{self._cursor} — windows already read would be wrong"
+                )
+            self._pending = merged
+        return self._pending
+
+    def read(self, t0: int, t1: int) -> np.ndarray:
+        """Sorted timestamps in ``[t0, t1)``; advances the cursor to t1."""
+        if t1 < t0:
+            raise SimulationError(f"window end {t1} precedes start {t0}")
+        if self._cursor is not None and t0 < self._cursor:
+            raise SimulationError(
+                f"window readers advance monotonically: [{t0}, {t1}) "
+                f"starts before the cursor at {self._cursor}"
+            )
+        times = self._merged()
+        hi = int(np.searchsorted(times, t1, side="left"))
+        window = times[:hi]
+        self._pending = times[hi:]
+        self._cursor = int(t1)
+        lo = int(np.searchsorted(window, t0, side="left"))
+        return window[lo:]
+
+    def read_counts(self, dt: int, t0: int, t1: int) -> np.ndarray:
+        """Event count per Δt window tiling ``[t0, t1)`` (hot-path kernel).
+
+        Same formula as ``EventTap.density_counts`` — one subtraction,
+        one integer divide, one bincount over the window's column.
+        """
+        if dt <= 0:
+            raise SimulationError(f"Δt must be positive, got {dt}")
+        n_windows = -(-(t1 - t0) // dt)
+        times = self.read(t0, t1)
+        if times.size == 0:
+            return np.zeros(n_windows, dtype=np.int64)
+        idx = (times - t0) // dt
+        return np.bincount(idx, minlength=n_windows).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -139,6 +375,7 @@ class RateSegmentTap:
             Tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = None
         self._sparse = EventTap(name + ".sparse")
+        self._clear_epoch = 0
 
     def record_segment(self, start: int, end: int, rate: float) -> None:
         """Record uniform activity of ``rate`` events/cycle over [start, end)."""
@@ -205,43 +442,22 @@ class RateSegmentTap:
     def density_counts(self, dt: int, t0: int, t1: int) -> np.ndarray:
         """Events per Δt window in ``[t0, t1)``; segment mass is spread exactly.
 
-        Vectorized over segments: each segment contributes its partial
-        first/last windows via scatter-add and its uniform middle windows
-        via a difference array (one cumulative sum at the end), so cost is
-        O(#segments + #windows) regardless of segment lengths.
+        Delegates to :func:`spread_segment_counts`, the kernel shared
+        with the streaming :class:`SegmentWindowReader`.
         """
         if dt <= 0:
             raise SimulationError(f"Δt must be positive, got {dt}")
         n_windows = -(-(t1 - t0) // dt)
         counts = self._sparse.density_counts(dt, t0, t1).astype(np.float64)
         starts, ends, rates = self._segments_in(t0, t1)
-        if starts.size:
-            s = np.maximum(starts, t0)
-            e = np.minimum(ends, t1)
-            first = (s - t0) // dt
-            last = (e - 1 - t0) // dt
-            single = first == last
-            # Segments confined to one window.
-            np.add.at(
-                counts, first[single], (e[single] - s[single]) * rates[single]
-            )
-            multi = ~single
-            if multi.any():
-                fm, lm = first[multi], last[multi]
-                sm, em, rm = s[multi], e[multi], rates[multi]
-                first_end = t0 + (fm + 1) * dt
-                np.add.at(counts, fm, (first_end - sm) * rm)
-                last_start = t0 + lm * dt
-                np.add.at(counts, lm, (em - last_start) * rm)
-                # Uniform middle windows fm+1 .. lm-1 via difference array.
-                diff = np.zeros(n_windows + 1, dtype=np.float64)
-                has_mid = lm > fm + 1
-                np.add.at(diff, fm[has_mid] + 1, rm[has_mid] * dt)
-                np.add.at(diff, lm[has_mid], -rm[has_mid] * dt)
-                counts += np.cumsum(diff[:-1])
-        # Round half-up with an epsilon so float residue from the cumsum
-        # cannot flip a x.5 boundary either way.
-        return np.floor(counts + 0.5 + 1e-6).astype(np.int64)
+        spread_segment_counts(
+            counts, starts, ends, rates, dt, t0, t1, n_windows
+        )
+        return _round_density_counts(counts)
+
+    def window_reader(self) -> "SegmentWindowReader":
+        """An incremental windowed reader over this tap (hot path)."""
+        return SegmentWindowReader(self)
 
     def materialize_times(
         self, t0: int, t1: int, max_events: Optional[int] = None
@@ -275,6 +491,95 @@ class RateSegmentTap:
         self._seg_rates.clear()
         self._seg_cache = None
         self._sparse.clear()
+        self._clear_epoch += 1
+
+
+class SegmentWindowReader:
+    """Incremental windowed reader over a :class:`RateSegmentTap`.
+
+    The dense counterpart of :class:`EventWindowReader`: new segments are
+    consumed from the tap's append-only columns exactly once, segments
+    still overlapping future windows are carried (sorted by start, tie
+    order = record order — the same order the full-history path uses),
+    and per-window counts come from :func:`spread_segment_counts`, so the
+    streaming and full-history paths agree bit for bit, float
+    accumulation order included.
+    """
+
+    def __init__(self, tap: RateSegmentTap):
+        self._tap = tap
+        self._seg_idx = 0
+        self._p_starts = np.zeros(0, dtype=np.int64)
+        self._p_ends = np.zeros(0, dtype=np.int64)
+        self._p_rates = np.zeros(0, dtype=np.float64)
+        self._cursor: Optional[int] = None
+        self._epoch = tap._clear_epoch
+        self._sparse = tap._sparse.window_reader()
+
+    def _merge_new(self) -> None:
+        tap = self._tap
+        if tap._clear_epoch != self._epoch:
+            raise SimulationError(
+                f"tap {tap.name!r} was cleared under an active "
+                "window reader; create a new reader after clear()"
+            )
+        n = len(tap._seg_starts)
+        if n == self._seg_idx:
+            return
+        new_starts = np.asarray(tap._seg_starts[self._seg_idx:], dtype=np.int64)
+        new_ends = np.asarray(tap._seg_ends[self._seg_idx:], dtype=np.int64)
+        new_rates = np.asarray(tap._seg_rates[self._seg_idx:], dtype=np.float64)
+        self._seg_idx = n
+        if (
+            self._cursor is not None
+            and new_starts.size
+            and int(new_starts.min()) < self._cursor
+        ):
+            raise SimulationError(
+                f"tap {tap.name!r} recorded a segment starting at cycle "
+                f"{int(new_starts.min())}, before the reader cursor at "
+                f"{self._cursor} — windows already read would be wrong"
+            )
+        starts = np.concatenate([self._p_starts, new_starts])
+        order = np.argsort(starts, kind="stable")
+        self._p_starts = starts[order]
+        self._p_ends = np.concatenate([self._p_ends, new_ends])[order]
+        self._p_rates = np.concatenate([self._p_rates, new_rates])[order]
+
+    def read_counts(self, dt: int, t0: int, t1: int) -> np.ndarray:
+        """Events per Δt window in ``[t0, t1)``; advances the cursor."""
+        if dt <= 0:
+            raise SimulationError(f"Δt must be positive, got {dt}")
+        if t1 < t0:
+            raise SimulationError(f"window end {t1} precedes start {t0}")
+        if self._cursor is not None and t0 < self._cursor:
+            raise SimulationError(
+                f"window readers advance monotonically: [{t0}, {t1}) "
+                f"starts before the cursor at {self._cursor}"
+            )
+        self._merge_new()
+        n_windows = -(-(t1 - t0) // dt)
+        counts = self._sparse.read_counts(dt, t0, t1).astype(np.float64)
+        starts, ends, rates = self._p_starts, self._p_ends, self._p_rates
+        if starts.size:
+            sel = (starts < t1) & (ends > t0)
+            spread_segment_counts(
+                counts,
+                starts[sel],
+                ends[sel],
+                rates[sel],
+                dt,
+                t0,
+                t1,
+                n_windows,
+            )
+            keep = ends > t1
+            if not keep.all():
+                self._p_starts = starts[keep]
+                self._p_ends = ends[keep]
+                self._p_rates = rates[keep]
+        self._cursor = int(t1)
+        return _round_density_counts(counts)
 
 
 class LabeledEventTap:
@@ -301,6 +606,7 @@ class LabeledEventTap:
         self._sorted_cache: Optional[
             Tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = None
+        self._clear_epoch = 0
 
     def record(self, time: int, replacer: int, victim: int) -> None:
         limit = 1 << self.context_id_bits
@@ -342,6 +648,7 @@ class LabeledEventTap:
             raise SimulationError(
                 f"context ids must fit in {self.context_id_bits} bits"
             )
+        self._flush_stage()
         self._time_chunks.append(t)
         self._replacer_chunks.append(r)
         self._victim_chunks.append(v)
@@ -371,6 +678,10 @@ class LabeledEventTap:
         hi = np.searchsorted(times, t1, side="left")
         return times[lo:hi], reps[lo:hi], vics[lo:hi]
 
+    def window_reader(self) -> "LabeledWindowReader":
+        """An incremental windowed reader over this tap (hot path)."""
+        return LabeledWindowReader(self)
+
     def clear(self) -> None:
         self._time_chunks.clear()
         self._replacer_chunks.clear()
@@ -379,3 +690,75 @@ class LabeledEventTap:
         self._stage_replacers = []
         self._stage_victims = []
         self._sorted_cache = None
+        self._clear_epoch += 1
+
+
+class LabeledWindowReader:
+    """Incremental windowed reader over a :class:`LabeledEventTap`.
+
+    Three parallel columns (times, replacers, victims) are consumed
+    chunk-wise and merged with one stable argsort per read, preserving
+    the exact tie order of the full-history ``records_in`` path — record
+    order matters here, because the (replacer, victim) sequence becomes
+    the oscillation analyzer's identifier train.
+    """
+
+    def __init__(self, tap: LabeledEventTap):
+        self._tap = tap
+        self._chunk_idx = 0
+        self._p_times = np.zeros(0, dtype=np.int64)
+        self._p_reps = np.zeros(0, dtype=np.int16)
+        self._p_vics = np.zeros(0, dtype=np.int16)
+        self._cursor: Optional[int] = None
+        self._epoch = tap._clear_epoch
+
+    def _merge_new(self) -> None:
+        tap = self._tap
+        if tap._clear_epoch != self._epoch:
+            raise SimulationError(
+                f"tap {tap.name!r} was cleared under an active "
+                "window reader; create a new reader after clear()"
+            )
+        tap._flush_stage()
+        chunks = tap._time_chunks
+        if len(chunks) == self._chunk_idx:
+            return
+        times = np.concatenate([self._p_times] + chunks[self._chunk_idx:])
+        reps = np.concatenate(
+            [self._p_reps] + tap._replacer_chunks[self._chunk_idx:]
+        )
+        vics = np.concatenate(
+            [self._p_vics] + tap._victim_chunks[self._chunk_idx:]
+        )
+        self._chunk_idx = len(chunks)
+        if times.size > 1 and (times[1:] < times[:-1]).any():
+            order = np.argsort(times, kind="stable")
+            times, reps, vics = times[order], reps[order], vics[order]
+        if self._cursor is not None and times.size and times[0] < self._cursor:
+            raise SimulationError(
+                f"tap {tap.name!r} recorded an event at cycle "
+                f"{int(times[0])}, before the reader cursor at "
+                f"{self._cursor} — windows already read would be wrong"
+            )
+        self._p_times, self._p_reps, self._p_vics = times, reps, vics
+
+    def read(
+        self, t0: int, t1: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Records within ``[t0, t1)``, time-sorted; advances the cursor."""
+        if t1 < t0:
+            raise SimulationError(f"window end {t1} precedes start {t0}")
+        if self._cursor is not None and t0 < self._cursor:
+            raise SimulationError(
+                f"window readers advance monotonically: [{t0}, {t1}) "
+                f"starts before the cursor at {self._cursor}"
+            )
+        self._merge_new()
+        times, reps, vics = self._p_times, self._p_reps, self._p_vics
+        hi = int(np.searchsorted(times, t1, side="left"))
+        self._p_times = times[hi:]
+        self._p_reps = reps[hi:]
+        self._p_vics = vics[hi:]
+        self._cursor = int(t1)
+        lo = int(np.searchsorted(times[:hi], t0, side="left"))
+        return times[lo:hi], reps[lo:hi], vics[lo:hi]

@@ -136,6 +136,21 @@ class Machine:
         self._processes: List[Process] = []
         self._quantum_hooks: List[QuantumHook] = []
         self.quanta_completed = 0
+        # Exact-type operation dispatch: one dict probe instead of a
+        # cascade of isinstance checks on the per-event hot path
+        # (subclasses of the op types fall back to the isinstance scan).
+        self._op_handlers = {
+            Compute: self._op_compute,
+            WaitUntil: self._op_wait_until,
+            BusLockBurst: self._op_bus_lock_burst,
+            BusSample: self._op_bus_sample,
+            DividerSaturate: self._op_divider_saturate,
+            DividerLoop: self._op_divider_loop,
+            CacheAccessSeries: self._op_cache_access_series,
+            RandomBusLocks: self._op_random_bus_locks,
+            RandomDividerUse: self._op_random_divider_use,
+            RandomCacheTraffic: self._op_random_cache_traffic,
+        }
 
     # ---------------------------------------------------------------- spawn
 
@@ -154,30 +169,52 @@ class Machine:
         self.scheduler.place(process, ctx=ctx, core=core)
         process.machine = self
         self._processes.append(process)
-        gen = process.run()
         t0 = self.engine.now if start_time is None else int(start_time)
         process.start_time = t0
-        self.engine.schedule(
-            t0, lambda: self._advance(process, gen, None), process.priority
-        )
+        self.engine.schedule(t0, self._continuation(process), process.priority)
         return process
 
-    def _advance(self, process: Process, gen, value) -> None:
-        try:
-            op = gen.send(value)
-        except StopIteration:
-            process.finished = True
-            process.finish_time = self.engine.now
-            self.scheduler.release(process)
-            return
-        end, result = self._execute(process, op)
-        if end < self.engine.now:
-            raise SimulationError(
-                f"operation {op!r} of {process.name!r} ended in the past"
-            )
-        self.engine.schedule(
-            end, lambda: self._advance(process, gen, result), process.priority
-        )
+    def _continuation(self, process: Process) -> Callable[[], None]:
+        """The process's single resumption callback.
+
+        One closure serves the process's whole life — the next ``send``
+        value rides in a one-cell box — so advancing a process costs a
+        plain call, with no per-event closure allocation (this is the
+        per-event hot path: every simulated operation passes through
+        here once).
+        """
+        gen = process.run()
+        engine = self.engine
+        execute = self._execute
+        schedule = engine.schedule
+        priority = process.priority
+        send = getattr(gen, "send", None)
+        if send is None:
+            # A plain iterable body (no generator protocol): results of
+            # executed operations are simply dropped, as before.
+            it = iter(gen)
+
+            def send(_value):
+                return next(it)
+
+        box = [None]
+
+        def resume() -> None:
+            try:
+                op = send(box[0])
+            except StopIteration:
+                process.finished = True
+                process.finish_time = engine.now
+                self.scheduler.release(process)
+                return
+            end, box[0] = execute(process, op)
+            if end < engine.now:
+                raise SimulationError(
+                    f"operation {op!r} of {process.name!r} ended in the past"
+                )
+            schedule(end, resume, priority)
+
+        return resume
 
     # ------------------------------------------------------------- execution
 
@@ -187,55 +224,74 @@ class Machine:
         ctx = process.ctx
         if ctx is None:
             raise SimulationError(f"{process.name!r} has no hardware context")
-        if isinstance(op, Compute):
-            return now + op.cycles, None
-        if isinstance(op, WaitUntil):
-            return max(now, op.time), None
-        if isinstance(op, BusLockBurst):
-            return self.bus.lock_burst(ctx, now, op.count, op.period), None
-        if isinstance(op, BusSample):
-            return self.bus.sample(ctx, now, op.count, op.period)
-        if isinstance(op, DividerSaturate):
-            units = self.functional_units(op.unit)
-            return units[process.core].saturate(ctx, now, op.duration), None
-        if isinstance(op, DividerLoop):
-            units = self.functional_units(op.unit)
-            return units[process.core].run_loop(
-                ctx, now, op.iterations, op.divs_per_iter
-            )
-        if isinstance(op, CacheAccessSeries):
-            return self.l2.access_series(ctx, op.accesses, op.gap, now)
-        # The Random* operations are non-blocking *registrations*: they
-        # commit activity covering [now, now + duration) and complete
-        # immediately, so one noise process can register several activity
-        # types for the same window (advancing time is the body's job, via
-        # WaitUntil/Compute — see repro.workloads.base).
-        if isinstance(op, RandomBusLocks):
-            rate_per_cycle = op.rate_per_second / self.clock.frequency_hz
-            self.bus.noise_locks(ctx, now, op.duration, rate_per_cycle)
-            return now, None
-        if isinstance(op, RandomDividerUse):
-            self.dividers[process.core].random_use(
-                ctx,
-                now,
-                op.duration,
-                op.duty,
-                op.burst_cycles,
-                intensity=op.intensity,
-            )
-            return now, None
-        if isinstance(op, RandomCacheTraffic):
-            self.l2.random_traffic(
-                ctx,
-                now,
-                op.duration,
-                op.count,
-                set_lo=op.set_lo,
-                set_hi=op.set_hi,
-                tag_space=op.tag_space,
-            )
-            return now, None
-        raise SimulationError(f"unknown operation type: {op!r}")
+        handler = self._op_handlers.get(type(op))
+        if handler is None:
+            for op_type, candidate in self._op_handlers.items():
+                if isinstance(op, op_type):
+                    handler = candidate
+                    break
+            else:
+                raise SimulationError(f"unknown operation type: {op!r}")
+        return handler(process, op, now, ctx)
+
+    def _op_compute(self, process, op, now, ctx):
+        return now + op.cycles, None
+
+    def _op_wait_until(self, process, op, now, ctx):
+        return max(now, op.time), None
+
+    def _op_bus_lock_burst(self, process, op, now, ctx):
+        return self.bus.lock_burst(ctx, now, op.count, op.period), None
+
+    def _op_bus_sample(self, process, op, now, ctx):
+        return self.bus.sample(ctx, now, op.count, op.period)
+
+    def _op_divider_saturate(self, process, op, now, ctx):
+        units = self.functional_units(op.unit)
+        return units[process.core].saturate(ctx, now, op.duration), None
+
+    def _op_divider_loop(self, process, op, now, ctx):
+        units = self.functional_units(op.unit)
+        return units[process.core].run_loop(
+            ctx, now, op.iterations, op.divs_per_iter
+        )
+
+    def _op_cache_access_series(self, process, op, now, ctx):
+        return self.l2.access_series(ctx, op.accesses, op.gap, now)
+
+    # The Random* operations are non-blocking *registrations*: they
+    # commit activity covering [now, now + duration) and complete
+    # immediately, so one noise process can register several activity
+    # types for the same window (advancing time is the body's job, via
+    # WaitUntil/Compute — see repro.workloads.base).
+
+    def _op_random_bus_locks(self, process, op, now, ctx):
+        rate_per_cycle = op.rate_per_second / self.clock.frequency_hz
+        self.bus.noise_locks(ctx, now, op.duration, rate_per_cycle)
+        return now, None
+
+    def _op_random_divider_use(self, process, op, now, ctx):
+        self.dividers[process.core].random_use(
+            ctx,
+            now,
+            op.duration,
+            op.duty,
+            op.burst_cycles,
+            intensity=op.intensity,
+        )
+        return now, None
+
+    def _op_random_cache_traffic(self, process, op, now, ctx):
+        self.l2.random_traffic(
+            ctx,
+            now,
+            op.duration,
+            op.count,
+            set_lo=op.set_lo,
+            set_hi=op.set_hi,
+            tag_space=op.tag_space,
+        )
+        return now, None
 
     # ------------------------------------------------------------- run loop
 

@@ -13,7 +13,7 @@ whole burst (producers-first contract, see :mod:`repro.sim.engine`).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,30 +35,75 @@ class MemoryBus:
         self.lock_tap = lock_tap
         self._rng = rng
         self._lock_start_chunks: List[np.ndarray] = []
+        #: Symbolically staged lock bursts: start times sharing one
+        #: (count, period) shape, materialized in a single broadcast by
+        #: :meth:`_flush_bursts` (mirrors ``EventTap.record_grid``).
+        self._burst_starts: List[int] = []
+        self._burst_shape: Optional[Tuple[int, int]] = None
         self._sorted_starts: Optional[np.ndarray] = None
+        #: Cached ``period * arange(count)`` grids: senders issue the
+        #: same burst shape millions of times, so the offset grid is
+        #: computed once per (count, period) pair (bounded; see _grid).
+        self._grid_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self.total_locks = 0
         self.total_samples = 0
+
+    def _grid(self, count: int, period: int) -> np.ndarray:
+        """The (never-mutated) offset grid ``period * arange(count)``."""
+        key = (count, period)
+        grid = self._grid_cache.get(key)
+        if grid is None:
+            grid = period * np.arange(count, dtype=np.int64)
+            if len(self._grid_cache) < 64:
+                self._grid_cache[key] = grid
+        return grid
 
     # ------------------------------------------------------------------ locks
 
     def _commit_locks(self, times: np.ndarray, ctx: int) -> None:
+        """Commit a chunk of lock-issue times (callers pass int64 arrays).
+
+        The chunk is shared, never mutated, between the bus's own lock
+        list and the tap — zero-copy on the per-burst hot path.
+        """
         if times.size == 0:
             return
-        self._lock_start_chunks.append(times.astype(np.int64))
+        self._lock_start_chunks.append(times)
         self._sorted_starts = None
         self.lock_tap.record_batch(times, ctx)
         self.total_locks += int(times.size)
+
+    def _flush_bursts(self) -> None:
+        if not self._burst_starts:
+            return
+        count, period = self._burst_shape
+        base = np.asarray(self._burst_starts, dtype=np.int64)[:, None]
+        self._lock_start_chunks.append(
+            (base + self._grid(count, period)).ravel()
+        )
+        self._burst_starts = []
+        self._burst_shape = None
 
     def lock_burst(self, ctx: int, start: int, count: int, period: int) -> int:
         """Issue ``count`` bus-locking atomic accesses every ``period`` cycles.
 
         Returns the completion time of the burst. Each access holds the bus
         locked for ``config.lock_duration`` cycles from its issue.
+
+        Bursts are the sender hot path: each call stages (start, count,
+        period) symbolically in both the bus's own lock list and the
+        indicator tap; materialization happens once per read, not once
+        per burst.
         """
         if count <= 0 or period <= 0:
             raise SimulationError("lock burst needs positive count and period")
-        times = start + period * np.arange(count, dtype=np.int64)
-        self._commit_locks(times, ctx)
+        if self._burst_shape != (count, period):
+            self._flush_bursts()
+            self._burst_shape = (count, period)
+        self._burst_starts.append(int(start))
+        self._sorted_starts = None
+        self.lock_tap.record_grid(start, count, period, ctx)
+        self.total_locks += count
         return int(start + count * period)
 
     def noise_locks(
@@ -81,6 +126,7 @@ class MemoryBus:
 
     def _lock_starts(self) -> np.ndarray:
         if self._sorted_starts is None:
+            self._flush_bursts()
             if self._lock_start_chunks:
                 self._sorted_starts = np.sort(
                     np.concatenate(self._lock_start_chunks)
@@ -117,7 +163,7 @@ class MemoryBus:
         """
         if count <= 0 or period <= 0:
             raise SimulationError("bus sampling needs positive count and period")
-        times = start + period * np.arange(count, dtype=np.int64)
+        times = start + self._grid(count, period)
         latencies = np.full(count, self.config.base_latency, dtype=np.int64)
         latencies += self.locked_at(times) * self.config.locked_extra_latency
         if self.config.latency_jitter:

@@ -38,6 +38,7 @@ from repro.pipeline.source import (
     QuantumObservation,
 )
 from repro.sim.machine import Machine
+from repro.util.dtypes import ensure_int64
 
 #: Version 2 adds the per-record CRC32 ``checksum_manifest``; version 1
 #: archives (no manifest) still load, with integrity checks skipped.
@@ -280,12 +281,17 @@ def load_traces(
     return TraceArchive(
         quantum_cycles=int(payload["quantum_cycles"][0]),
         n_quanta=int(payload["n_quanta"][0]),
-        bus_lock_times=payload["bus_lock_times"],
+        # Event timestamps re-enter the columnar pipeline here: widen
+        # narrow integers, reject float columns loudly (see
+        # repro.util.dtypes).
+        bus_lock_times=ensure_int64(
+            payload["bus_lock_times"], "bus lock times"
+        ),
         divider_dt=int(payload["divider_dt"][0]),
         divider_wait_counts=divider_counts,
         multiplier_dt=int(payload["multiplier_dt"][0]),
         multiplier_wait_counts=multiplier_counts,
-        cache_times=payload["cache_times"],
+        cache_times=ensure_int64(payload["cache_times"], "cache times"),
         cache_replacers=payload["cache_replacers"],
         cache_victims=payload["cache_victims"],
         gaps=tuple(gaps),
@@ -371,7 +377,11 @@ class ArchiveEventSource:
 
     def _add_dense(self, name: str, counts: np.ndarray, dt: int) -> None:
         self._specs.append(ChannelSpec(name, ChannelKind.BURST, dt))
-        self._dense[name] = (dt, counts)
+        # Archives store dense counts as int32 for compactness; the
+        # pipeline's columnar contract is int64 everywhere, so widen at
+        # the rehydration boundary (floats fail loudly — an archive with
+        # fractional counts is corrupt, not rescalable).
+        self._dense[name] = (dt, ensure_int64(counts, f"{name} counts"))
 
     @property
     def quantum_cycles(self) -> int:

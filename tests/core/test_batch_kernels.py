@@ -1,0 +1,231 @@
+"""Batch kernels vs per-event adapters vs brute-force references.
+
+The columnar hot path leans on vectorized ``push_batch`` kernels; the
+per-event ``push`` entry points remain as thin adapters. These tests pin
+both to an O(n·lags) reference estimator (autocorrelation) and to
+repeated single-record paths (density, burst aggregate, auditor vector
+registers), so the fast and slow paths cannot drift apart.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AuditorConfig
+from repro.core.autocorr import RunningAutocorrelogram
+from repro.core.burst import StreamingBurstEstimator
+from repro.core.density import StreamingDensityHistogram
+from repro.core.event_train import EventTrain
+from repro.errors import DetectionError
+from repro.hardware.auditor import VectorRegisterPair
+
+
+def reference_correlogram(x, max_lag):
+    """The paper's r_p computed the slow, obvious way: O(n·lags)."""
+    arr = np.asarray(x, dtype=np.float64)
+    n = arr.size
+    max_lag = min(max_lag, n - 1)
+    centered = arr - arr.mean()
+    denom = float(np.dot(centered, centered))
+    if denom <= 0.0:
+        return np.ones(max_lag + 1, dtype=np.float64)
+    return np.array(
+        [
+            float(np.dot(centered[: n - p], centered[p:])) / denom
+            for p in range(max_lag + 1)
+        ]
+    )
+
+
+class TestRunningAutocorrelogram:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=120),
+        st.integers(0, 40),
+        st.integers(1, 17),
+    )
+    def test_push_and_push_batch_agree_exactly(self, bits, max_lag, chunk):
+        """Integer series: running sums are exact, so any chunking of the
+        same series leaves bit-identical estimator state."""
+        one = RunningAutocorrelogram(max_lag)
+        many = RunningAutocorrelogram(max_lag)
+        for b in bits:
+            one.push(b)
+        for i in range(0, len(bits), chunk):
+            many.push_batch(np.array(bits[i : i + chunk]))
+        assert one.n == many.n == len(bits)
+        np.testing.assert_array_equal(one.correlogram(), many.correlogram())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=120),
+        st.integers(0, 40),
+    )
+    def test_both_match_reference(self, bits, max_lag):
+        ref = reference_correlogram(bits, max_lag)
+        pushed = RunningAutocorrelogram(max_lag)
+        batched = RunningAutocorrelogram(max_lag)
+        for b in bits:
+            pushed.push(b)
+        batched.push_batch(np.array(bits))
+        np.testing.assert_allclose(pushed.correlogram(), ref, atol=1e-9)
+        np.testing.assert_allclose(batched.correlogram(), ref, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=2, max_size=80
+        ),
+        st.integers(0, 30),
+    )
+    def test_float_series_match_reference(self, values, max_lag):
+        ref = reference_correlogram(values, max_lag)
+        if np.isclose(np.dot(ref, ref), 0) and ref.size == 0:
+            return
+        est = RunningAutocorrelogram(max_lag)
+        est.push_batch(np.array(values))
+        np.testing.assert_allclose(
+            est.correlogram(), ref, atol=1e-6, rtol=1e-6
+        )
+
+    def test_extend_alias_is_push_batch(self):
+        est = RunningAutocorrelogram(4)
+        est.extend(np.array([1, 0, 1, 0, 1]))
+        assert est.n == 5
+
+
+class TestStreamingDensityBatch:
+    def test_push_adapter_equals_batch(self):
+        counts = [0, 3, 1, 0, 200, 5]
+        one = StreamingDensityHistogram(dt=10, n_bins=16)
+        many = StreamingDensityHistogram(dt=10, n_bins=16)
+        for c in counts:
+            one.push(c)
+        many.push_batch(np.array(counts, dtype=np.int64))
+        np.testing.assert_array_equal(one.histogram(), many.histogram())
+        assert one.events_seen == many.events_seen
+
+    def test_float_counts_rejected_loudly(self):
+        est = StreamingDensityHistogram(dt=10, n_bins=16)
+        with pytest.raises(DetectionError, match="integers"):
+            est.push_batch(np.array([1.5, 2.0]))
+        with pytest.raises(DetectionError, match="integers"):
+            est.push_times(np.array([3.7]), up_to=10)
+
+    def test_narrow_integer_dtypes_widened(self):
+        est = StreamingDensityHistogram(dt=10, n_bins=16)
+        est.push_batch(np.array([1, 2], dtype=np.int32))
+        assert est.events_seen == 3
+
+
+class TestStreamingBurstBatch:
+    def test_update_batch_equals_repeated_update(self):
+        rng = np.random.default_rng(2)
+        hists = [rng.integers(0, 50, size=16) for _ in range(7)]
+        one = StreamingBurstEstimator(n_bins=16)
+        many = StreamingBurstEstimator(n_bins=16)
+        for h in hists:
+            one.update(h)
+        many.update_batch(hists)
+        np.testing.assert_array_equal(one.aggregate, many.aggregate)
+        assert one.windows == many.windows
+        a, b = one.analysis(), many.analysis()
+        np.testing.assert_array_equal(a.hist, b.hist)
+        assert a.threshold_bin == b.threshold_bin
+        assert a.likelihood_ratio == b.likelihood_ratio
+        assert a.significant == b.significant
+
+    def test_update_batch_shape_mismatch(self):
+        est = StreamingBurstEstimator(n_bins=16)
+        with pytest.raises(DetectionError):
+            est.update_batch([np.zeros(8, dtype=np.int64)])
+
+
+class TestVectorRegisterBatch:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=300
+        )
+    )
+    def test_batch_equals_per_record(self, pairs):
+        cfg = AuditorConfig()
+        one = VectorRegisterPair(cfg)
+        many = VectorRegisterPair(cfg)
+        for r, v in pairs:
+            one.record(r, v)
+        reps = np.array([p[0] for p in pairs], dtype=np.int64)
+        vics = np.array([p[1] for p in pairs], dtype=np.int64)
+        many.record_batch(reps, vics)
+        assert one.swaps == many.swaps
+        assert one.pending == many.pending
+        r1, v1 = one.drain()
+        r2, v2 = many.drain()
+        np.testing.assert_array_equal(r1, r2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_batch_rejects_out_of_range(self):
+        from repro.errors import HardwareError
+
+        pair = VectorRegisterPair(AuditorConfig())
+        with pytest.raises(HardwareError):
+            pair.record_batch(
+                np.array([0, 8], dtype=np.int64),
+                np.array([0, 0], dtype=np.int64),
+            )
+        assert pair.pending == 0
+
+
+class TestEventTrainEdges:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1_000), max_size=120),
+        st.integers(0, 1_000),
+        st.integers(0, 1_000),
+    )
+    def test_slice_is_half_open(self, times, t0, t1):
+        train = EventTrain(np.array(sorted(times), dtype=np.int64))
+        window = train.slice(t0, t1)
+        expect = [t for t in sorted(times) if t0 <= t < t1]
+        assert window.times.tolist() == expect
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_duplicates_preserved(self, times):
+        doubled = sorted(times + times)
+        train = EventTrain(np.array(doubled, dtype=np.int64))
+        assert train.slice(0, 101).count == 2 * len(times)
+
+    def test_endpoint_exactly_on_event(self):
+        train = EventTrain(np.array([10, 20, 30], dtype=np.int64))
+        assert train.slice(10, 30).times.tolist() == [10, 20]
+        assert train.slice(10, 31).times.tolist() == [10, 20, 30]
+        assert train.slice(11, 30).times.tolist() == [20]
+
+    def test_empty_slice_and_empty_train(self):
+        train = EventTrain(np.array([5], dtype=np.int64))
+        assert train.slice(3, 3).count == 0
+        assert train.slice(6, 4).count == 0
+        assert EventTrain(np.zeros(0, dtype=np.int64)).mean_rate() == 0.0
+
+    def test_mean_rate_default_span_includes_last_event(self):
+        train = EventTrain(np.array([0, 9], dtype=np.int64))
+        assert train.mean_rate() == pytest.approx(2 / 10)
+
+    def test_mean_rate_empty_window_raises(self):
+        train = EventTrain(np.array([5], dtype=np.int64))
+        with pytest.raises(DetectionError):
+            train.mean_rate(7, 7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=60),
+        st.integers(0, 500),
+        st.integers(1, 500),
+    )
+    def test_mean_rate_consistent_with_slice(self, times, t0, width):
+        t1 = t0 + width
+        train = EventTrain(np.array(sorted(times), dtype=np.int64))
+        rate = train.mean_rate(t0, t1)
+        assert rate == pytest.approx(train.slice(t0, t1).count / (t1 - t0))

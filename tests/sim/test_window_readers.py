@@ -1,0 +1,171 @@
+"""Window readers: the columnar taps' incremental per-quantum cursors.
+
+Each reader consumes its tap's append-only columns exactly once while
+matching the full-history read (``density_counts`` / ``records_in``)
+bit for bit — the property the columnar hot path rests on
+(docs/PERFORMANCE.md). These tests pin the equivalence and the loud
+failure modes: rewinding cursors, taps cleared mid-stream, and events
+recorded behind an already-read window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventTap, LabeledEventTap, RateSegmentTap
+
+
+class TestEventWindowReader:
+    def test_read_counts_matches_density_counts(self):
+        tap = EventTap("t")
+        legacy = EventTap("legacy")
+        rng = np.random.default_rng(3)
+        reader = tap.window_reader()
+        cursor = 0
+        for q in range(5):
+            times = np.sort(
+                rng.integers(cursor, cursor + 10_000, size=200)
+            ).astype(np.int64)
+            tap.record_batch(times, ctx=0)
+            legacy.record_batch(times, ctx=0)
+            got = reader.read_counts(700, cursor, cursor + 10_000)
+            want = legacy.density_counts(700, cursor, cursor + 10_000)
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == np.int64
+            cursor += 10_000
+
+    def test_unsorted_and_interleaved_chunks(self):
+        tap = EventTap("t")
+        tap.record_batch(np.array([50, 10, 90], dtype=np.int64), ctx=1)
+        tap.record(20, 2)
+        tap.record_batch(np.array([70, 30], dtype=np.int64), ctx=0)
+        reader = tap.window_reader()
+        np.testing.assert_array_equal(
+            reader.read(0, 100), [10, 20, 30, 50, 70, 90]
+        )
+
+    def test_partial_window_carries_pending(self):
+        tap = EventTap("t")
+        tap.record_batch(np.array([5, 15, 25], dtype=np.int64), ctx=0)
+        reader = tap.window_reader()
+        np.testing.assert_array_equal(reader.read(0, 10), [5])
+        np.testing.assert_array_equal(reader.read(10, 30), [15, 25])
+
+    def test_mid_run_subscribe_sees_history(self):
+        tap = EventTap("t")
+        tap.record_batch(np.array([1, 2, 3], dtype=np.int64), ctx=0)
+        reader = tap.window_reader()
+        np.testing.assert_array_equal(reader.read(0, 10), [1, 2, 3])
+
+    def test_cursor_cannot_rewind(self):
+        tap = EventTap("t")
+        tap.record_batch(np.array([5], dtype=np.int64), ctx=0)
+        reader = tap.window_reader()
+        reader.read(0, 10)
+        with pytest.raises(SimulationError):
+            reader.read(5, 15)
+
+    def test_empty_window_is_fine(self):
+        tap = EventTap("t")
+        reader = tap.window_reader()
+        assert reader.read(0, 10).size == 0
+        assert reader.read_counts(5, 10, 20).tolist() == [0, 0]
+
+    def test_late_event_behind_cursor_raises(self):
+        tap = EventTap("t")
+        reader = tap.window_reader()
+        reader.read(0, 100)
+        tap.record_batch(np.array([50], dtype=np.int64), ctx=0)
+        with pytest.raises(SimulationError):
+            reader.read(100, 200)
+
+    def test_clear_mid_stream_raises(self):
+        tap = EventTap("t")
+        tap.record_batch(np.array([5], dtype=np.int64), ctx=0)
+        reader = tap.window_reader()
+        reader.read(0, 10)
+        tap.clear()
+        with pytest.raises(SimulationError):
+            reader.read(10, 20)
+
+    def test_full_history_reads_unaffected_by_reader(self):
+        # The reader is non-destructive: trace export and figures keep
+        # seeing the tap's whole history.
+        tap = EventTap("t")
+        tap.record_batch(np.array([5, 15], dtype=np.int64), ctx=0)
+        reader = tap.window_reader()
+        reader.read(0, 10)
+        np.testing.assert_array_equal(tap.times(), [5, 15])
+        assert tap.density_counts(10, 0, 20).tolist() == [1, 1]
+
+
+class TestSegmentWindowReader:
+    def test_matches_density_counts_across_quanta(self):
+        tap = RateSegmentTap("d")
+        legacy = RateSegmentTap("legacy")
+        reader = tap.window_reader()
+        # Segments straddling window boundaries, plus sparse extras.
+        for start, end, rate in (
+            (0, 2_500, 0.5),
+            (2_500, 2_600, 2.0),
+            (4_000, 11_000, 0.25),
+        ):
+            tap.record_segment(start, end, rate)
+            legacy.record_segment(start, end, rate)
+        tap.record_batch(np.array([100, 9_000], dtype=np.int64))
+        legacy.record_batch(np.array([100, 9_000], dtype=np.int64))
+        for q in range(3):
+            t0, t1 = q * 5_000, (q + 1) * 5_000
+            got = reader.read_counts(500, t0, t1)
+            want = legacy.density_counts(500, t0, t1)
+            np.testing.assert_array_equal(got, want)
+
+    def test_clear_mid_stream_raises(self):
+        tap = RateSegmentTap("d")
+        tap.record_segment(0, 100, 1.0)
+        reader = tap.window_reader()
+        reader.read_counts(50, 0, 100)
+        tap.clear()
+        with pytest.raises(SimulationError):
+            reader.read_counts(50, 100, 200)
+
+
+class TestLabeledWindowReader:
+    def test_matches_records_in(self):
+        tap = LabeledEventTap("l2")
+        legacy = LabeledEventTap("legacy")
+        rng = np.random.default_rng(8)
+        reader = tap.window_reader()
+        cursor = 0
+        for q in range(4):
+            times = np.sort(
+                rng.integers(cursor, cursor + 1_000, size=50)
+            ).astype(np.int64)
+            reps = rng.integers(0, 8, size=50).astype(np.int64)
+            vics = rng.integers(0, 8, size=50).astype(np.int64)
+            tap.record_batch(times, reps, vics)
+            legacy.record_batch(times, reps, vics)
+            got = reader.read(cursor, cursor + 1_000)
+            want = legacy.records_in(cursor, cursor + 1_000)
+            for g, w in zip(got, want):
+                np.testing.assert_array_equal(g, w)
+            cursor += 1_000
+
+    def test_tie_order_matches_record_order(self):
+        tap = LabeledEventTap("l2")
+        legacy = LabeledEventTap("legacy")
+        for t, r, v in ((10, 1, 2), (10, 3, 4), (10, 5, 6)):
+            tap.record(t, r, v)
+            legacy.record(t, r, v)
+        got = tap.window_reader().read(0, 20)
+        want = legacy.records_in(0, 20)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g, w)
+
+    def test_cursor_cannot_rewind(self):
+        tap = LabeledEventTap("l2")
+        tap.record(5, 0, 1)
+        reader = tap.window_reader()
+        reader.read(0, 10)
+        with pytest.raises(SimulationError):
+            reader.read(0, 10)
