@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples figures report clean
+.PHONY: install test lint bench bench-check profile examples figures \
+	report clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +19,21 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regression gate: rerun the registered benches and compare against the
+# committed BENCH_*.json baselines (exit 8 on regression). Quick mode
+# mirrors the CI smoke run; `make bench-check QUICK=` forces full runs.
+QUICK ?= --quick
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro bench check $(QUICK)
+
+# Per-stage latency attribution for one detection run
+# (docs/PERFORMANCE.md, "Profiling and flamegraphs").
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro detect --channel membus \
+		--bandwidth 1000 --bits 8 --no-noise \
+		--profile-out profile.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro profile profile.json
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -49,4 +65,4 @@ figures:
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
-	rm -rf .pytest_cache .hypothesis benchmarks/results.txt
+	rm -rf .pytest_cache .hypothesis benchmarks/results.txt profile.json

@@ -9,7 +9,10 @@ identical audited workload through three instrumentation modes:
   counters, gauges, and latency histograms all enabled);
 - ``spans``     — counters plus opt-in span tracing (ring buffer);
 - ``evidence``  — counters plus per-unit forensic evidence capture
-  (``capture_evidence=True``, docs/FORENSICS.md).
+  (``capture_evidence=True``, docs/FORENSICS.md);
+- ``profile``   — :data:`NULL_REGISTRY` plus the opt-in
+  :class:`StageProfiler` (docs/PERFORMANCE.md), isolating what stage
+  attribution alone costs over a fully-off run.
 
 Each round runs one trial per mode with the mode order *rotated* between
 rounds, after one warmup trial per mode. A fixed order had put ``off``
@@ -22,7 +25,11 @@ The default mode must stay within 10% of fully-off — that bound is the
 contract docs/OBSERVABILITY.md advertises — evidence capture within 15%
 of counters-only (the docs/FORENSICS.md bound) *and* bit-identical in
 its verdicts, and the measured numbers are committed to
-``BENCH_obs.json`` at the repo root. The columnar hot path
+``BENCH_obs.json`` at the repo root. The profiler carries the same two
+contracts plus one of its own: < 10% overhead vs fully-off,
+bit-identical verdicts, and its per-stage attribution must account for
+at least 90% of the measured session wall time (the stage tree cannot
+have large dark regions). The columnar hot path
 (docs/PERFORMANCE.md) also carries an absolute throughput floor,
 :data:`FLOOR_QUANTA_PER_SECOND`: the fully-off mode must clear it on any
 machine, so a regression that undoes the batching fails loudly in CI.
@@ -41,6 +48,7 @@ from conftest import record
 from repro.config import MachineConfig
 from repro.core.detector import AuditUnit, CCHunter
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.profile import disable_profiling, enable_profiling
 from repro.obs.tracing import disable_tracing, enable_tracing
 from repro.sim.machine import Machine
 from repro.sim.process import BusLockBurst, Process
@@ -89,6 +97,12 @@ def _trial(mode):
         return _run_audited(MetricsRegistry())[0]
     if mode == "evidence":
         return _run_audited(MetricsRegistry(), capture_evidence=True)[0]
+    if mode == "profile":
+        enable_profiling()
+        try:
+            return _run_audited(NULL_REGISTRY)[0]
+        finally:
+            disable_profiling()
     enable_tracing(capacity=8192)
     try:
         return _run_audited(MetricsRegistry())[0]
@@ -106,8 +120,28 @@ def verdicts_identical_with_capture():
     return on_dict == plain.report().to_dict()
 
 
+def profile_fidelity():
+    """Profiling must neither perturb verdicts nor lose the session.
+
+    Returns ``(verdicts_identical, attribution_coverage)``: the first
+    compares a profiled run's report field-for-field against a plain
+    one; the second is the fraction of the measured ``run_quanta`` wall
+    time the profiler attributed to root stages — the "no dark regions"
+    contract (>= 0.9).
+    """
+    _sec, plain = _run_audited(NULL_REGISTRY)
+    profiler = enable_profiling()
+    try:
+        seconds, profiled = _run_audited(NULL_REGISTRY)
+    finally:
+        disable_profiling()
+    identical = profiled.report().to_dict() == plain.report().to_dict()
+    coverage = profiler.attributed_wall() / seconds
+    return identical, coverage
+
+
 def measure_overhead():
-    modes = ("off", "counters", "spans", "evidence")
+    modes = ("off", "counters", "spans", "evidence", "profile")
     timings = {mode: [] for mode in modes}
     for mode in modes:  # per-mode warmup: no mode pays first-run cost
         _trial(mode)
@@ -120,6 +154,7 @@ def measure_overhead():
         for mode in order:
             timings[mode].append(_trial(mode))
     medians = {mode: statistics.median(timings[mode]) for mode in modes}
+    profile_identical, profile_coverage = profile_fidelity()
     return {
         "n_quanta": N_QUANTA,
         "n_trials": N_TRIALS,
@@ -130,12 +165,14 @@ def measure_overhead():
         },
         "overhead_vs_off": {
             mode: medians[mode] / medians["off"] - 1.0
-            for mode in ("counters", "spans", "evidence")
+            for mode in ("counters", "spans", "evidence", "profile")
         },
         "evidence_overhead_vs_counters": (
             medians["evidence"] / medians["counters"] - 1.0
         ),
         "evidence_verdicts_identical": verdicts_identical_with_capture(),
+        "profile_verdicts_identical": profile_identical,
+        "profile_attribution_coverage": profile_coverage,
     }
 
 
@@ -148,19 +185,26 @@ def test_obs_overhead(benchmark):
     lines = [
         f"{mode:<9} {results['quanta_per_second'][mode]:8.1f} quanta/s "
         f"(median of {N_TRIALS})"
-        for mode in ("off", "counters", "spans", "evidence")
+        for mode in ("off", "counters", "spans", "evidence", "profile")
     ]
     lines.append(
         "overhead vs off: counters "
         f"{results['overhead_vs_off']['counters'] * 100:+.1f}%, spans "
         f"{results['overhead_vs_off']['spans'] * 100:+.1f}%, evidence "
-        f"{results['overhead_vs_off']['evidence'] * 100:+.1f}%"
+        f"{results['overhead_vs_off']['evidence'] * 100:+.1f}%, profile "
+        f"{results['overhead_vs_off']['profile'] * 100:+.1f}%"
     )
     lines.append(
         "evidence capture vs counters "
         f"{results['evidence_overhead_vs_counters'] * 100:+.1f}%, "
         "verdicts identical: "
         f"{results['evidence_verdicts_identical']}"
+    )
+    lines.append(
+        "profile attribution coverage "
+        f"{results['profile_attribution_coverage'] * 100:.1f}%, "
+        "verdicts identical: "
+        f"{results['profile_verdicts_identical']}"
     )
     lines.append(f"(written to {_OUT_PATH})")
     record("Extension: instrumentation overhead", *lines)
@@ -170,6 +214,11 @@ def test_obs_overhead(benchmark):
         results["quanta_per_second"]["off"] >= FLOOR_QUANTA_PER_SECOND
     ), results
     assert results["evidence_verdicts_identical"], results
+    # The profiler must be strictly read-only on verdicts and must
+    # account for >= 90% of the measured session wall time — both hold
+    # even in quick mode (they are exact properties, not timings).
+    assert results["profile_verdicts_identical"], results
+    assert results["profile_attribution_coverage"] >= 0.90, results
     if QUICK:
         # Two trials can't resolve few-percent relative overheads; the
         # quick CI smoke only guards the absolute floor and verdict
@@ -180,3 +229,5 @@ def test_obs_overhead(benchmark):
     # Evidence capture: < 15% over counters-only, and strictly
     # read-only — the verdicts must be bit-identical either way.
     assert results["evidence_overhead_vs_counters"] < 0.15, results
+    # Stage profiling must also fit inside the 10%-of-off envelope.
+    assert results["overhead_vs_off"]["profile"] < 0.10, results

@@ -1,0 +1,72 @@
+"""Unified benchmark harness with baseline regression gating.
+
+The ``benchmarks/bench_*.py`` files each measure one performance claim
+(columnar hot path, instrumentation overhead) and commit their numbers
+to ``BENCH_*.json`` snapshots at the repo root. Before this package
+those snapshots were one-off: no history, no machine fingerprint, and
+only hand-written per-bench assertions guarding them. This package
+turns them into *baselines*:
+
+- ``repro.bench.suite`` — the declarative registry: every bench is a
+  :class:`BenchSpec` naming its module, entry function, committed
+  baseline file, and the metrics it gates on, each a
+  :class:`MetricSpec` with a higher/lower-is-better direction and a
+  per-metric tolerance.
+- ``repro.bench.check`` — runs a bench through its entry function and
+  compares the fresh metrics against the committed baseline; any
+  out-of-tolerance metric raises :class:`repro.errors.BenchRegressionError`
+  (CLI exit code 8). ``repro bench check`` is the user-facing gate;
+  CI runs it with ``--quick``.
+- ``repro.bench.result`` — the ``repro.bench.result/v1`` document:
+  metrics plus git revision and machine fingerprint, with the
+  timestamp *passed in* by the caller (library code never reads the
+  wall clock for provenance).
+- ``repro.bench.history`` — append-only ``benchmarks/history.jsonl``
+  of result documents, the trajectory the one-off snapshots lacked.
+
+See docs/PERFORMANCE.md ("Benchmark harness and regression gating").
+"""
+
+from repro.bench.check import (
+    check_benches,
+    compare_metrics,
+    run_bench,
+)
+from repro.bench.history import (
+    HISTORY_PATH_DEFAULT,
+    append_history,
+    load_history,
+)
+from repro.bench.result import (
+    RESULT_FORMAT,
+    bench_result,
+    git_revision,
+    machine_fingerprint,
+)
+from repro.bench.suite import (
+    SUITE,
+    BenchSpec,
+    MetricSpec,
+    extract_metric,
+    get_spec,
+    suite_names,
+)
+
+__all__ = [
+    "SUITE",
+    "BenchSpec",
+    "MetricSpec",
+    "extract_metric",
+    "get_spec",
+    "suite_names",
+    "RESULT_FORMAT",
+    "bench_result",
+    "git_revision",
+    "machine_fingerprint",
+    "HISTORY_PATH_DEFAULT",
+    "append_history",
+    "load_history",
+    "check_benches",
+    "compare_metrics",
+    "run_bench",
+]

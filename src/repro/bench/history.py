@@ -1,0 +1,56 @@
+"""Append-only JSONL history of benchmark result documents.
+
+``benchmarks/history.jsonl`` is the trajectory the one-off
+``BENCH_*.json`` snapshots lacked: every harness run (local or CI)
+appends one ``repro.bench.result/v1`` line per bench, so "when did the
+columnar path get slower?" becomes a grep instead of an archaeology
+dig. CI uploads the file as a build artifact (.github/workflows/ci.yml).
+
+Reads are tolerant: a corrupt line is skipped, never fatal — history is
+telemetry, not a source of truth; baselines stay in ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping
+
+#: Repo-relative default location for the run history.
+HISTORY_PATH_DEFAULT = os.path.join("benchmarks", "history.jsonl")
+
+
+def append_history(
+    path: str, records: Iterable[Mapping[str, Any]]
+) -> int:
+    """Append result documents as JSONL; returns the count written."""
+    count = 0
+    lines = []
+    for record in records:
+        lines.append(json.dumps(record, sort_keys=True))
+        count += 1
+    if not lines:
+        return 0
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return count
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """All parseable result documents in the file (corrupt lines skipped)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict):
+                records.append(doc)
+    return records

@@ -1,0 +1,83 @@
+"""The ``repro.bench.result/v1`` document: metrics plus provenance.
+
+A benchmark number is only comparable when you know *where* it came
+from: which commit, which machine, which mode (quick smoke vs full
+run), and when. This module stamps all of that onto a flat metrics
+mapping. Two deliberate choices:
+
+- **The timestamp is passed in.** Library code never reads the wall
+  clock for provenance — the CLI (or test) supplies an ISO-8601 string,
+  so replays and tests are deterministic and a result's timestamp means
+  "when the operator says the run happened", not "when this function
+  was called".
+- **The git revision is best-effort.** Outside a checkout (or without
+  git on PATH) it is simply ``None``; a missing revision must never
+  fail a benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from typing import Any, Dict, Mapping, Optional
+
+#: Format tag of a single benchmark result document.
+RESULT_FORMAT = "repro.bench.result/v1"
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """A small, stable description of the machine a bench ran on."""
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_revision(root: Optional[str] = None) -> Optional[str]:
+    """The checkout's HEAD revision, or None when unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def bench_result(
+    name: str,
+    metrics: Mapping[str, Any],
+    *,
+    timestamp: Optional[str],
+    quick: bool,
+    git_rev: Optional[str] = None,
+    fingerprint: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one result document from a bench's raw metrics doc."""
+    return {
+        "format": RESULT_FORMAT,
+        "name": name,
+        "timestamp": timestamp,
+        "quick": quick,
+        "git_rev": git_rev,
+        "machine": dict(fingerprint) if fingerprint is not None else None,
+        "metrics": dict(metrics),
+    }

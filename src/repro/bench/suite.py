@@ -1,0 +1,168 @@
+"""The benchmark registry: which benches exist and what they gate on.
+
+Each :class:`BenchSpec` binds a ``benchmarks/bench_*.py`` module to its
+committed baseline file and the metrics the regression gate compares.
+Metrics are declared with an explicit *direction* — for throughput,
+higher is better; for overhead ratios, lower is better — plus a
+per-metric tolerance sized for the reality that CI runners are slower
+and noisier than the development machines that wrote the baselines:
+
+- ``tolerance`` is relative: a higher-is-better metric fails when the
+  fresh value drops below ``baseline * (1 - tolerance)``; lower-is-
+  better when it rises above ``baseline * (1 + tolerance)``.
+- ``abs_slack`` is additive headroom on top of the relative bound,
+  for small ratios (a 5% overhead baseline with 5 points of absolute
+  slack tolerates up to ~10%) where relative tolerance alone would
+  gate on noise.
+- ``quick=False`` marks metrics that a 2-trial ``--quick`` smoke run
+  cannot resolve (few-percent relative overheads); the quick gate
+  skips them, mirroring the benches' own quick-mode behavior.
+- ``kind="bool"`` metrics ignore direction/tolerance: a baseline of
+  true must stay true (verdict-identity invariants).
+
+The generous throughput tolerances are intentional: the gate exists to
+catch the ~10x regression of losing the columnar hot path (1602 -> 156
+quanta/s, docs/PERFORMANCE.md), not 20% runner-to-runner variance. The
+old hard floor of 400 quanta/s is now just the ``quanta_per_second.off``
+row below — one instance of a general mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, NamedTuple, Tuple
+
+from repro.errors import BenchError
+
+
+class MetricSpec(NamedTuple):
+    """One gated metric inside a bench's result document."""
+
+    #: Dotted keypath into the bench's metrics doc, e.g.
+    #: ``"quanta_per_second.off"`` or ``"session.speedup"``.
+    key: str
+    #: ``"higher"`` or ``"lower"`` is better (ignored for bools).
+    direction: str = "higher"
+    #: Relative tolerance against the baseline value.
+    tolerance: float = 0.5
+    #: Additive slack on top of the relative bound (same unit as the
+    #: metric; useful for small ratios like overhead fractions).
+    abs_slack: float = 0.0
+    #: Whether a ``--quick`` (low-trial) run can resolve this metric.
+    quick: bool = True
+    #: ``"float"`` or ``"bool"``.
+    kind: str = "float"
+
+
+class BenchSpec(NamedTuple):
+    """One registered benchmark: module, entry point, baseline, gates."""
+
+    #: Registry name (``repro bench check <name>``).
+    name: str
+    #: Module filename under ``benchmarks/`` (no ``.py``).
+    module: str
+    #: Zero-argument entry function returning the metrics doc.
+    entry: str
+    #: Committed baseline filename at the repo root.
+    baseline: str
+    metrics: Tuple[MetricSpec, ...]
+
+
+SUITE: Tuple[BenchSpec, ...] = (
+    BenchSpec(
+        name="obs_overhead",
+        module="bench_obs_overhead",
+        entry="measure_overhead",
+        baseline="BENCH_obs.json",
+        metrics=(
+            # Absolute-throughput anchor: catching the loss of the
+            # columnar hot path, not runner variance. 0.75 relative
+            # tolerance on a ~1600 q/s baseline gates at ~400 q/s —
+            # the old FLOOR_QUANTA_PER_SECOND, derived instead of
+            # hard-coded.
+            MetricSpec("quanta_per_second.off", "higher", tolerance=0.75),
+            MetricSpec(
+                "overhead_vs_off.counters", "lower",
+                tolerance=0.5, abs_slack=0.05, quick=False,
+            ),
+            MetricSpec(
+                "overhead_vs_off.evidence", "lower",
+                tolerance=0.5, abs_slack=0.08, quick=False,
+            ),
+            MetricSpec(
+                "overhead_vs_off.profile", "lower",
+                tolerance=0.5, abs_slack=0.05, quick=False,
+            ),
+            # The profiler must keep attributing essentially the whole
+            # session (>= 90% of run wall time) on any machine.
+            MetricSpec(
+                "profile_attribution_coverage", "higher", tolerance=0.08,
+            ),
+            MetricSpec(
+                "evidence_verdicts_identical", kind="bool",
+            ),
+            MetricSpec(
+                "profile_verdicts_identical", kind="bool",
+            ),
+        ),
+    ),
+    BenchSpec(
+        name="columnar",
+        module="bench_columnar",
+        entry="measure_columnar",
+        baseline="BENCH_columnar.json",
+        metrics=(
+            MetricSpec(
+                "session.columnar_quanta_per_second", "higher",
+                tolerance=0.75,
+            ),
+            # Speedup ratios divide out machine speed, so they travel
+            # better than raw throughput; still leave wide margins.
+            MetricSpec("session.speedup", "higher", tolerance=0.6),
+            MetricSpec(
+                "kernels.autocorrelogram.speedup", "higher", tolerance=0.8,
+            ),
+            MetricSpec(
+                "kernels.density_histogram.speedup", "higher", tolerance=0.8,
+            ),
+            MetricSpec("session.verdicts_identical", kind="bool"),
+        ),
+    ),
+)
+
+
+def suite_names() -> Tuple[str, ...]:
+    return tuple(spec.name for spec in SUITE)
+
+
+def get_spec(name: str) -> BenchSpec:
+    for spec in SUITE:
+        if spec.name == name:
+            return spec
+    raise BenchError(
+        f"unknown benchmark {name!r}; registered: {', '.join(suite_names())}"
+    )
+
+
+def extract_metric(doc: Mapping[str, Any], key: str) -> Any:
+    """Resolve a dotted keypath inside a metrics document."""
+    node: Any = doc
+    for part in key.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            raise BenchError(
+                f"metric {key!r} missing from result document "
+                f"(stopped at {part!r})"
+            )
+        node = node[part]
+    return node
+
+
+def allowed_bound(spec: MetricSpec, baseline: float) -> float:
+    """The worst fresh value ``spec`` tolerates against ``baseline``."""
+    if spec.direction == "higher":
+        return baseline * (1.0 - spec.tolerance) - spec.abs_slack
+    if spec.direction == "lower":
+        return baseline * (1.0 + spec.tolerance) + spec.abs_slack
+    raise BenchError(
+        f"metric {spec.key!r}: direction must be 'higher' or 'lower', "
+        f"got {spec.direction!r}"
+    )

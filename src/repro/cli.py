@@ -22,10 +22,20 @@ bit-identical to a serial run — see docs/PERFORMANCE.md.
 Observability surface: every command starts from a fresh metrics
 registry; ``detect``/``analyze`` accept ``--metrics-out metrics.json``
 (JSON snapshot of all counters/gauges/histograms), ``detect`` accepts
-``--trace-out trace.json`` (opt-in spans, Chrome-trace format), and
-``repro metrics metrics.json`` re-renders a snapshot as Prometheus text
-exposition. ``--log-level``/``--log-json`` configure the structured
-``repro.*`` loggers.
+``--trace-out trace.json`` (opt-in spans, Chrome-trace format), both
+accept ``--profile-out profile.json`` (per-stage wall/CPU attribution,
+``repro.obs.profile/v1``), and ``repro metrics metrics.json`` /
+``repro profile profile.json`` re-render the snapshots (Prometheus
+text; top-N self-time table, collapsed stacks, or speedscope JSON).
+``--log-level``/``--log-json`` configure the structured ``repro.*``
+loggers.
+
+Performance surface (docs/PERFORMANCE.md): ``repro bench check`` runs
+the registered ``benchmarks/bench_*.py`` suites and gates the fresh
+numbers against the committed ``BENCH_*.json`` baselines; an
+out-of-tolerance metric exits with the dedicated regression code (8).
+``repro bench run`` measures without gating and ``repro bench history``
+lists the appended ``benchmarks/history.jsonl`` trajectory.
 
 Robustness surface (docs/ROBUSTNESS.md): ``detect``/``analyze`` accept
 ``--inject 'drop:0.1,stall:0.05:3@membus'`` fault-injection specs,
@@ -95,8 +105,8 @@ def _report_trial_failures(results) -> List:
     return usable
 
 
-def _write_obs_artifacts(args, recorder=None) -> None:
-    """Persist the run's metrics snapshot / span trace, if requested."""
+def _write_obs_artifacts(args, recorder=None, profiler=None) -> None:
+    """Persist the run's metrics snapshot / span trace / stage profile."""
     if getattr(args, "metrics_out", None):
         get_default().write_json(args.metrics_out)
         print(
@@ -109,6 +119,17 @@ def _write_obs_artifacts(args, recorder=None) -> None:
         print(
             f"chrome trace ({len(recorder.spans())} spans) written to "
             f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    if profiler is not None:
+        from repro.obs.profile import disable_profiling
+
+        doc = profiler.write_json(args.profile_out)
+        disable_profiling()
+        print(
+            f"stage profile ({doc['spans']} spans, "
+            f"{len(doc['stages'])} stages) written to {args.profile_out}; "
+            "render with `repro profile`",
             file=sys.stderr,
         )
 
@@ -196,6 +217,11 @@ def _cmd_detect(args) -> int:
         sinks.append(TimeseriesSink(sampler))
     wants_evidence = bool(args.evidence_out or args.report_out)
     recorder = enable_tracing() if args.trace_out else None
+    profiler = None
+    if args.profile_out:
+        from repro.obs.profile import enable_profiling
+
+        profiler = enable_profiling()
     run = fig.run_channel_session(
         args.channel,
         message,
@@ -255,7 +281,7 @@ def _cmd_detect(args) -> int:
         }
         print(json.dumps(payload, sort_keys=True))
         _forensics()
-        _write_obs_artifacts(args, recorder)
+        _write_obs_artifacts(args, recorder, profiler)
         return 0
     print(
         f"channel: {args.channel} @ {args.bandwidth:g} bps, "
@@ -270,7 +296,7 @@ def _cmd_detect(args) -> int:
     print()
     print(report.render())
     _forensics()
-    _write_obs_artifacts(args, recorder)
+    _write_obs_artifacts(args, recorder, profiler)
     return 0
 
 
@@ -425,6 +451,11 @@ def _cmd_analyze(args) -> int:
 
         sampler = MetricsSampler(every_quanta=1, source="analyze")
         sinks.append(TimeseriesSink(sampler))
+    profiler = None
+    if args.profile_out:
+        from repro.obs.profile import enable_profiling
+
+        profiler = enable_profiling()
     report = analyze_traces(
         archive,
         window_fraction=args.window_fraction,
@@ -454,7 +485,7 @@ def _cmd_analyze(args) -> int:
             },
             sampler=sampler,
         )
-    _write_obs_artifacts(args)
+    _write_obs_artifacts(args, profiler=profiler)
     return 0 if not report.any_detected else 3
 
 
@@ -488,6 +519,124 @@ def _cmd_metrics(args) -> int:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
         print(render_prometheus(snapshot), end="")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import (
+        load_profile,
+        render_collapsed,
+        render_top,
+        to_speedscope,
+    )
+
+    doc = load_profile(args.path)
+    if args.format == "collapsed":
+        text = render_collapsed(doc)
+    elif args.format == "speedscope":
+        text = (
+            json.dumps(to_speedscope(doc, name=args.path), sort_keys=True)
+            + "\n"
+        )
+    else:
+        text = render_top(doc, args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(
+            f"profile rendering ({args.format}) written to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def _bench_provenance():
+    """Timestamp/revision/fingerprint for a bench run, computed here —
+    the bench library never reads the wall clock itself."""
+    from datetime import datetime, timezone
+
+    from repro.bench import git_revision, machine_fingerprint
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "git_rev": git_revision(),
+        "fingerprint": machine_fingerprint(),
+    }
+
+
+def _cmd_bench_check(args) -> int:
+    from repro.bench import check_benches
+
+    report = check_benches(
+        args.names or None,
+        baseline_dir=args.baseline_dir,
+        benchmarks_dir=args.benchmarks_dir,
+        quick=args.quick,
+        history_path=None if args.no_history else args.history,
+        **_bench_provenance(),
+    )
+    for bench in report["benches"]:
+        for row in bench["rows"]:
+            if row.get("skipped"):
+                verdict = "skip (full run only)"
+            elif row["kind"] == "bool":
+                verdict = f"ok   {row['fresh']} (baseline {row['baseline']})"
+            else:
+                verdict = (
+                    f"ok   {row['fresh']:.6g} vs baseline "
+                    f"{row['baseline']:.6g} (bound {row['allowed']:.6g}, "
+                    f"{row['direction']} is better)"
+                )
+            print(f"{row['bench']}.{row['metric']}: {verdict}")
+    mode = "quick" if report["quick"] else "full"
+    print(f"bench check ({mode}): all gated metrics within tolerance")
+    return 0
+
+
+def _cmd_bench_run(args) -> int:
+    from repro.bench import append_history, bench_result, run_bench, suite_names
+
+    provenance = _bench_provenance()
+    names = args.names or suite_names()
+    records = []
+    for name in names:
+        metrics = run_bench(name, args.benchmarks_dir, quick=args.quick)
+        records.append(
+            bench_result(
+                name,
+                metrics,
+                timestamp=provenance["timestamp"],
+                quick=args.quick,
+                git_rev=provenance["git_rev"],
+                fingerprint=provenance["fingerprint"],
+            )
+        )
+        print(json.dumps(records[-1], sort_keys=True))
+    if not args.no_history:
+        count = append_history(args.history, records)
+        print(
+            f"{count} bench result(s) appended to {args.history}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_bench_history(args) -> int:
+    from repro.bench import load_history
+
+    records = load_history(args.history)
+    if args.name:
+        records = [r for r in records if r.get("name") == args.name]
+    for record in records:
+        rev = record.get("git_rev") or "-"
+        mode = "quick" if record.get("quick") else "full"
+        print(
+            f"{record.get('timestamp') or '-':<32} {record.get('name'):<16} "
+            f"{mode:<5} {rev[:12]}"
+        )
+    print(f"{len(records)} run(s)", file=sys.stderr)
     return 0
 
 
@@ -599,6 +748,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="record spans and write a Chrome-trace JSON file to PATH",
     )
+    detect.add_argument(
+        "--profile-out", metavar="PATH", dest="profile_out",
+        help="attribute per-stage wall/CPU time and write the "
+        "repro.obs.profile/v1 document to PATH (render with "
+        "`repro profile`)",
+    )
     detect.add_argument("--inject", metavar="SPEC", help=_INJECT_HELP)
     detect.add_argument(
         "--watch", action="store_true",
@@ -657,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH",
         help="write a JSON metrics snapshot of the replay to PATH",
     )
+    analyze.add_argument(
+        "--profile-out", metavar="PATH", dest="profile_out",
+        help="attribute per-stage wall/CPU time and write the "
+        "repro.obs.profile/v1 document to PATH (render with "
+        "`repro profile`)",
+    )
     analyze.add_argument("--inject", metavar="SPEC", help=_INJECT_HELP)
     analyze.add_argument(
         "--seed", type=int, default=0,
@@ -703,6 +864,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: Prometheus text exposition)",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    profile = sub.add_parser(
+        "profile",
+        help="render a --profile-out stage profile (table, collapsed "
+        "stacks, or speedscope JSON)",
+    )
+    profile.add_argument("path", help="profile.json from --profile-out")
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the self-time table (default 15)",
+    )
+    profile.add_argument(
+        "--format", choices=("table", "collapsed", "speedscope"),
+        default="table",
+        help="table: top-N self-time; collapsed: flamegraph.pl input; "
+        "speedscope: JSON for https://speedscope.app (default table)",
+    )
+    profile.add_argument(
+        "--out", metavar="PATH",
+        help="write the rendering to PATH instead of stdout",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the registered benchmarks and gate against the "
+        "committed BENCH_*.json baselines (docs/PERFORMANCE.md)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_bench_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "names", nargs="*", metavar="NAME",
+            help="benchmarks to run (default: the whole registered suite)",
+        )
+        p.add_argument(
+            "--quick", action="store_true",
+            help="low-trial smoke mode (REPRO_BENCH_QUICK): gates only "
+            "metrics a 2-trial run can resolve",
+        )
+        p.add_argument(
+            "--benchmarks-dir", default="benchmarks", metavar="DIR",
+            dest="benchmarks_dir",
+            help="directory holding bench_*.py modules (default: "
+            "benchmarks/, i.e. run from the repo root)",
+        )
+        p.add_argument(
+            "--history", default="benchmarks/history.jsonl", metavar="PATH",
+            help="JSONL run-history file to append results to "
+            "(default: benchmarks/history.jsonl)",
+        )
+        p.add_argument(
+            "--no-history", action="store_true", dest="no_history",
+            help="do not append this run to the history file",
+        )
+
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="run benches and fail (exit 8) on any out-of-tolerance "
+        "metric vs the committed baselines",
+    )
+    _add_bench_common(bench_check)
+    bench_check.add_argument(
+        "--baseline-dir", default=".", metavar="DIR", dest="baseline_dir",
+        help="directory holding the committed BENCH_*.json baselines "
+        "(default: the current directory, i.e. run from the repo root)",
+    )
+    bench_check.set_defaults(func=_cmd_bench_check)
+
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="run benches and print result documents without gating",
+    )
+    _add_bench_common(bench_run)
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_history = bench_sub.add_parser(
+        "history", help="list the appended bench run history"
+    )
+    bench_history.add_argument(
+        "--history", default="benchmarks/history.jsonl", metavar="PATH",
+        help="JSONL run-history file (default: benchmarks/history.jsonl)",
+    )
+    bench_history.add_argument(
+        "--name", metavar="NAME", help="only show runs of this benchmark"
+    )
+    bench_history.set_defaults(func=_cmd_bench_history)
 
     return parser
 

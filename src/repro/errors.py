@@ -18,6 +18,7 @@ code  constant                meaning
 5     EXIT_MISSING_INPUT      input file missing or unreadable
 6     EXIT_TRIAL_FAILURE      trial execution failed (crash/timeout)
 7     EXIT_INTERNAL           any other library error
+8     EXIT_BENCH_REGRESSION   benchmark regressed past baseline tolerance
 ====  ======================  ===========================================
 """
 
@@ -64,6 +65,14 @@ class FaultSpecError(ReproError):
     """A fault-injection spec string could not be parsed."""
 
 
+class BenchError(ReproError):
+    """A benchmark spec, baseline, or result document is unusable."""
+
+
+class BenchRegressionError(BenchError):
+    """A fresh benchmark run regressed past its baseline tolerance."""
+
+
 # ------------------------------------------------------------- exit codes
 
 EXIT_OK = 0
@@ -73,6 +82,7 @@ EXIT_CORRUPT_ARCHIVE = 4
 EXIT_MISSING_INPUT = 5
 EXIT_TRIAL_FAILURE = 6
 EXIT_INTERNAL = 7
+EXIT_BENCH_REGRESSION = 8
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -80,13 +90,16 @@ def exit_code_for(exc: BaseException) -> int:
     # Imported lazily to keep this module dependency-free at import time.
     from repro.exec.runner import ExecError
     from repro.obs.evidence import EvidenceError
+    from repro.obs.profile import ProfileError
 
+    if isinstance(exc, BenchRegressionError):
+        return EXIT_BENCH_REGRESSION
     if isinstance(exc, (TraceCorruptionError, EvidenceError)):
         return EXIT_CORRUPT_ARCHIVE
     if isinstance(exc, (FileNotFoundError, IsADirectoryError, PermissionError)):
         return EXIT_MISSING_INPUT
     if isinstance(exc, ExecError):
         return EXIT_TRIAL_FAILURE
-    if isinstance(exc, (FaultSpecError, ConfigError)):
+    if isinstance(exc, (FaultSpecError, ConfigError, BenchError, ProfileError)):
         return EXIT_USAGE
     return EXIT_INTERNAL

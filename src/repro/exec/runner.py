@@ -86,6 +86,7 @@ from typing import (
 
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.util.rng import derive_rng, spawn_seed
 
@@ -211,6 +212,7 @@ class _ChunkResult:
     results: List[Any]
     seconds: List[float]
     metrics_snapshot: Optional[Dict[str, Any]]
+    profile_snapshot: Optional[Dict[str, Any]] = None
 
 
 def _run_chunk(
@@ -218,6 +220,7 @@ def _run_chunk(
     items: Sequence[Tuple[int, Dict[str, Any]]],
     fresh_registry: bool,
     timeout_s: Optional[float] = None,
+    profile: bool = False,
 ) -> _ChunkResult:
     """Run one chunk of trials; the worker-side entry point.
 
@@ -230,11 +233,26 @@ def _run_chunk(
     With ``timeout_s`` set, each trial runs under a wall-clock alarm and
     failures (timeout or exception) become :class:`TrialFailure` results
     rather than propagating — one bad trial cannot take down the chunk.
+
+    With ``profile`` set (the parent had a :class:`StageProfiler`
+    active), the chunk runs under its own fresh profiler — mirroring
+    the fresh-registry rule, so a forked worker never re-counts stages
+    inherited from the parent — and ships its ``repro.obs.profile/v1``
+    snapshot back for the parent's canonical-order merge.
     """
     previous = obs_metrics.get_default()
     registry = MetricsRegistry() if fresh_registry else previous
     if fresh_registry:
         obs_metrics.set_default(registry)
+    previous_profiler = obs_tracing.get_profiler()
+    profiler = None
+    if profile:
+        # Imported here: workers only pay for the profile module when
+        # the parent actually profiles.
+        from repro.obs.profile import StageProfiler
+
+        profiler = StageProfiler()
+        obs_tracing.set_profiler(profiler)
     try:
         indices: List[int] = []
         results: List[Any] = []
@@ -266,8 +284,11 @@ def _run_chunk(
     finally:
         if fresh_registry:
             obs_metrics.set_default(previous)
+        if profile:
+            obs_tracing.set_profiler(previous_profiler)
     snapshot = registry.to_dict() if fresh_registry else None
-    return _ChunkResult(indices, results, seconds, snapshot)
+    profile_snapshot = profiler.to_dict() if profiler is not None else None
+    return _ChunkResult(indices, results, seconds, snapshot, profile_snapshot)
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -381,23 +402,38 @@ class TrialRunner:
             "Trial sweeps executed by TrialRunner.",
             labels={"spec": spec.key or spec.fn.__name__},
         ).inc()
+        # When the caller has a StageProfiler active, each chunk runs
+        # under its own fresh profiler and ships a profile snapshot
+        # back, merged below alongside the metrics snapshots.
+        parent_profiler = obs_tracing.get_profiler()
+        profile = parent_profiler is not None
         if self.jobs == 1:
             chunk_results = [
                 self._finish_chunk(
-                    _run_chunk(spec.fn, chunk, True, spec.timeout_s),
+                    _run_chunk(spec.fn, chunk, True, spec.timeout_s, profile),
                     registry, spec, done, total,
                 )
                 for done, chunk in self._serial_chunks(chunks)
             ]
         else:
-            chunk_results = self._run_pooled(spec, chunks, registry, total)
+            chunk_results = self._run_pooled(
+                spec, chunks, registry, total, profile
+            )
         # Invariant 3: replay worker snapshots into the parent registry
         # in canonical chunk order, not completion order — gauge merges
         # are last-writer-wins, so this is what makes the merged
-        # registry identical for every jobs value.
+        # registry identical for every jobs value. Profile snapshots
+        # ride the same loop: their sums commute too, but keeping one
+        # order discipline for every merged artifact is cheaper than
+        # remembering which ones commute.
         for chunk_result in sorted(chunk_results, key=lambda c: c.indices[0]):
             if chunk_result.metrics_snapshot is not None:
                 registry.merge(chunk_result.metrics_snapshot)
+            if (
+                parent_profiler is not None
+                and chunk_result.profile_snapshot is not None
+            ):
+                parent_profiler.merge_dict(chunk_result.profile_snapshot)
             if self.sampler is not None:
                 self.sampler.sample(
                     label=f"chunk:{chunk_result.indices[0]}"
@@ -467,6 +503,7 @@ class TrialRunner:
         chunks: List[List[Tuple[int, Dict[str, Any]]]],
         registry: MetricsRegistry,
         total: int,
+        profile: bool = False,
     ) -> List[_ChunkResult]:
         """Fan chunks over a process pool, retrying crashed chunks.
 
@@ -523,7 +560,8 @@ class TrialRunner:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     pool.submit(
-                        _run_chunk, spec.fn, chunks[ci], True, spec.timeout_s
+                        _run_chunk, spec.fn, chunks[ci], True, spec.timeout_s,
+                        profile,
                     ): ci
                     for ci in list(pending)
                 }

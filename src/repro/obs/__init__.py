@@ -9,6 +9,11 @@ emphasis on low-overhead online monitoring:
   pass :data:`NULL_REGISTRY` to a component to switch it off entirely.
 - ``repro.obs.tracing`` — opt-in ``trace_span`` spans into a bounded
   ring buffer, exportable as Chrome-trace JSON.
+- ``repro.obs.profile`` — an opt-in :class:`StageProfiler` folding the
+  same ``trace_span`` intervals into a per-stage wall/CPU call tree
+  (self/child accounting, per-quantum rows) with flamegraph and
+  speedscope exporters; merged across TrialRunner workers like
+  metrics snapshots.
 - ``repro.obs.log`` — per-component structured loggers under the
   ``repro`` tree, with plain-text or JSON-lines output.
 - ``repro.obs.timeseries`` — a :class:`MetricsSampler` that snapshots a
@@ -63,6 +68,21 @@ from repro.obs.timeseries import (
     series_keys,
     series_values,
 )
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    ProfileError,
+    StageProfiler,
+    StageStats,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    load_profile,
+    merge_profiles,
+    profiling_enabled,
+    render_collapsed,
+    render_top,
+    to_speedscope,
+)
 from repro.obs.tracing import (
     SpanRecord,
     SpanRecorder,
@@ -109,6 +129,19 @@ __all__ = [
     "disable_tracing",
     "tracing_enabled",
     "get_recorder",
+    "PROFILE_FORMAT",
+    "ProfileError",
+    "StageProfiler",
+    "StageStats",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "get_profiler",
+    "load_profile",
+    "merge_profiles",
+    "render_collapsed",
+    "render_top",
+    "to_speedscope",
     "JsonLineFormatter",
     "configure_logging",
     "get_logger",

@@ -246,7 +246,10 @@ class MetricsRegistry:
         - **gauges** take the incoming value per label set
           (last-writer-wins, matching ``Gauge.set``);
         - **histograms** add per-bucket counts plus ``sum``/``count``;
-          the bucket bounds must match the existing family's exactly.
+          the snapshot's bucket bounds must end with the +Inf overflow
+          bucket and match the existing family's exactly — any mismatch
+          raises :class:`MetricsError` rather than silently mis-adding
+          counts across different boundaries.
 
         Families and series absent from this registry are created;
         merging into a disabled registry (``NULL_REGISTRY``) is a no-op.
@@ -271,8 +274,33 @@ class MetricsRegistry:
                     self.gauge(name, help_text, labels).set(entry["value"])
                 elif kind == "histogram":
                     bounds = [float(b) for b, _ in entry["buckets"]]
+                    # The snapshot's terminal bound must be the implicit
+                    # +Inf overflow bucket. Without this check, a
+                    # truncated snapshot would drop a *real* bucket via
+                    # the [:-1] below and silently fold its counts into
+                    # the wrong bucket of the existing series.
+                    if not bounds or not math.isinf(bounds[-1]):
+                        raise MetricsError(
+                            f"cannot merge histogram {name!r}: snapshot "
+                            "buckets must end with the +Inf overflow "
+                            f"bound, got {entry['buckets']!r}"
+                        )
+                    finite = tuple(bounds[:-1])
+                    existing = self._families.get(name)
+                    if (
+                        existing is not None
+                        and existing.buckets is not None
+                        and existing.buckets != finite
+                    ):
+                        raise MetricsError(
+                            f"cannot merge histogram {name!r}: snapshot "
+                            f"bucket boundaries {finite} do not match the "
+                            f"registered boundaries {existing.buckets}; "
+                            "adding counts across mismatched buckets "
+                            "would corrupt the distribution"
+                        )
                     series = self.histogram(
-                        name, help_text, labels, buckets=tuple(bounds[:-1])
+                        name, help_text, labels, buckets=finite
                     )
                     cumulative = [int(c) for _, c in entry["buckets"]]
                     previous = 0

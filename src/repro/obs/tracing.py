@@ -11,6 +11,13 @@ returns a shared no-op context manager without reading the clock, so
 leaving the ``with`` blocks in hot paths costs one global read and one
 function call per span — measured in ``benchmarks/bench_obs_overhead.py``.
 
+The same span intervals can additionally (or instead) feed a
+:class:`repro.obs.profile.StageProfiler` installed via
+:func:`set_profiler`: the live span hands its *single* pair of
+``perf_counter`` reads to both the recorder and the profiler, so a
+stage is never timed twice and the two artifacts can never disagree
+about a duration.
+
 Span taxonomy (see docs/OBSERVABILITY.md): dotted lowercase names,
 ``component.operation`` — ``sim.quantum``, ``source.emit``,
 ``analyzer.push``, ``session.verdicts``, ``session.sinks``,
@@ -21,6 +28,8 @@ indices), never bulk data.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from collections import deque
 from time import perf_counter
 from typing import Any, Deque, Dict, List, NamedTuple, Optional
@@ -43,6 +52,11 @@ class SpanRecorder:
             raise ValueError(f"span capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.origin = perf_counter()
+        # Stamped at construction so traces merged across TrialRunner
+        # workers land on distinct Chrome/Perfetto rows instead of all
+        # collapsing onto pid 0 / tid 0.
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
         self._spans: Deque[SpanRecord] = deque(maxlen=capacity)
         self.spans_recorded = 0
         self.spans_dropped = 0
@@ -85,8 +99,8 @@ class SpanRecorder:
                 "ph": "X",
                 "ts": s.start * 1e6,
                 "dur": s.duration * 1e6,
-                "pid": 0,
-                "tid": 0,
+                "pid": self.pid,
+                "tid": self.tid,
                 "args": s.attrs,
             }
             for s in self._spans
@@ -100,24 +114,42 @@ class SpanRecorder:
 
 
 class _Span:
-    """A live span: times its ``with`` block into a recorder."""
+    """A live span: times its ``with`` block into recorder/profiler.
 
-    __slots__ = ("_recorder", "name", "attrs", "_t0")
+    One ``perf_counter`` read on entry and one on exit feed *both*
+    consumers — the ring-buffer recorder and the stage profiler — so
+    enabling both never times an interval twice.
+    """
 
-    def __init__(self, recorder: SpanRecorder, name: str, attrs: Dict[str, Any]):
+    __slots__ = ("_recorder", "_profiler", "name", "attrs", "_t0")
+
+    def __init__(
+        self,
+        recorder: Optional[SpanRecorder],
+        profiler: Optional[Any],
+        name: str,
+        attrs: Dict[str, Any],
+    ):
         self._recorder = recorder
+        self._profiler = profiler
         self.name = name
         self.attrs = attrs
         self._t0 = 0.0
 
     def __enter__(self) -> "_Span":
         self._t0 = perf_counter()
+        if self._profiler is not None:
+            self._profiler.begin(self.name, self.attrs, self._t0)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._recorder.record(
-            self.name, self._t0, perf_counter() - self._t0, self.attrs
-        )
+        t1 = perf_counter()
+        if self._recorder is not None:
+            self._recorder.record(
+                self.name, self._t0, t1 - self._t0, self.attrs
+            )
+        if self._profiler is not None:
+            self._profiler.end(t1)
         return False
 
 
@@ -135,6 +167,9 @@ class _NoopSpan:
 
 _NOOP_SPAN = _NoopSpan()
 _recorder: Optional[SpanRecorder] = None
+# The active StageProfiler (repro.obs.profile), if any. Typed as Any to
+# keep this module free of an import cycle with repro.obs.profile.
+_profiler: Optional[Any] = None
 
 
 def enable_tracing(capacity: int = 4096) -> SpanRecorder:
@@ -159,9 +194,30 @@ def get_recorder() -> Optional[SpanRecorder]:
     return _recorder
 
 
+def set_profiler(profiler: Optional[Any]) -> None:
+    """Install (or, with None, remove) the active span profiler.
+
+    Prefer :func:`repro.obs.profile.enable_profiling`, which constructs
+    the profiler too; this is the low-level hook it rests on.
+    """
+    global _profiler
+    _profiler = profiler
+
+
+def get_profiler() -> Optional[Any]:
+    """The active span profiler, or None when profiling is disabled."""
+    return _profiler
+
+
 def trace_span(name: str, **attrs: Any):
-    """Context manager timing one operation (no-op unless tracing is on)."""
+    """Context manager timing one operation.
+
+    No-op unless span tracing and/or stage profiling is enabled; when
+    either is, the returned span feeds whichever consumers are active
+    from one shared pair of clock reads.
+    """
     recorder = _recorder
-    if recorder is None:
+    profiler = _profiler
+    if recorder is None and profiler is None:
         return _NOOP_SPAN
-    return _Span(recorder, name, attrs)
+    return _Span(recorder, profiler, name, attrs)

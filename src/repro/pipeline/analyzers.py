@@ -48,6 +48,7 @@ from repro.core.report import UnitVerdict
 from repro.errors import DetectionError
 from repro.obs.evidence import EvidenceBundle
 from repro.obs.metrics import MetricsRegistry, get_default
+from repro.obs.tracing import trace_span
 from repro.pipeline.health import Health
 from repro.pipeline.source import QuantumObservation
 from repro.util.strings import discretize_histogram
@@ -219,20 +220,29 @@ class BurstAnalyzer(_HealthMixin):
         self.analyses.append(analysis)
         if self.evidence is not None:
             # Capture reads values already computed above — it can never
-            # perturb the verdict numerics (bit-identical on/off).
-            self.evidence.record_lr(obs.quantum, analysis.likelihood_ratio)
-            crossed = (self._prev_lr >= self.lr_threshold) != (
-                analysis.likelihood_ratio >= self.lr_threshold
-            )
-            if crossed:
-                direction = (
-                    "rise" if analysis.likelihood_ratio >= self.lr_threshold
-                    else "fall"
+            # perturb the verdict numerics (bit-identical on/off). The
+            # span lives inside the guard, so it costs nothing when
+            # evidence capture is off.
+            with trace_span(
+                "analyzer.evidence", unit=self.unit, quantum=obs.quantum
+            ):
+                self.evidence.record_lr(
+                    obs.quantum, analysis.likelihood_ratio
                 )
-                self.evidence.record_histogram(
-                    obs.quantum, f"lr-threshold-{direction}", hist, analysis
+                crossed = (self._prev_lr >= self.lr_threshold) != (
+                    analysis.likelihood_ratio >= self.lr_threshold
                 )
-            self._prev_lr = analysis.likelihood_ratio
+                if crossed:
+                    direction = (
+                        "rise"
+                        if analysis.likelihood_ratio >= self.lr_threshold
+                        else "fall"
+                    )
+                    self.evidence.record_histogram(
+                        obs.quantum, f"lr-threshold-{direction}", hist,
+                        analysis,
+                    )
+                self._prev_lr = analysis.likelihood_ratio
         self.quanta_seen += 1
         self._m_windows.inc(len(counts))
         # The accumulator (MonitorSlot or StreamingDensityHistogram) keeps
@@ -274,11 +284,16 @@ class BurstAnalyzer(_HealthMixin):
             default=0.0,
         )
         if self.evidence is not None:
-            self.evidence.set_cluster(
-                self.quanta_seen - 1,
-                recurrence,
-                np.sum(np.stack(list(self.histograms)), axis=0),
-            )
+            with trace_span(
+                "analyzer.evidence",
+                unit=self.unit,
+                quantum=self.quanta_seen - 1,
+            ):
+                self.evidence.set_cluster(
+                    self.quanta_seen - 1,
+                    recurrence,
+                    np.sum(np.stack(list(self.histograms)), axis=0),
+                )
         return UnitVerdict(
             unit=self.unit,
             method="burst",
@@ -473,9 +488,12 @@ class OscillationAnalyzer(_HealthMixin):
         if self.evidence is not None:
             # Read-only capture of already-computed values; never
             # perturbs the verdict numerics.
-            self.evidence.record_peak(quantum, analysis.max_peak)
-            self.evidence.record_acf_window(quantum, analysis)
-            self.evidence.record_acf(quantum, acf, analysis)
+            with trace_span(
+                "analyzer.evidence", unit=self.unit, quantum=quantum
+            ):
+                self.evidence.record_peak(quantum, analysis.max_peak)
+                self.evidence.record_acf_window(quantum, analysis)
+                self.evidence.record_acf(quantum, acf, analysis)
         if analysis.significant:
             self._m_windows_significant.inc()
 

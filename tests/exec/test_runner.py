@@ -226,3 +226,64 @@ class TestCrashRetry:
                 TrialSpec(fn=crash_always),
                 params=[{"index": i} for i in range(2)],
             )
+
+
+def spanning(index):
+    """A trial that emits nested spans for the stage profiler."""
+    from repro.obs.tracing import trace_span
+
+    with trace_span("trial.outer", quantum=index):
+        with trace_span("trial.inner", quantum=index):
+            pass
+    return index
+
+
+class TestProfileMerge:
+    """Worker profile snapshots merge into the parent profiler in the
+    same canonical chunk order as metrics snapshots."""
+
+    @pytest.fixture(autouse=True)
+    def _profiling_off(self):
+        from repro.obs.profile import disable_profiling
+
+        disable_profiling()
+        yield
+        disable_profiling()
+
+    def _profiled_run(self, jobs):
+        from repro.obs.profile import disable_profiling, enable_profiling
+
+        profiler = enable_profiling()
+        try:
+            runner = TrialRunner(jobs=jobs, chunk_size=2,
+                                 metrics=NULL_REGISTRY)
+            results = runner.run_trials(
+                TrialSpec(fn=spanning, key="prof"),
+                params=[{"index": i} for i in range(6)],
+            )
+        finally:
+            disable_profiling()
+        assert results == list(range(6))
+        return profiler.to_dict()
+
+    def test_pooled_profile_matches_serial_structure(self):
+        serial = self._profiled_run(jobs=1)
+        pooled = self._profiled_run(jobs=2)
+        for doc in (serial, pooled):
+            by_path = {tuple(e["path"]): e for e in doc["stages"]}
+            assert by_path[("trial.outer",)]["calls"] == 6
+            assert by_path[("trial.outer", "trial.inner")]["calls"] == 6
+        # Per-quantum rows come back in canonical trial order even when
+        # chunks complete out of order across workers.
+        for doc in (serial, pooled):
+            assert [r["quantum"] for r in doc["quanta"]["rows"]] == (
+                list(range(6))
+            )
+
+    def test_no_parent_profiler_means_no_snapshots(self):
+        runner = TrialRunner(jobs=2, chunk_size=2, metrics=NULL_REGISTRY)
+        results = runner.run_trials(
+            TrialSpec(fn=spanning, key="prof"),
+            params=[{"index": i} for i in range(4)],
+        )
+        assert results == list(range(4))

@@ -1,0 +1,116 @@
+"""Property tests for the Prometheus exposition format.
+
+The exposition text is parsed by external scrapers, so the properties
+here are the ones a scraper relies on: label values survive escaping no
+matter what bytes the pipeline puts in them, and histogram bucket lines
+form a cumulative distribution whose ``+Inf`` terminal equals the
+observation count.
+"""
+
+import math
+import re
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+# Printable-ish text plus the three characters the format must escape.
+_label_values = st.text(
+    alphabet=st.sampled_from(
+        list("abcXYZ019 _-.{}=,") + ["\\", '"', "\n"]
+    ),
+    min_size=0,
+    max_size=24,
+)
+
+_LABEL_RE = re.compile(r'\{unit="((?:\\.|[^"\\])*)"\}')
+
+
+def _unescape(value: str) -> str:
+    """Reverse the exposition-format label escaping (\\\\, \\", \\n)."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestLabelEscaping:
+    @given(_label_values)
+    def test_label_value_round_trips_through_exposition(self, value):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"unit": value}).inc()
+        text = reg.render_prometheus()
+        sample_lines = [
+            line for line in text.splitlines()
+            if line.startswith("c_total") and not line.startswith("#")
+        ]
+        # A raw newline in a label value must never split the sample
+        # across lines — exactly one sample line for one series.
+        assert len(sample_lines) == 1
+        (line,) = sample_lines
+        match = _LABEL_RE.search(line)
+        assert match is not None, line
+        assert _unescape(match.group(1)) == value
+
+    @given(_label_values, _label_values)
+    def test_distinct_values_stay_distinct_after_escaping(self, v1, v2):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"unit": v1}).inc(1)
+        reg.counter("c_total", labels={"unit": v2}).inc(2)
+        text = reg.render_prometheus()
+        escaped = set(_LABEL_RE.findall(text))
+        recovered = {_unescape(e) for e in escaped}
+        assert recovered == {v1, v2}
+
+
+class TestHistogramCumulative:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=0, max_size=50,
+        ),
+        st.lists(
+            st.floats(
+                min_value=-1e3, max_value=1e3,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=8, unique=True,
+        ),
+    )
+    def test_cumulative_ends_at_inf_with_total_count(self, samples, bounds):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=tuple(sorted(bounds)))
+        for x in samples:
+            h.observe(x)
+        cumulative = h.cumulative()
+        # Monotone non-decreasing, terminal bucket holds every sample.
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == h.count == len(samples)
+        # The exposition text agrees: le="+Inf" carries the total count,
+        # and matches the _count sample exactly.
+        snap = reg.to_dict()
+        (series,) = snap["metrics"]["h_seconds"]["series"]
+        bound_labels = [b for b, _ in series["buckets"]]
+        assert bound_labels[-1] == "+Inf"
+        assert not any(
+            math.isinf(float(b)) for b in bound_labels[:-1]
+        )
+        text = reg.render_prometheus()
+        inf_line = next(
+            line for line in text.splitlines()
+            if line.startswith('h_seconds_bucket{le="+Inf"}')
+        )
+        assert inf_line.endswith(f" {len(samples)}")
+        assert f"h_seconds_count {len(samples)}" in text

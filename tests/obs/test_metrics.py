@@ -232,6 +232,39 @@ class TestMerge:
         with pytest.raises(MetricsError):
             a.merge(b.to_dict())
 
+    def test_histogram_boundary_mismatch_fails_loudly_not_silently(self):
+        """A mismatch must never mis-add counts — and the error says why."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        b.histogram("lat", buckets=(1.0, 20.0)).observe(15.0)
+        before = [c for c in a.histogram("lat", buckets=(1.0, 10.0)).counts]
+        with pytest.raises(MetricsError, match="do not match"):
+            a.merge(b.to_dict())
+        # The failed merge left the existing series untouched.
+        assert a.histogram("lat", buckets=(1.0, 10.0)).counts == before
+
+    def test_histogram_snapshot_without_inf_terminal_rejected(self):
+        """A truncated snapshot (no +Inf overflow bucket) used to drop a
+        real bucket via [:-1] and silently fold its counts into the
+        overflow of the existing series; now it raises."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        snapshot = b.to_dict()
+        snapshot["metrics"]["lat"] = {
+            "type": "histogram",
+            "help": "",
+            "series": [{
+                "labels": {},
+                # Terminal bound is a real bucket, not +Inf: corrupt.
+                "buckets": [["1", 1], ["10", 2], ["100", 3]],
+                "sum": 12.0,
+                "count": 3,
+            }],
+        }
+        with pytest.raises(MetricsError, match=r"\+Inf"):
+            a.merge(snapshot)
+        assert a.histogram("lat", buckets=(1.0, 10.0)).count == 1
+
     def test_creates_missing_families_and_series(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         b.counter("fresh_total", "docs", labels={"x": "1"}).inc()

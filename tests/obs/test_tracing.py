@@ -98,6 +98,19 @@ class TestSpanRecorder:
         assert event["dur"] == pytest.approx(2000.0)  # microseconds
         assert event["args"] == {"quantum": 0}
 
+    def test_chrome_trace_events_carry_real_pid_tid(self):
+        import os
+        import threading
+
+        recorder = SpanRecorder()
+        recorder.record("sim.quantum", recorder.origin, 0.001, {})
+        (event,) = recorder.to_chrome_trace()["traceEvents"]
+        # Events from different worker processes must land on distinct
+        # Chrome/Perfetto rows when their traces are merged, so the
+        # recorder stamps the real ids, not the old hardcoded 0/0.
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+
     def test_clear(self):
         recorder = SpanRecorder()
         recorder.record("a", 0.0, 0.0, {})
