@@ -92,6 +92,7 @@ def run_channel_session(
     capture_evidence: bool = False,
     metrics=None,
     columnar: bool = True,
+    cache_vectorized: bool = True,
     **channel_kwargs,
 ) -> ChannelRun:
     """Run one covert transmission under CC-Hunter audit.
@@ -105,11 +106,13 @@ def run_channel_session(
     stream before it reaches the analyzers — the robustness drills'
     entry point into a live session. ``columnar`` selects the tap read
     strategy (hot path vs legacy full-history reference) and exists so
-    the parity tests can run the same session both ways.
+    the parity tests can run the same session both ways;
+    ``cache_vectorized`` does the same for the shared cache's batched
+    access kernels.
     """
     if kind not in _CHANNELS:
         raise ReproError(f"unknown channel kind {kind!r}")
-    machine = Machine(seed=seed, metrics=metrics)
+    machine = Machine(seed=seed, metrics=metrics, cache_vectorized=cache_vectorized)
     hunter = CCHunter(
         machine,
         window_fraction=window_fraction,

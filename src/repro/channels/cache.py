@@ -147,6 +147,33 @@ class CacheCovertChannel(CovertChannel):
             s: [_TROJAN_TAG_BASE + s * 16 + w for w in range(ways)]
             for s in self.g1_sets + self.g0_sets
         }
+        # Without subset evasion every set of a swept group rotates in
+        # lockstep, so a group has only ``ways`` distinct sweep patterns;
+        # precompute them as (n, 2) arrays the cache's batch kernel takes
+        # without conversion, and track one rotation counter per group.
+        self._ways = ways
+        self._sweep_variants: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+        self._sweep_rot: Dict[Tuple[int, ...], int] = {}
+        if self.evasion_subset_frac >= 1.0:
+            for group in (self.g1_sets, self.g0_sets):
+                variants = []
+                for r in range(ways):
+                    rows = [
+                        (s, _TROJAN_TAG_BASE + s * 16 + (r + w) % ways)
+                        for s in group
+                        for w in range(ways)
+                    ]
+                    variants.append(np.asarray(rows, dtype=np.int64))
+                self._sweep_variants[group] = variants
+                self._sweep_rot[group] = 0
+        #: The spy's probe patterns never change: one resident line per
+        #: set of each group, in group order.
+        self._spy_probe_g1 = np.asarray(
+            [(s, self._spy_tag(s)) for s in self.g1_sets], dtype=np.int64
+        )
+        self._spy_probe_g0 = np.asarray(
+            [(s, self._spy_tag(s)) for s in self.g0_sets], dtype=np.int64
+        )
         #: Spy-observed mean access latency per group per bit (Figure 7).
         self.g1_means: List[float] = []
         self.g0_means: List[float] = []
@@ -164,16 +191,23 @@ class CacheCovertChannel(CovertChannel):
 
     # --------------------------------------------------------------- bodies
 
-    def _trojan_sweep_accesses(
-        self, sets: Sequence[int]
-    ) -> Tuple[Tuple[int, int], ...]:
+    def _trojan_sweep_accesses(self, sets: Sequence[int]):
         """One sweep: every trojan line of every set, rotation applied.
+
+        Returns a precomputed ``(n, 2)`` array when the group's sweep
+        pattern is one of the ``ways`` lockstep rotations, else a tuple
+        of pairs (subset evasion diverges the per-set rotations).
 
         Under subset evasion each set is swept only with probability
         ``evasion_subset_frac`` this round; unswept sets keep their
         rotation state (their spy line stays resident, so the spy reads a
         weaker signal there).
         """
+        variants = self._sweep_variants.get(sets)
+        if variants is not None:
+            r = self._sweep_rot[sets]
+            self._sweep_rot[sets] = (r + 1) % self._ways
+            return variants[r]
         accesses: List[Tuple[int, int]] = []
         for s in sets:
             if (
@@ -207,7 +241,7 @@ class CacheCovertChannel(CovertChannel):
                     continue  # evasion: break periodicity, starve the spy
                 yield WaitUntil(self._round_start(i, r))
                 sweep = self._trojan_sweep_accesses(group)
-                if sweep:
+                if len(sweep):
                     yield CacheAccessSeries(accesses=sweep)
 
     def _spy_body(self, proc: Process):
@@ -219,16 +253,8 @@ class CacheCovertChannel(CovertChannel):
                 yield WaitUntil(
                     self._round_start(i, r) + self.sweep_allowance
                 )
-                lat1 = yield CacheAccessSeries(
-                    accesses=tuple(
-                        (s, self._spy_tag(s)) for s in self.g1_sets
-                    )
-                )
-                lat0 = yield CacheAccessSeries(
-                    accesses=tuple(
-                        (s, self._spy_tag(s)) for s in self.g0_sets
-                    )
-                )
+                lat1 = yield CacheAccessSeries(accesses=self._spy_probe_g1)
+                lat0 = yield CacheAccessSeries(accesses=self._spy_probe_g0)
                 g1_lat.append(lat1)
                 g0_lat.append(lat0)
             g1_mean = float(np.concatenate(g1_lat).mean()) + self.measure_overhead

@@ -16,14 +16,29 @@ have been touched, discarding the oldest generation (flash-clearing its
 column and bloom filter). A miss whose tag hits any live bloom filter was
 evicted within roughly the last ``capacity`` distinct block touches —
 a conflict miss.
+
+The generation tracker is on the simulator's per-access hot path, so it
+offers three access grades: the scalar protocol methods, vectorized
+batch kernels (``on_access_batch`` / ``check_recent_eviction_batch``)
+over whole key columns, and :meth:`GenerationConflictTracker.series_ops`
+— per-key closures with the tracker's containers pre-bound, which the
+shared cache's batched access kernel threads through its tight
+LRU/replacement loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
+
+import numpy as np
 
 from repro.errors import HardwareError
-from repro.hardware.bloom import BloomFilter
+from repro.hardware.bloom import (
+    _MASK64,
+    BloomFilter,
+    hash_indices_batch,
+    probe_words,
+)
 from repro.hardware.lru_stack import LRUStack
 
 
@@ -91,6 +106,12 @@ class GenerationConflictTracker:
         ]
         #: Per-resident-block generation bitmask (bit g set = accessed in g).
         self._gen_bits: Dict[int, int] = {}
+        #: Per-generation membership: every key whose generation bit ``g``
+        #: was set since generation ``g`` last opened (superset: replaced
+        #: keys linger until the generation recycles). Makes
+        #: :meth:`_advance_generation` proportional to one generation's
+        #: touches instead of every resident block.
+        self._members: List[Set[int]] = [set() for _ in range(generations)]
         self._current = 0
         self._accessed_in_current = 0
         self.generation_advances = 0
@@ -105,6 +126,7 @@ class GenerationConflictTracker:
         if mask & bit:
             return  # already counted in this generation
         self._gen_bits[key] = mask | bit
+        self._members[self._current].add(key)
         self._accessed_in_current += 1
         if self._accessed_in_current >= self.threshold:
             self._advance_generation()
@@ -114,17 +136,25 @@ class GenerationConflictTracker:
 
         With ``G`` generations used as a circular buffer, the slot after the
         current one holds the *oldest* generation; flash-clear its bloom
-        filter and its column in every block's generation bits, then make it
-        current (the bottom of the approximate LRU stack falls off).
+        filter and its column in every member block's generation bits, then
+        make it current (the bottom of the approximate LRU stack falls off).
+        Only the cleared generation's membership set is walked — keys that
+        never touched it are untouched, and members replaced since simply
+        miss in ``_gen_bits`` and are skipped.
         """
         new_gen = (self._current + 1) % self.generations
         cleared_bit = ~(1 << new_gen)
-        for key in list(self._gen_bits):
-            remaining = self._gen_bits[key] & cleared_bit
+        gen_bits = self._gen_bits
+        for key in self._members[new_gen]:
+            mask = gen_bits.get(key)
+            if mask is None:
+                continue  # replaced while this generation was live
+            remaining = mask & cleared_bit
             if remaining:
-                self._gen_bits[key] = remaining
+                gen_bits[key] = remaining
             else:
-                del self._gen_bits[key]
+                del gen_bits[key]
+        self._members[new_gen] = set()
         self._blooms[new_gen].clear()
         self._current = new_gen
         self._accessed_in_current = 0
@@ -161,12 +191,225 @@ class GenerationConflictTracker:
         to make room for a more recently accessed block — a conflict miss
         (subject to bloom false positives).
         """
-        return any(bloom.contains(key) for bloom in self._blooms)
+        for bloom in self._blooms:
+            if bloom.contains(key):
+                return True
+        return False
+
+    # -------------------------------------------------------------- batch
+
+    def on_access_batch(self, keys) -> None:
+        """Sequentially exact batch of :meth:`on_access` over a key column.
+
+        Generation advances fire mid-batch exactly where the scalar loop
+        would fire them; the win is one locals-bound loop instead of a
+        method call per key.
+        """
+        gen_bits = self._gen_bits
+        gb_get = gen_bits.get
+        members = self._members
+        threshold = self.threshold
+        cur = self._current
+        bit = 1 << cur
+        member_add = members[cur].add
+        count = self._accessed_in_current
+        for key in _key_iter(keys):
+            mask = gb_get(key, 0)
+            if mask & bit:
+                continue
+            gen_bits[key] = mask | bit
+            member_add(key)
+            count += 1
+            if count >= threshold:
+                self._accessed_in_current = count
+                self._advance_generation()
+                cur = self._current
+                bit = 1 << cur
+                member_add = members[cur].add
+                count = 0
+        self._accessed_in_current = count
+
+    def check_recent_eviction_batch(self, keys) -> np.ndarray:
+        """Vectorized :meth:`check_recent_eviction` over a key column.
+
+        Valid whenever no replacement or generation advance interleaves
+        the checks (the checks themselves never mutate tracker state):
+        one hash pass is shared across all generations' filters.
+        """
+        blooms = self._blooms
+        indices = blooms[0].probe_indices_batch(keys)
+        out = blooms[0].contains_batch(keys, indices=indices)
+        for bloom in blooms[1:]:
+            out |= bloom.contains_batch(keys, indices=indices)
+        return out
+
+    def replay_check_batch(
+        self,
+        n: int,
+        cand_pos,
+        cand_keys,
+        ins_pos,
+        ins_keys,
+        clears,
+        snapshot_words,
+    ) -> np.ndarray:
+        """Resolve a series' deferred eviction checks, exactly.
+
+        The cache's batch kernel defers all ``check_recent_eviction``
+        probes out of its access loop: it logs, per series position,
+        which keys were checked (``cand_*``), which victim keys were
+        inserted into which generation's bloom (``ins_*``, one list per
+        generation), and at which positions a generation advance
+        flash-cleared which bloom (``clears``). This method reconstructs
+        each check's answer *as of its position*: a probe bit counts as
+        set for the check at position ``i`` iff it was set in the
+        series-start ``snapshot_words`` or by an insert at position
+        ``j < i``, with no flash-clear of that bloom in between. Bits
+        only ever turn on between clears, so per (generation, segment
+        between clears) one first-set-position array over the filter's
+        bits answers every check in the segment vectorized.
+
+        Equivalent to interleaving scalar ``check_recent_eviction`` /
+        ``on_replacement`` / clears in series order; the hypothesis
+        suite pins that equivalence.
+        """
+        m = len(cand_pos)
+        if m == 0:
+            return np.zeros(0, dtype=bool)
+        n_bits = self._blooms[0].n_bits
+        n_hashes = self._blooms[0].n_hashes
+        pos = np.asarray(cand_pos, dtype=np.int64)
+        cand_idx = hash_indices_batch(cand_keys, n_bits, n_hashes)
+        verdict = np.zeros(m, dtype=bool)
+        u1, u6, u63 = np.uint64(1), np.uint64(6), np.uint64(63)
+        for g in range(self.generations):
+            g_clears = sorted(c for c, gg in clears if gg == g)
+            ipos_list = ins_pos[g]
+            if ipos_list:
+                ipos = np.asarray(ipos_list, dtype=np.int64)
+                iidx = hash_indices_batch(ins_keys[g], n_bits, n_hashes)
+            else:
+                ipos = np.zeros(0, dtype=np.int64)
+                iidx = np.zeros((0, n_hashes), dtype=np.uint64)
+            snap = np.asarray(snapshot_words[g], dtype=np.uint64)
+            # Segment s covers positions (bounds[s], bounds[s+1]]: a clear
+            # at position c happens after position c's check and insert,
+            # so both belong to the segment the clear terminates.
+            bounds = [-1] + g_clears + [n]
+            for s in range(len(bounds) - 1):
+                lo, hi = bounds[s], bounds[s + 1]
+                cmask = (pos > lo) & (pos <= hi)
+                if not cmask.any():
+                    continue
+                cidx = cand_idx[cmask]
+                # first[c, h] = earliest position whose insert set this
+                # probe's bit within the segment (-1: set at segment
+                # start, n: never). Segments after a clear start empty.
+                if s == 0:
+                    in_snap = (snap[cidx >> u6] >> (cidx & u63)) & u1
+                    first = np.where(
+                        in_snap.astype(bool), np.int64(-1), np.int64(n)
+                    )
+                else:
+                    first = np.full(cidx.shape, n, dtype=np.int64)
+                imask = (ipos > lo) & (ipos <= hi)
+                if imask.any():
+                    # Min insert position per distinct bit, by (bit, pos)
+                    # lexsort + first-occurrence compaction, then mapped
+                    # onto the candidates' probe bits via searchsorted.
+                    fb = iidx[imask].ravel()
+                    fp = np.repeat(ipos[imask], n_hashes)
+                    order = np.lexsort((fp, fb))
+                    fb, fp = fb[order], fp[order]
+                    keep = np.empty(fb.size, dtype=bool)
+                    keep[0] = True
+                    keep[1:] = fb[1:] != fb[:-1]
+                    ubits, upos = fb[keep], fp[keep]
+                    loc = np.minimum(
+                        np.searchsorted(ubits, cidx), ubits.size - 1
+                    )
+                    hit = ubits[loc] == cidx
+                    first = np.minimum(
+                        first, np.where(hit, upos[loc], np.int64(n))
+                    )
+                verdict[cmask] |= first.max(axis=1) < pos[cmask]
+        return verdict
+
+    def series_ops(
+        self,
+    ) -> Tuple[Callable[[int], None], Callable[[int], None], Callable[[int], bool]]:
+        """Hot-path closures ``(on_access, on_replacement, check)``.
+
+        Behaviorally identical to the scalar protocol methods, with the
+        tracker's stable containers (generation-bit dict, membership
+        sets, packed bloom words) bound into the closures. The mutable
+        scalars (``_current``, ``_accessed_in_current``) are read and
+        written through the instance on every call, so closure calls and
+        direct method calls can interleave freely.
+        """
+        tracker = self
+        gen_bits = self._gen_bits
+        gb_get = gen_bits.get
+        members = self._members
+        blooms = self._blooms
+        words_lists = [bloom._words for bloom in blooms]
+        threshold = self.threshold
+        generations = self.generations
+        n_bits = blooms[0].n_bits
+        n_hashes = blooms[0].n_hashes
+        probe = probe_words
+
+        def on_access(key: int) -> None:
+            cur = tracker._current
+            bit = 1 << cur
+            mask = gb_get(key, 0)
+            if mask & bit:
+                return
+            gen_bits[key] = mask | bit
+            members[cur].add(key)
+            count = tracker._accessed_in_current + 1
+            if count >= threshold:
+                tracker._accessed_in_current = count
+                tracker._advance_generation()
+            else:
+                tracker._accessed_in_current = count
+
+        def on_replacement(key: int) -> None:
+            mask = gb_get(key, 0)
+            if mask == 0:
+                gen_bits.pop(key, None)
+                return
+            cur = tracker._current
+            for back in range(generations):
+                g = (cur - back) % generations
+                if mask & (1 << g):
+                    break
+            words = words_lists[g]
+            for w, m in probe(key & _MASK64, n_bits, n_hashes):
+                words[w] |= m
+            blooms[g].insertions += 1
+            del gen_bits[key]
+
+        def check(key: int) -> bool:
+            pairs = probe(key & _MASK64, n_bits, n_hashes)
+            for words in words_lists:
+                for w, m in pairs:
+                    if not words[w] & m:
+                        break
+                else:
+                    return True
+            return False
+
+        return on_access, on_replacement, check
+
+    # -------------------------------------------------------------- state
 
     def clear(self) -> None:
         for bloom in self._blooms:
             bloom.clear()
         self._gen_bits.clear()
+        for g in range(self.generations):
+            self._members[g] = set()
         self._current = 0
         self._accessed_in_current = 0
 
@@ -174,3 +417,10 @@ class GenerationConflictTracker:
     def metadata_bits_per_block(self) -> int:
         """Generation bits plus 3-bit owner context, per the paper."""
         return self.generations + 3
+
+
+def _key_iter(keys):
+    """Plain-int iteration over a key column (ndarray or sequence)."""
+    if isinstance(keys, np.ndarray):
+        return keys.tolist()
+    return keys

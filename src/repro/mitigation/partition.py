@@ -88,7 +88,20 @@ class _WayPartition:
         return latency, False
 
     def remove(self) -> None:
-        self.cache.access = self._original_access  # type: ignore
+        """Restore the unpartitioned access path.
+
+        Drops the instance-level override entirely when the original was
+        the plain class method, so the cache's batch kernels (disabled
+        while any ``access`` wrapper is installed) re-engage; a stacked
+        wrapper is reinstalled as-is.
+        """
+        cache = self.cache
+        try:
+            del cache.access
+        except AttributeError:
+            pass
+        if cache.access != self._original_access:
+            cache.access = self._original_access  # type: ignore
 
 
 def partition_cache_ways(

@@ -131,13 +131,16 @@ class CacheAccessSeries(object):
 
     Accesses issue back-to-back (each one's start is the previous one's
     completion plus ``gap`` cycles). Returns a numpy array of latencies.
+    ``accesses`` may be a tuple of pairs or an ``(n, 2)`` integer ndarray
+    — channels that reuse a fixed access pattern pass a precomputed
+    array so the cache's batch kernel skips the per-series conversion.
     """
 
     accesses: Tuple[Tuple[int, int], ...]
     gap: int = 8
 
     def __post_init__(self) -> None:
-        if not self.accesses:
+        if len(self.accesses) == 0:
             raise SimulationError("cache access series cannot be empty")
         if self.gap < 0:
             raise SimulationError("cache access gap cannot be negative")
