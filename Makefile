@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint bench bench-check profile examples figures \
-	report clean
+	report serve-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,23 @@ examples:
 	$(PYTHON) examples/streaming_audit.py
 	$(PYTHON) examples/metrics_dashboard.py
 	$(PYTHON) examples/forensic_report.py
+	$(PYTHON) examples/multi_tenant_audit.py
+
+# Multi-tenant detection service demo (docs/SERVING.md): start the
+# service, stream one covert tenant over a lossy link and one benign
+# tenant at it, then SIGINT for a graceful drain and summary.
+SERVE_PORT ?= 7341
+serve-demo:
+	@PYTHONPATH=src $(PYTHON) -m repro serve --port $(SERVE_PORT) & \
+	SERVE_PID=$$!; \
+	sleep 1; \
+	PYTHONPATH=src $(PYTHON) -m repro stream --tenant covert-demo \
+		--port $(SERVE_PORT) --profile covert --quanta 24 \
+		--inject drop:0.2 || test $$? -eq 3; \
+	PYTHONPATH=src $(PYTHON) -m repro stream --tenant benign-demo \
+		--port $(SERVE_PORT) --profile benign --quanta 24; \
+	kill -INT $$SERVE_PID; \
+	wait $$SERVE_PID
 
 # End-to-end forensics demo: run a detection with evidence capture and
 # render the self-contained HTML report (docs/FORENSICS.md).

@@ -1,0 +1,198 @@
+"""Extension: multi-tenant detection service under load.
+
+The serve path (docs/SERVING.md) multiplexes many tenants' observation
+streams into a sharded pool of detection sessions, trading latency for
+bounded memory via credits and load-shedding. This bench sweeps the
+tenant count over one service instance and records, per tier:
+
+- **verdict latency** (p50/p95/p99 ms): wall time from the client
+  sending the observation that triggers a verdict frame to that frame
+  arriving back — fold queueing plus analysis plus notify.
+- **shed rate**: fraction of attempted observations the service shed
+  instead of folding (the small queues below make the ladder engage at
+  the top tier instead of hiding behind the credit window).
+- **throughput**: total observations folded per second across tenants.
+
+One clean low-load tenant is also replayed through an in-process
+:class:`DetectionSession`; the serve path must produce a bit-identical
+final report (the degradation ladder may slow clean tenants down, never
+change their answers).
+
+The measured curves are committed to ``BENCH_serve.json`` at the repo
+root; ``repro bench check serve_load`` gates against it (tier t16 needs
+the full run — ``--quick`` stops at t8).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from conftest import record
+
+from repro.pipeline import build_session_from_specs
+from repro.serve import DetectionService, ServeConfig, ServeClient
+from repro.serve.traffic import CHANNELS, covert_observations
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+TIERS = (2, 8) if QUICK else (2, 8, 16)
+N_QUANTA = 24 if QUICK else 48
+SEED = 11
+
+#: Deliberately tight service: queue == credit window, so sampling shed
+#: (not credits) is the binding mechanism once shards saturate.
+CONFIG = dict(
+    port=0,
+    shards=2,
+    queue_capacity=16,
+    initial_credits=16,
+    credit_batch=4,
+    verdict_every=4,
+    max_tenants=64,
+    max_resident_sessions=64,
+    overload_queue_fraction=0.5,
+    shed_sample_every=2,
+    fold_batch=8,
+)
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json",
+)
+
+
+def _percentiles(values):
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    ordered = sorted(values)
+
+    def at(fraction):
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    return {"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
+
+
+async def _stream_one(host, port, tenant, seed, latencies):
+    """Stream covert traffic, timestamping verdict round-trips."""
+    send_times = {}
+
+    def on_verdict(frame):
+        sent = send_times.get(frame.quantum)
+        if sent is not None:
+            latencies.append((time.perf_counter() - sent) * 1000.0)
+
+    client = ServeClient(host, port, on_verdict=on_verdict)
+    await client.connect(tenant, CHANNELS)
+    attempted = 0
+    try:
+        for obs in covert_observations(N_QUANTA, seed=seed):
+            send_times[obs.quantum] = time.perf_counter()
+            await client.send(obs)
+            attempted += 1
+        goodbye = await client.finish()
+    finally:
+        await client.aclose()
+    return attempted, goodbye
+
+
+async def _run_tier(n_tenants):
+    service = DetectionService(config=ServeConfig(**CONFIG))
+    host, port = await service.start()
+    latencies = []
+    t0 = time.perf_counter()
+    try:
+        results = await asyncio.gather(*(
+            _stream_one(host, port, f"tenant-{i:02d}", SEED + i, latencies)
+            for i in range(n_tenants)
+        ))
+    finally:
+        elapsed = time.perf_counter() - t0
+        await service.stop()
+    attempted = sum(a for a, _ in results)
+    folded = sum(g.received for _, g in results)
+    shed = sum(g.shed for _, g in results)
+    return {
+        "tenants": n_tenants,
+        "attempted": attempted,
+        "folded": folded,
+        "shed": shed,
+        "shed_rate": shed / attempted if attempted else 0.0,
+        "all_detected": all(
+            g.report.any_detected for _, g in results
+        ),
+        "verdict_latency_ms": _percentiles(latencies),
+        "quanta_per_second": folded / elapsed if elapsed else 0.0,
+    }
+
+
+def _reference_report():
+    """The same tenant-00 stream through an in-process session."""
+    session = build_session_from_specs(CHANNELS)
+    for obs in covert_observations(N_QUANTA, seed=SEED):
+        session.push_quantum(obs)
+    return session.close()
+
+
+async def _clean_contract():
+    """The clean-tenant contract: one uncontended tenant whose credit
+    window sits below the sampling-shed threshold must come back
+    unshed and bit-identical to the in-process pipeline. (The tier
+    sweep above deliberately lets honest tenants shed; this run is the
+    answer-preservation check.)"""
+    config = ServeConfig(**{**CONFIG, "initial_credits": 6})
+    service = DetectionService(config=config)
+    host, port = await service.start()
+    try:
+        _attempted, goodbye = await _stream_one(
+            host, port, "tenant-00", SEED, []
+        )
+    finally:
+        await service.stop()
+    return goodbye.shed == 0 and goodbye.report == _reference_report()
+
+
+async def _measure():
+    tiers = {}
+    for n_tenants in TIERS:
+        tiers[f"t{n_tenants}"] = await _run_tier(n_tenants)
+    clean_identical = await _clean_contract()
+    return {
+        "n_quanta": N_QUANTA,
+        "seed": SEED,
+        "config": {k: v for k, v in CONFIG.items() if k != "port"},
+        "quick": QUICK,
+        "tiers": tiers,
+        "clean_report_identical": clean_identical,
+    }
+
+
+def measure_serve_load():
+    return asyncio.run(_measure())
+
+
+def test_serve_load(benchmark):
+    results = benchmark.pedantic(measure_serve_load, rounds=1, iterations=1)
+    if not QUICK:  # quick CI smoke must not rewrite the committed JSON
+        with open(_OUT_PATH, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    lines = []
+    for key, tier in sorted(results["tiers"].items()):
+        lat = tier["verdict_latency_ms"]
+        lines.append(
+            f"{key:>4}: p50={lat['p50']:7.2f}ms p95={lat['p95']:7.2f}ms "
+            f"p99={lat['p99']:7.2f}ms shed={tier['shed_rate']:5.1%} "
+            f"{tier['quanta_per_second']:7.1f} q/s "
+            f"detected={tier['all_detected']}"
+        )
+    lines.append(
+        f"clean tenant bit-identical to in-process session: "
+        f"{results['clean_report_identical']}"
+    )
+    if not QUICK:
+        lines.append(f"(written to {_OUT_PATH})")
+    record("Extension: multi-tenant serve load", *lines)
+    assert results["clean_report_identical"]
+    assert all(t["all_detected"] for t in results["tiers"].values())

@@ -164,6 +164,43 @@ SUITE: Tuple[BenchSpec, ...] = (
             ),
         ),
     ),
+    BenchSpec(
+        name="serve_load",
+        module="bench_serve_load",
+        entry="measure_serve_load",
+        baseline="BENCH_serve.json",
+        metrics=(
+            # Verdict round-trip latency under light load: the gate
+            # exists to catch the event loop blocking (a synchronous
+            # fold stalling every tenant), not scheduler jitter —
+            # hence the wide relative band plus absolute slack.
+            MetricSpec(
+                "tiers.t2.verdict_latency_ms.p50", "lower",
+                tolerance=2.0, abs_slack=50.0,
+            ),
+            MetricSpec(
+                "tiers.t8.quanta_per_second", "higher", tolerance=0.75,
+            ),
+            # Shedding must stay bounded at the top tier: losing the
+            # sampling ladder (hard-shedding everything, or shedding
+            # nothing and ballooning latency) moves this a lot.
+            MetricSpec(
+                "tiers.t8.shed_rate", "lower",
+                tolerance=1.0, abs_slack=0.25,
+            ),
+            # The 16-tenant tier only runs in the full bench; the
+            # 2-trial --quick smoke stops at t8.
+            MetricSpec(
+                "tiers.t16.quanta_per_second", "higher",
+                tolerance=0.75, quick=False,
+            ),
+            MetricSpec(
+                "tiers.t16.verdict_latency_ms.p99", "lower",
+                tolerance=3.0, abs_slack=250.0, quick=False,
+            ),
+            MetricSpec("clean_report_identical", kind="bool"),
+        ),
+    ),
 )
 
 

@@ -44,6 +44,13 @@ archive records instead of aborting, and the sweep commands accept
 ``--trial-timeout SECONDS`` to record (rather than die on) stuck
 trials. Every failure mode maps to a documented exit code — see
 :mod:`repro.errors` for the taxonomy.
+
+Serving surface (docs/SERVING.md): ``repro serve`` runs the
+multi-tenant detection service until SIGINT (graceful drain, per-tenant
+summary, exit 0); ``repro stream`` points a synthetic tenant at it —
+``--profile covert|benign``, ``--inject 'drop:0.2'`` for a lossy
+transport — and exits 3 if the final report detects a channel, 9 if
+the service is unreachable or refuses admission.
 """
 
 from __future__ import annotations
@@ -640,6 +647,114 @@ def _cmd_bench_history(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the multi-tenant detection service until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.serve import DetectionService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        initial_credits=args.initial_credits,
+        verdict_every=args.verdict_every,
+        max_tenants=args.max_tenants,
+        max_resident_sessions=args.max_resident,
+        idle_expiry=args.idle_expiry,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _main():
+        service = DetectionService(config=config, metrics=get_default())
+        host, port = await service.start()
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_requested.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        # Parseable readiness line: scripts read the bound port from it
+        # (port 0 asks the OS for a free one).
+        print(
+            f"repro serve: listening on {host}:{port} "
+            f"({config.shards} shards, max {config.max_tenants} tenants)",
+            flush=True,
+        )
+        waiters = [asyncio.ensure_future(stop_requested.wait())]
+        if args.duration is not None:
+            waiters.append(
+                asyncio.ensure_future(asyncio.sleep(args.duration))
+            )
+        serving = asyncio.ensure_future(service.serve_forever())
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            serving.cancel()
+            print(
+                "repro serve: draining and shutting down",
+                file=sys.stderr,
+                flush=True,
+            )
+            stats = await service.stop()
+            await asyncio.gather(serving, return_exceptions=True)
+        return stats
+
+    stats = asyncio.run(_main())
+    print(f"{len(stats)} tenant(s) served")
+    for name in sorted(stats):
+        row = stats[name]
+        flag = "DETECTED" if row.any_detected else "clear"
+        print(
+            f"  {name:<20} folded={row.received:<6} shed={row.shed:<5} "
+            f"lost={row.lost:<5} health={row.health:<8} {flag}"
+        )
+    if args.metrics_out:
+        get_default().write_json(args.metrics_out)
+        print(
+            f"metrics snapshot written to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    """Stream synthetic tenant traffic at a running detection service."""
+    import asyncio
+
+    from repro.errors import EXIT_DETECTED
+    from repro.faults.wire import build_link
+    from repro.serve import stream_tenant
+    from repro.serve.traffic import CHANNELS, make_observations
+
+    result = asyncio.run(
+        stream_tenant(
+            args.host,
+            args.port,
+            args.tenant,
+            CHANNELS,
+            make_observations(args.profile, args.quanta, seed=args.seed),
+            link=build_link(args.inject, seed=args.seed),
+            finish_timeout=args.finish_timeout,
+        )
+    )
+    goodbye = result.goodbye
+    print(
+        f"tenant {args.tenant!r}: attempted {result.attempted}, "
+        f"folded {goodbye.received}, shed {goodbye.shed}"
+    )
+    if args.as_json:
+        print(json.dumps(goodbye.report.to_dict(), sort_keys=True))
+    else:
+        print(goodbye.report.render())
+    return EXIT_DETECTED if goodbye.report.any_detected else 0
+
+
 def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
     """Accept --jobs after the subcommand too; the global value is the
     fallback (SUPPRESS keeps the subparser from clobbering it)."""
@@ -951,6 +1066,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", metavar="NAME", help="only show runs of this benchmark"
     )
     bench_history.set_defaults(func=_cmd_bench_history)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant detection service until SIGINT "
+        "(docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default: 0 = OS-assigned; the bound "
+        "port is printed on the readiness line)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="detection worker shards (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, dest="queue_capacity",
+        help="per-tenant ingest queue depth; past it observations are "
+        "hard-shed (default: 64)",
+    )
+    serve.add_argument(
+        "--initial-credits", type=int, default=32, dest="initial_credits",
+        help="per-tenant credit window granted at hello (default: 32)",
+    )
+    serve.add_argument(
+        "--verdict-every", type=int, default=8, dest="verdict_every",
+        help="push a verdict frame every N folded quanta (default: 8)",
+    )
+    serve.add_argument(
+        "--max-tenants", type=int, default=64, dest="max_tenants",
+        help="admission cap on distinct tenants (default: 64)",
+    )
+    serve.add_argument(
+        "--max-resident", type=int, default=48, dest="max_resident",
+        help="resident DetectionSession cap; disconnected tenants "
+        "beyond it are LRU-evicted (default: 48)",
+    )
+    serve.add_argument(
+        "--idle-expiry", type=float, default=30.0, dest="idle_expiry",
+        help="seconds a disconnected tenant stays resident "
+        "(default: 30)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, dest="drain_timeout",
+        help="shutdown budget for folding queued observations before "
+        "the rest are shed (default: 5)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for this long then shut down gracefully "
+        "(default: until SIGINT/SIGTERM)",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="PATH", dest="metrics_out",
+        help="write the cchunter_serve_* metrics snapshot (JSON) to "
+        "PATH at shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream synthetic tenant traffic at a running service "
+        "and print its final report (docs/SERVING.md)",
+    )
+    stream.add_argument(
+        "--tenant", required=True, help="tenant name to stream as"
+    )
+    stream.add_argument(
+        "--host", default="127.0.0.1",
+        help="service host (default: 127.0.0.1)",
+    )
+    stream.add_argument(
+        "--port", type=int, required=True, help="service port"
+    )
+    stream.add_argument(
+        "--profile", default="covert", choices=("covert", "benign"),
+        help="traffic profile (default: covert)",
+    )
+    stream.add_argument(
+        "--quanta", type=int, default=40,
+        help="observation quanta to stream (default: 40)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0,
+        help="traffic and fault-injection seed (default: 0)",
+    )
+    stream.add_argument(
+        "--inject", metavar="SPEC", default=None,
+        help="frame-level fault spec, e.g. 'drop:0.2,stall:0.05:0.01,"
+        "garbage:0.05' — emulates a lossy client (docs/ROBUSTNESS.md)",
+    )
+    stream.add_argument(
+        "--finish-timeout", type=float, default=30.0,
+        dest="finish_timeout",
+        help="seconds to wait for the final goodbye report "
+        "(default: 30)",
+    )
+    stream.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the final report as JSON instead of text",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     return parser
 

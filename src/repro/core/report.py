@@ -89,6 +89,19 @@ class UnitVerdict:
             "health": self.health,
         }
 
+    def to_json(self) -> str:
+        """Strict versioned JSON (``repro.pipeline.verdict/v1``)."""
+        from repro.pipeline.codec import verdict_to_json
+
+        return verdict_to_json(self)
+
+    @classmethod
+    def from_json(cls, text: str) -> "UnitVerdict":
+        """Decode :meth:`to_json` output; unknown fields are rejected."""
+        from repro.pipeline.codec import verdict_from_json
+
+        return verdict_from_json(text)
+
     def summary(self) -> str:
         flag = "COVERT TIMING CHANNEL LIKELY" if self.detected else "clear"
         parts = [f"[{self.unit}] {flag} ({self.method} method, "

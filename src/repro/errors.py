@@ -19,6 +19,7 @@ code  constant                meaning
 6     EXIT_TRIAL_FAILURE      trial execution failed (crash/timeout)
 7     EXIT_INTERNAL           any other library error
 8     EXIT_BENCH_REGRESSION   benchmark regressed past baseline tolerance
+9     EXIT_UNAVAILABLE        detection service unreachable / refused
 ====  ======================  ===========================================
 """
 
@@ -73,6 +74,28 @@ class BenchRegressionError(BenchError):
     """A fresh benchmark run regressed past its baseline tolerance."""
 
 
+class ServeError(ReproError):
+    """The multi-tenant detection service hit a lifecycle problem."""
+
+
+class WireError(ServeError):
+    """A wire frame violated the ``repro.serve.wire/v1`` protocol."""
+
+
+class FrameDecodeError(WireError):
+    """One frame's payload failed validation.
+
+    Recoverable: the length-prefix framing is still aligned, so the
+    service answers with an ``error`` frame and keeps the connection.
+    Any other :class:`WireError` (bad length, truncated frame) means
+    the byte stream itself can no longer be trusted and is fatal.
+    """
+
+
+class ServeUnavailableError(ServeError):
+    """The service endpoint is unreachable or refused the session."""
+
+
 # ------------------------------------------------------------- exit codes
 
 EXIT_OK = 0
@@ -83,6 +106,7 @@ EXIT_MISSING_INPUT = 5
 EXIT_TRIAL_FAILURE = 6
 EXIT_INTERNAL = 7
 EXIT_BENCH_REGRESSION = 8
+EXIT_UNAVAILABLE = 9
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -94,6 +118,10 @@ def exit_code_for(exc: BaseException) -> int:
 
     if isinstance(exc, BenchRegressionError):
         return EXIT_BENCH_REGRESSION
+    if isinstance(exc, (ServeUnavailableError, ConnectionError)):
+        return EXIT_UNAVAILABLE
+    if isinstance(exc, WireError):
+        return EXIT_USAGE
     if isinstance(exc, (TraceCorruptionError, EvidenceError)):
         return EXIT_CORRUPT_ARCHIVE
     if isinstance(exc, (FileNotFoundError, IsADirectoryError, PermissionError)):

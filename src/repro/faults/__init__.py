@@ -37,6 +37,12 @@ from repro.faults.spec import (
     parse_inject_spec,
     parse_inject_specs,
 )
+from repro.faults.wire import (
+    FlakyFrameLink,
+    FrameAction,
+    build_link,
+    parse_link_spec,
+)
 
 __all__ = [
     "FaultInjector",
@@ -54,4 +60,8 @@ __all__ = [
     "build_injectors",
     "injectors_from_string",
     "corrupt_archive",
+    "FlakyFrameLink",
+    "FrameAction",
+    "build_link",
+    "parse_link_spec",
 ]

@@ -1,0 +1,176 @@
+"""Flaky-client frame faults for the serve wire protocol.
+
+Where :mod:`repro.faults.injectors` perturb observation *contents*, this
+module perturbs frame *delivery*: a :class:`FlakyFrameLink` sits between
+a serve client and its socket and decides, per observation frame,
+whether to deliver it, drop it on the floor, replace it with a
+well-framed garbage body, or stall before sending. The length-prefix
+framing is always preserved — a flaky client exercises the service's
+recoverable paths (sequence-gap ``lost:*`` tags, non-fatal ``error``
+frames, latency), not its fatal stream-corruption path.
+
+Spec mini-language, mirroring ``--inject``::
+
+    drop:0.20            # drop 20% of obs frames (server sees seq gaps)
+    garbage:0.05         # replace 5% with undecodable-JSON bodies
+    stall:0.10:0.05      # before 10% of frames, sleep 0.05 s
+    drop:0.2,stall:0.1   # clauses compose; drop wins over garbage
+
+Decisions are a pure function of ``(seed, spec, frame index)`` via the
+same :func:`~repro.util.rng.derive_rng` substream discipline as the
+observation injectors, so a flaky run replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FaultSpecError
+from repro.util.rng import derive_rng
+
+#: A well-framed body no JSON decoder accepts: exercises the service's
+#: FrameDecodeError path without ever breaking stream alignment.
+GARBAGE_BODY = b"\xff{not json"
+
+
+@dataclass(frozen=True)
+class FrameAction:
+    """What the link does with one observation frame."""
+
+    #: Frame is never written; the next delivered frame's seq gap tells
+    #: the server how many quanta were lost.
+    drop: bool = False
+    #: Frame body is replaced with :data:`GARBAGE_BODY` (same framing).
+    garbage: bool = False
+    #: Seconds the client sleeps before writing (0.0 = no stall).
+    stall: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Clause:
+    kind: str
+    p: float
+    stall_seconds: float = 0.0
+
+
+def _probability(value: str, clause: str) -> float:
+    try:
+        p = float(value)
+    except ValueError:
+        raise FaultSpecError(
+            f"{clause!r}: probability {value!r} is not a number"
+        ) from None
+    if not 0.0 <= p <= 1.0:
+        raise FaultSpecError(f"{clause!r}: probability {p} must be in [0, 1]")
+    return p
+
+
+def parse_link_spec(text: str) -> Tuple[_Clause, ...]:
+    """Parse a comma-separated flaky-link spec (strict, ordered)."""
+    clauses: List[_Clause] = []
+    for raw in text.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        parts = [p.strip() for p in clause.split(":")]
+        kind = parts[0].lower()
+        if kind in ("drop", "garbage"):
+            if len(parts) != 2:
+                raise FaultSpecError(
+                    f"{clause!r}: takes exactly one probability"
+                )
+            clauses.append(_Clause(kind, _probability(parts[1], clause)))
+        elif kind == "stall":
+            if len(parts) not in (2, 3):
+                raise FaultSpecError(
+                    f"{clause!r}: takes probability[:seconds]"
+                )
+            seconds = 0.05
+            if len(parts) == 3:
+                try:
+                    seconds = float(parts[2])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"{clause!r}: stall seconds {parts[2]!r} is not "
+                        "a number"
+                    ) from None
+                if seconds < 0:
+                    raise FaultSpecError(
+                        f"{clause!r}: stall seconds must be >= 0"
+                    )
+            clauses.append(
+                _Clause(kind, _probability(parts[1], clause), seconds)
+            )
+        else:
+            raise FaultSpecError(
+                f"unknown frame fault kind {kind!r} in {clause!r} "
+                "(known: drop, garbage, stall)"
+            )
+    if not clauses:
+        raise FaultSpecError("empty frame fault spec")
+    return tuple(clauses)
+
+
+class FlakyFrameLink:
+    """Seeded per-frame delivery policy for a serve client.
+
+    Each clause draws from its own ``(seed, spec-kind, clause-index)``
+    substream, one draw per frame in frame order — so the same spec,
+    seed, and frame sequence replay the identical delivery pattern.
+    """
+
+    def __init__(self, spec: str, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.clauses = parse_link_spec(spec)
+        self._rngs = [
+            derive_rng(seed, "faults", "wire", clause.kind, index)
+            for index, clause in enumerate(self.clauses)
+        ]
+        self._next_index = 0
+        self.dropped = 0
+        self.garbled = 0
+        self.stalled = 0
+
+    def action(self, index: Optional[int] = None) -> FrameAction:
+        """The fate of observation frame ``index`` (default: next)."""
+        if index is None:
+            index = self._next_index
+        self._next_index = index + 1
+        drop = garbage = False
+        stall = 0.0
+        for clause, rng in zip(self.clauses, self._rngs):
+            # One draw per (clause, frame) in frame order keeps each
+            # clause's stream aligned regardless of the others' verdicts.
+            hit = float(rng.random()) < clause.p
+            if not hit:
+                continue
+            if clause.kind == "drop":
+                drop = True
+            elif clause.kind == "garbage":
+                garbage = True
+            else:
+                stall = max(stall, clause.stall_seconds)
+        if drop:
+            garbage = False  # a dropped frame never reaches the wire
+        self.dropped += int(drop)
+        self.garbled += int(garbage)
+        self.stalled += int(stall > 0.0)
+        return FrameAction(drop=drop, garbage=garbage, stall=stall)
+
+
+def build_link(spec: Optional[str], seed: int = 0) -> Optional[FlakyFrameLink]:
+    """A link for ``spec``, or None for no fault injection."""
+    if spec is None or not spec.strip():
+        return None
+    return FlakyFrameLink(spec, seed=seed)
+
+
+__all__: Sequence[str] = (
+    "GARBAGE_BODY",
+    "FlakyFrameLink",
+    "FrameAction",
+    "build_link",
+    "parse_link_spec",
+)

@@ -24,8 +24,21 @@ detection share a single code path.
 """
 
 from repro.pipeline.analyzers import Analyzer, BurstAnalyzer, OscillationAnalyzer
+from repro.pipeline.codec import (
+    CodecError,
+    channel_spec_from_dict,
+    channel_spec_to_dict,
+    observation_from_dict,
+    observation_to_dict,
+    verdict_from_dict,
+    verdict_to_dict,
+)
 from repro.pipeline.health import Health, worst
-from repro.pipeline.session import DetectionSession, build_session
+from repro.pipeline.session import (
+    DetectionSession,
+    build_session,
+    build_session_from_specs,
+)
 from repro.pipeline.sinks import (
     CallbackSink,
     CollectingSink,
@@ -52,6 +65,14 @@ __all__ = [
     "worst",
     "DetectionSession",
     "build_session",
+    "build_session_from_specs",
+    "CodecError",
+    "observation_to_dict",
+    "observation_from_dict",
+    "verdict_to_dict",
+    "verdict_from_dict",
+    "channel_spec_to_dict",
+    "channel_spec_from_dict",
     "VerdictSink",
     "CollectingSink",
     "MetricsSink",

@@ -82,6 +82,10 @@ class _HealthMixin:
         self.gaps = 0
         #: Input fault tags seen on observations (stamped upstream).
         self.faults_seen = 0
+        #: Tally per fault kind (the ``kind`` of ``kind:channel`` tags),
+        #: so verdict notes can say *what* impaired the evidence — e.g.
+        #: service load-shedding (``shed``) vs transport loss (``lost``).
+        self.fault_kinds: Dict[str, int] = {}
         labels = {"unit": self.unit}
         self._m_gaps = metrics.counter(
             "cchunter_analyzer_gaps_total",
@@ -102,6 +106,9 @@ class _HealthMixin:
         tags = obs.faults_for(self.unit)
         if tags:
             self.faults_seen += len(tags)
+            for tag in tags:
+                kind = tag.split(":", 1)[0]
+                self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + 1
             self._m_flagged.inc(len(tags))
             self._health = Health.DEGRADED
             if self.evidence is not None:
@@ -122,7 +129,13 @@ class _HealthMixin:
         if self.gaps:
             notes.append(f"{self.gaps} observation gap(s)")
         if self.faults_seen:
-            notes.append(f"{self.faults_seen} flagged input fault(s)")
+            kinds = ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(self.fault_kinds.items())
+            )
+            notes.append(
+                f"{self.faults_seen} flagged input fault(s) ({kinds})"
+            )
         return tuple(notes)
 
 

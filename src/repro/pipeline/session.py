@@ -46,7 +46,12 @@ from repro.obs.tracing import trace_span
 from repro.pipeline.analyzers import Analyzer, BurstAnalyzer, OscillationAnalyzer
 from repro.pipeline.health import Health, worst
 from repro.pipeline.sinks import VerdictSink
-from repro.pipeline.source import ChannelKind, EventSource, QuantumObservation
+from repro.pipeline.source import (
+    ChannelKind,
+    ChannelSpec,
+    EventSource,
+    QuantumObservation,
+)
 
 _log = get_logger("pipeline.session")
 
@@ -105,6 +110,9 @@ class DetectionSession:
         self._sleep = sleep
         self._unit_states: Dict[str, _UnitState] = {}
         self._sink_states: Dict[int, _SinkState] = {}
+        #: Set by :meth:`close`; a closed session rejects further pushes
+        #: and replays its final report on repeated closes.
+        self._final_report: Optional[DetectionReport] = None
         self.metrics = metrics if metrics is not None else get_default()
         self._m_quanta = self.metrics.counter(
             "cchunter_session_quanta_total",
@@ -219,12 +227,26 @@ class DetectionSession:
     def _eager(self) -> bool:
         return bool(self.sinks) or self.track_detection_latency
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; closed sessions reject pushes."""
+        return self._final_report is not None
+
     def push_quantum(self, obs: QuantumObservation) -> None:
         """Fold one quantum's observation into every analyzer.
 
         A raising analyzer is quarantined (health transition), never
-        propagated: the session always survives a push.
+        propagated: the session always survives a push. Pushing into a
+        closed session raises :class:`DetectionError` — sinks have
+        already received their final report, so late observations would
+        silently fall out of the record (service lifecycle bugs surface
+        loudly instead; see docs/SERVING.md).
         """
+        if self._final_report is not None:
+            raise DetectionError(
+                "session is closed; late observations are rejected "
+                f"(quantum {obs.quantum})"
+            )
         timed = self.metrics.enabled
         for unit, analyzer in self._analyzers.items():
             state = self._unit_states[unit]
@@ -416,11 +438,26 @@ class DetectionSession:
         When evidence is being captured the final report's verdicts
         carry their serialized bundles, so sinks (and archived reports)
         preserve the full forensic record.
+
+        Close is **idempotent**: the first call computes the final
+        report and dispatches ``on_close`` exactly once per sink
+        (quarantined sinks included); every later call returns the same
+        report object without re-dispatching, so a supervisor and an
+        ``finally:`` block can both close the session safely. The final
+        report is computed *before* any sink runs — a sink that raises
+        during ``on_close`` can therefore never change what the other
+        sinks (or the caller) see.
         """
+        if self._final_report is not None:
+            return self._final_report
         report = self.current_verdicts(
             min_oscillating_windows,
             with_evidence=self.captures_evidence,
         )
+        # Seal the session before dispatching: a sink that re-enters
+        # close() (e.g. a panicking supervisor callback) gets the final
+        # report back instead of a second on_close fan-out.
+        self._final_report = report
         self._dispatch_sinks("on_close", report)
         return report
 
@@ -468,13 +505,52 @@ def build_session(
     :class:`~repro.obs.evidence.EvidenceBundle` (docs/FORENSICS.md);
     verdicts are bit-identical with capture on or off.
     """
+    return build_session_from_specs(
+        source.channels(),
+        lr_threshold=lr_threshold,
+        window_fraction=window_fraction,
+        max_lag=max_lag,
+        min_train_events=min_train_events,
+        min_peak_height=min_peak_height,
+        auditor_config=auditor_config,
+        sinks=sinks,
+        track_detection_latency=track_detection_latency,
+        metrics=metrics,
+        capture_evidence=capture_evidence,
+        evidence_capacity=evidence_capacity,
+    )
+
+
+def build_session_from_specs(
+    specs: Iterable[ChannelSpec],
+    lr_threshold: float = LIKELIHOOD_RATIO_THRESHOLD,
+    window_fraction: float = 1.0,
+    max_lag: int = 1000,
+    min_train_events: int = 64,
+    min_peak_height: float = DEFAULT_MIN_PEAK_HEIGHT,
+    auditor_config: Optional[AuditorConfig] = None,
+    sinks: Iterable[VerdictSink] = (),
+    track_detection_latency: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    capture_evidence: bool = False,
+    evidence_capacity: Optional[int] = None,
+) -> DetectionSession:
+    """A session built straight from channel specs — no source needed.
+
+    This is how the multi-tenant service (:mod:`repro.serve`) builds
+    one session per tenant from the channel list in the tenant's wire
+    ``hello`` frame; :func:`build_session` is now the thin adapter that
+    reads the specs off an EventSource. Analyzer construction is
+    identical either way, so a served tenant's verdicts are
+    bit-identical to an in-process session over the same observations.
+    """
     cfg = auditor_config or AuditorConfig()
     session = DetectionSession(
         sinks=sinks,
         track_detection_latency=track_detection_latency,
         metrics=metrics,
     )
-    for spec in source.channels():
+    for spec in specs:
         if spec.kind is ChannelKind.BURST:
             session.add_analyzer(
                 BurstAnalyzer(

@@ -100,6 +100,19 @@ class QuantumObservation:
             if tag.endswith(f":{channel}") or tag.endswith(":*")
         )
 
+    def to_json(self) -> str:
+        """Strict versioned JSON (``repro.pipeline.observation/v1``)."""
+        from repro.pipeline.codec import observation_to_json
+
+        return observation_to_json(self)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuantumObservation":
+        """Decode :meth:`to_json` output; unknown fields are rejected."""
+        from repro.pipeline.codec import observation_from_json
+
+        return observation_from_json(text)
+
 
 class ObservationConsumer(Protocol):
     """Anything that accepts per-quantum observations."""

@@ -1,0 +1,75 @@
+"""FlakyFrameLink: spec parsing, determinism, clause composition."""
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults.wire import FlakyFrameLink, build_link, parse_link_spec
+
+
+class TestSpecParsing:
+    def test_known_kinds(self):
+        clauses = parse_link_spec("drop:0.2,garbage:0.05,stall:0.1:0.02")
+        assert [c.kind for c in clauses] == ["drop", "garbage", "stall"]
+        assert clauses[2].stall_seconds == pytest.approx(0.02)
+
+    def test_stall_default_seconds(self):
+        (clause,) = parse_link_spec("stall:0.5")
+        assert clause.stall_seconds == pytest.approx(0.05)
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultSpecError, match="unknown frame fault"):
+            parse_link_spec("teleport:0.5")
+
+    def test_bad_probability(self):
+        with pytest.raises(FaultSpecError, match="not a number"):
+            parse_link_spec("drop:maybe")
+        with pytest.raises(FaultSpecError, match=r"\[0, 1\]"):
+            parse_link_spec("drop:1.5")
+
+    def test_empty_spec(self):
+        with pytest.raises(FaultSpecError, match="empty"):
+            parse_link_spec("  ,  ")
+
+    def test_negative_stall_seconds(self):
+        with pytest.raises(FaultSpecError, match=">= 0"):
+            parse_link_spec("stall:0.1:-1")
+
+    def test_extra_params(self):
+        with pytest.raises(FaultSpecError, match="exactly one"):
+            parse_link_spec("drop:0.1:0.2")
+
+    def test_build_link_none_for_empty(self):
+        assert build_link(None) is None
+        assert build_link("   ") is None
+        assert build_link("drop:0.1") is not None
+
+
+class TestDeterminism:
+    def test_same_seed_same_fate(self):
+        a = FlakyFrameLink("drop:0.3,garbage:0.2,stall:0.1", seed=5)
+        b = FlakyFrameLink("drop:0.3,garbage:0.2,stall:0.1", seed=5)
+        fates_a = [a.action() for _ in range(200)]
+        fates_b = [b.action() for _ in range(200)]
+        assert fates_a == fates_b
+        assert (a.dropped, a.garbled, a.stalled) == (
+            b.dropped, b.garbled, b.stalled,
+        )
+
+    def test_different_seed_different_fate(self):
+        a = FlakyFrameLink("drop:0.5", seed=1)
+        b = FlakyFrameLink("drop:0.5", seed=2)
+        assert [x.drop for x in (a.action() for _ in range(100))] != [
+            x.drop for x in (b.action() for _ in range(100))
+        ]
+
+    def test_rates_roughly_honored(self):
+        link = FlakyFrameLink("drop:0.25", seed=3)
+        for _ in range(2000):
+            link.action()
+        assert 0.18 < link.dropped / 2000 < 0.32
+
+    def test_drop_wins_over_garbage(self):
+        link = FlakyFrameLink("drop:1.0,garbage:1.0", seed=0)
+        action = link.action()
+        assert action.drop and not action.garbage
+        assert link.garbled == 0

@@ -1,0 +1,180 @@
+"""CLI surface of the detection service: ``repro serve`` / ``repro stream``."""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve import DetectionService, ServeConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.shards == 2
+        assert args.queue_capacity == 64
+        assert args.duration is None
+
+    def test_stream_requires_tenant_and_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--port", "1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--tenant", "a"])
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(
+            ["stream", "--tenant", "a", "--port", "9"]
+        )
+        assert args.profile == "covert"
+        assert args.quanta == 40
+        assert args.inject is None
+
+
+class _ServiceThread:
+    """A DetectionService on a background event loop, for in-process
+    ``repro stream`` tests (main() owns the foreground loop)."""
+
+    def __init__(self, config=None):
+        self.config = config or ServeConfig(port=0)
+        self.port = None
+        self._loop = None
+        self._stop = None
+        self._started = threading.Event()
+
+    def __enter__(self):
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()), daemon=True
+        )
+        self._thread.start()
+        assert self._started.wait(10), "service did not come up"
+        return self
+
+    async def _amain(self):
+        service = DetectionService(config=self.config)
+        await service.start()
+        self.port = service.port
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._started.set()
+        await self._stop.wait()
+        await service.stop()
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+
+class TestStreamCommand:
+    def test_covert_exits_detected(self, capsys):
+        with _ServiceThread() as svc:
+            code = main([
+                "stream", "--tenant", "acme", "--port", str(svc.port),
+                "--profile", "covert", "--quanta", "24",
+            ])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "COVERT TIMING CHANNEL LIKELY" in out
+        assert "folded 24, shed 0" in out
+
+    def test_benign_exits_clean(self, capsys):
+        with _ServiceThread() as svc:
+            code = main([
+                "stream", "--tenant", "calm", "--port", str(svc.port),
+                "--profile", "benign", "--quanta", "12",
+            ])
+        assert code == 0
+        assert "no covert" in capsys.readouterr().out
+
+    def test_flaky_link_degrades_but_still_detects(self, capsys):
+        with _ServiceThread() as svc:
+            code = main([
+                "stream", "--tenant", "flaky", "--port", str(svc.port),
+                "--profile", "covert", "--quanta", "30",
+                "--inject", "drop:0.2", "--seed", "7",
+            ])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "lost" in out
+
+    def test_json_output(self, capsys):
+        with _ServiceThread() as svc:
+            code = main([
+                "stream", "--tenant", "robot", "--port", str(svc.port),
+                "--profile", "benign", "--quanta", "8", "--json",
+            ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        payload = json.loads(lines[-1])
+        assert payload["any_detected"] is False
+        assert payload["verdicts"][0]["unit"] == "membus"
+
+    def test_unreachable_service_exits_9(self, capsys):
+        code = main([
+            "stream", "--tenant", "lost", "--port", "1", "--quanta", "2",
+        ])
+        assert code == 9
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_bad_inject_spec_is_usage_error(self, capsys):
+        with _ServiceThread() as svc:
+            code = main([
+                "stream", "--tenant", "x", "--port", str(svc.port),
+                "--inject", "teleport:0.5",
+            ])
+        assert code == 2
+        assert "unknown frame fault" in capsys.readouterr().err
+
+
+def _spawn_serve(*extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+
+
+@pytest.mark.resilience
+class TestServeCommand:
+    def test_duration_runs_and_exits_clean(self):
+        proc = _spawn_serve("--duration", "0.3")
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "listening on" in out
+        assert "0 tenant(s) served" in out
+        assert "draining" in err
+
+    def test_sigint_drains_and_summarizes(self, capsys):
+        proc = _spawn_serve()
+        try:
+            ready = proc.stdout.readline()
+            port = int(re.search(r":(\d+) ", ready).group(1))
+            code = main([
+                "stream", "--tenant", "acme", "--port", str(port),
+                "--profile", "covert", "--quanta", "16",
+            ])
+            assert code == 3
+            capsys.readouterr()
+        finally:
+            proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "1 tenant(s) served" in out
+        assert re.search(r"acme\s+folded=16", out)
+        assert "DETECTED" in out
