@@ -13,6 +13,10 @@ identical audited workload through three instrumentation modes:
 - ``profile``   — :data:`NULL_REGISTRY` plus the opt-in
   :class:`StageProfiler` (docs/PERFORMANCE.md), isolating what stage
   attribution alone costs over a fully-off run.
+- ``telemetry`` — counters plus a live admin endpoint
+  (:class:`~repro.obs.telemetry.TelemetryServer` on a background
+  thread) being scraped at 10 Hz while the workload runs: the cost of
+  *being observed*, not just of counting (docs/OBSERVABILITY.md).
 
 Each round runs one trial per mode with the mode order *rotated* between
 rounds, after one warmup trial per mode. A fixed order had put ``off``
@@ -38,9 +42,11 @@ machine, so a regression that undoes the batching fails loudly in CI.
 run).
 """
 
+import asyncio
 import json
 import os
 import statistics
+import threading
 from time import perf_counter
 
 from conftest import record
@@ -90,6 +96,72 @@ def _run_audited(metrics, n_quanta=N_QUANTA, capture_evidence=False):
     return perf_counter() - t0, hunter
 
 
+class _ScrapeHarness:
+    """A live ``/metrics`` endpoint plus a 10 Hz scraper, off-thread.
+
+    The workload under test runs on the main thread against ``registry``
+    while a daemon thread hosts a :class:`TelemetryServer` exposing that
+    same registry and polls it every 100 ms — the ``telemetry`` mode
+    measures the cost of being *scraped*, not just of counting.
+    """
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.scrapes = 0
+        self._thread = None
+        self._loop = None
+        self._stop = None
+
+    def _render(self):
+        from repro.obs.telemetry import text_response
+
+        try:
+            return text_response(self.registry.render_prometheus())
+        except RuntimeError:
+            # The workload may register a new metric mid-iteration;
+            # one 503'd scrape is fine, crashing the harness is not.
+            return text_response("registry busy\n", status=503)
+
+    async def _serve(self, started):
+        from repro.obs.telemetry import TelemetryServer, fetch
+
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = TelemetryServer()
+        server.route("/metrics", self._render)
+        host, port = await server.start()
+        started.set()
+        try:
+            while not self._stop.is_set():
+                try:
+                    status, _body = await fetch(host, port, "/metrics")
+                    if status == 200:
+                        self.scrapes += 1
+                except (ConnectionError, OSError):
+                    pass
+                try:
+                    await asyncio.wait_for(self._stop.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            await server.stop()
+
+    def __enter__(self):
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve(started)), daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=5.0):
+            raise RuntimeError("telemetry harness failed to start")
+        return self
+
+    def __exit__(self, *_exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=5.0)
+        return False
+
+
 def _trial(mode):
     if mode == "off":
         return _run_audited(NULL_REGISTRY)[0]
@@ -103,6 +175,10 @@ def _trial(mode):
             return _run_audited(NULL_REGISTRY)[0]
         finally:
             disable_profiling()
+    if mode == "telemetry":
+        registry = MetricsRegistry()
+        with _ScrapeHarness(registry):
+            return _run_audited(registry)[0]
     enable_tracing(capacity=8192)
     try:
         return _run_audited(MetricsRegistry())[0]
@@ -141,7 +217,7 @@ def profile_fidelity():
 
 
 def measure_overhead():
-    modes = ("off", "counters", "spans", "evidence", "profile")
+    modes = ("off", "counters", "spans", "evidence", "profile", "telemetry")
     timings = {mode: [] for mode in modes}
     for mode in modes:  # per-mode warmup: no mode pays first-run cost
         _trial(mode)
@@ -165,7 +241,9 @@ def measure_overhead():
         },
         "overhead_vs_off": {
             mode: medians[mode] / medians["off"] - 1.0
-            for mode in ("counters", "spans", "evidence", "profile")
+            for mode in (
+                "counters", "spans", "evidence", "profile", "telemetry",
+            )
         },
         "evidence_overhead_vs_counters": (
             medians["evidence"] / medians["counters"] - 1.0
@@ -185,14 +263,17 @@ def test_obs_overhead(benchmark):
     lines = [
         f"{mode:<9} {results['quanta_per_second'][mode]:8.1f} quanta/s "
         f"(median of {N_TRIALS})"
-        for mode in ("off", "counters", "spans", "evidence", "profile")
+        for mode in (
+            "off", "counters", "spans", "evidence", "profile", "telemetry",
+        )
     ]
     lines.append(
         "overhead vs off: counters "
         f"{results['overhead_vs_off']['counters'] * 100:+.1f}%, spans "
         f"{results['overhead_vs_off']['spans'] * 100:+.1f}%, evidence "
         f"{results['overhead_vs_off']['evidence'] * 100:+.1f}%, profile "
-        f"{results['overhead_vs_off']['profile'] * 100:+.1f}%"
+        f"{results['overhead_vs_off']['profile'] * 100:+.1f}%, telemetry "
+        f"{results['overhead_vs_off']['telemetry'] * 100:+.1f}%"
     )
     lines.append(
         "evidence capture vs counters "
@@ -231,3 +312,6 @@ def test_obs_overhead(benchmark):
     assert results["evidence_overhead_vs_counters"] < 0.15, results
     # Stage profiling must also fit inside the 10%-of-off envelope.
     assert results["overhead_vs_off"]["profile"] < 0.10, results
+    # A live admin endpoint under a 10 Hz scraper must not slow the
+    # workload beyond the same 10% envelope (docs/OBSERVABILITY.md).
+    assert results["overhead_vs_off"]["telemetry"] < 0.10, results

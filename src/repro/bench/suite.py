@@ -92,6 +92,10 @@ SUITE: Tuple[BenchSpec, ...] = (
                 "overhead_vs_off.profile", "lower",
                 tolerance=0.5, abs_slack=0.05, quick=False,
             ),
+            MetricSpec(
+                "overhead_vs_off.telemetry", "lower",
+                tolerance=0.5, abs_slack=0.05, quick=False,
+            ),
             # The profiler must keep attributing essentially the whole
             # session (>= 90% of run wall time) on any machine.
             MetricSpec(

@@ -50,7 +50,10 @@ multi-tenant detection service until SIGINT (graceful drain, per-tenant
 summary, exit 0); ``repro stream`` points a synthetic tenant at it —
 ``--profile covert|benign``, ``--inject 'drop:0.2'`` for a lossy
 transport — and exits 3 if the final report detects a channel, 9 if
-the service is unreachable or refuses admission.
+the service is unreachable or refuses admission. With ``repro serve
+--admin-port`` the service exposes its live telemetry plane
+(docs/OBSERVABILITY.md), and ``repro top`` renders the tenant fleet
+against it, sorted by SLO burn rate (exit 9 when unreachable).
 """
 
 from __future__ import annotations
@@ -665,11 +668,19 @@ def _cmd_serve(args) -> int:
         max_resident_sessions=args.max_resident,
         idle_expiry=args.idle_expiry,
         drain_timeout=args.drain_timeout,
+        admin_port=args.admin_port,
+        alerts_out=args.alerts_out,
     )
 
     async def _main():
         service = DetectionService(config=config, metrics=get_default())
         host, port = await service.start()
+        if config.admin_port is not None:
+            # Same parseable-readiness convention as the serve line.
+            print(
+                f"repro serve: telemetry on {host}:{service.admin_port}",
+                flush=True,
+            )
         stop_requested = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -753,6 +764,27 @@ def _cmd_stream(args) -> int:
     else:
         print(goodbye.report.render())
     return EXIT_DETECTED if goodbye.report.any_detected else 0
+
+
+def _cmd_top(args) -> int:
+    """Live tenant-fleet dashboard over the serve telemetry endpoint."""
+    import asyncio
+
+    from repro.report.top import run_top
+
+    try:
+        asyncio.run(
+            run_top(
+                args.host,
+                args.port,
+                interval=args.interval,
+                iterations=args.iterations,
+                stream=sys.stdout,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
@@ -1127,6 +1159,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the cchunter_serve_* metrics snapshot (JSON) to "
         "PATH at shutdown",
     )
+    serve.add_argument(
+        "--admin-port", type=int, default=None, dest="admin_port",
+        metavar="PORT",
+        help="serve the live telemetry plane (/metrics, /healthz, "
+        "/readyz, /tenants, /profile) on this port (0 = OS-assigned; "
+        "default: disabled) — docs/OBSERVABILITY.md",
+    )
+    serve.add_argument(
+        "--alerts-out", metavar="PATH", dest="alerts_out",
+        help="append fired SLO burn-rate alerts (repro.obs.alert/v1 "
+        "JSONL) to PATH",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     stream = sub.add_parser(
@@ -1172,6 +1216,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the final report as JSON instead of text",
     )
     stream.set_defaults(func=_cmd_stream)
+
+    top = sub.add_parser(
+        "top",
+        help="live tenant-fleet dashboard polling a serve telemetry "
+        "endpoint, sorted by SLO burn rate (docs/OBSERVABILITY.md)",
+    )
+    top.add_argument(
+        "--host", default="127.0.0.1",
+        help="telemetry endpoint host (default: 127.0.0.1)",
+    )
+    top.add_argument(
+        "--port", type=int, required=True,
+        help="telemetry endpoint port (repro serve --admin-port)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between polls (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N polls (default: run until interrupted)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -33,6 +33,18 @@ from repro.util.rng import derive_rng
 #: FrameDecodeError path without ever breaking stream alignment.
 GARBAGE_BODY = b"\xff{not json"
 
+#: Byte soups for the telemetry plane's robustness tests: things a
+#: port scanner, a confused HTTP client, or a truncated request might
+#: deliver to the admin endpoint. The endpoint must answer 400/405 (or
+#: just hang up) and keep serving — never crash or wedge the loop.
+GARBAGE_HTTP_REQUESTS: Tuple[bytes, ...] = (
+    b"\xff\xfe\x00garbage\r\n\r\n",
+    b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+    b"GET\r\n\r\n",
+    b"GET " + b"/" * 4200 + b" HTTP/1.1\r\n\r\n",
+    b"",
+)
+
 
 @dataclass(frozen=True)
 class FrameAction:
@@ -169,6 +181,7 @@ def build_link(spec: Optional[str], seed: int = 0) -> Optional[FlakyFrameLink]:
 
 __all__: Sequence[str] = (
     "GARBAGE_BODY",
+    "GARBAGE_HTTP_REQUESTS",
     "FlakyFrameLink",
     "FrameAction",
     "build_link",

@@ -23,6 +23,13 @@ emphasis on low-overhead online monitoring:
   records behind every verdict (LR trajectories, histogram and
   correlogram snapshots, fault/health/verdict timelines) with exact
   round-trip serialization.
+- ``repro.obs.telemetry`` — a stdlib asyncio HTTP admin endpoint
+  (:class:`TelemetryServer`) turning the registries above into a live
+  scrape surface (``/metrics``, health/readiness, per-tenant state).
+- ``repro.obs.slo`` — per-tenant rolling SLO windows with multi-window
+  burn-rate alert rules (:class:`SloTracker`), emitting structured
+  ``repro.obs.alert/v1`` events, a ``cchunter_alerts_total`` counter,
+  and an append-only alerts JSONL.
 
 Metric names, label conventions, the span taxonomy, and the exposition
 format are documented in docs/OBSERVABILITY.md; the evidence schema and
@@ -83,12 +90,25 @@ from repro.obs.profile import (
     render_top,
     to_speedscope,
 )
+from repro.obs.slo import (
+    ALERT_FORMAT,
+    DEFAULT_OBJECTIVES,
+    DEFAULT_RULES,
+    BurnRateRule,
+    SloObjective,
+    SloTracker,
+)
+from repro.obs.telemetry import TelemetryServer, json_response, text_response
 from repro.obs.tracing import (
     SpanRecord,
     SpanRecorder,
+    TraceContext,
     disable_tracing,
     enable_tracing,
     get_recorder,
+    merge_remote_trace,
+    new_span_id,
+    new_trace_id,
     trace_span,
     tracing_enabled,
 )
@@ -124,11 +144,24 @@ __all__ = [
     "metric_names",
     "SpanRecord",
     "SpanRecorder",
+    "TraceContext",
     "trace_span",
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
     "get_recorder",
+    "merge_remote_trace",
+    "new_span_id",
+    "new_trace_id",
+    "ALERT_FORMAT",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_RULES",
+    "BurnRateRule",
+    "SloObjective",
+    "SloTracker",
+    "TelemetryServer",
+    "json_response",
+    "text_response",
     "PROFILE_FORMAT",
     "ProfileError",
     "StageProfiler",

@@ -1,0 +1,406 @@
+"""Per-tenant SLO tracking with multi-window burn-rate alerting.
+
+The detection service's job is continuous auditing; its own service
+level is therefore part of the security posture — a tenant whose
+observations are being shed, whose verdicts arrive late, or whose
+pipeline health has degraded is a tenant the auditor is *not* fully
+watching, exactly the monitoring gap an adaptive covert sender waits
+for (see PAPERS.md, "Towards a Better Indicator for Cache Timing
+Channels").
+
+:class:`SloTracker` keeps rolling windows of good/bad events per
+``(tenant, objective)`` and evaluates the classic SRE multi-window
+burn-rate rules: an alert fires when the error budget is being burned
+faster than ``threshold``× over *both* a short window (is it happening
+now?) and a long window (is it sustained?). Firing is edge-triggered —
+one alert per transition into the firing state, re-armed once both
+windows drop back under threshold.
+
+Every fired alert is emitted three ways, so logs, metrics, and
+forensic archives join on the same keys:
+
+- a structured ``repro.obs.alert/v1`` record on the ``repro.obs.slo``
+  logger (tenant/rule/objective as record attrs for the JSON
+  formatter);
+- a ``cchunter_alerts_total{rule,tenant}`` counter increment;
+- one JSON line appended to the alerts file, when one is configured.
+
+Objectives shipped by default (see docs/OBSERVABILITY.md):
+
+- ``verdict_latency`` — fraction of verdicts slower than the latency
+  threshold (a quantile objective expressed as a bad-event rate);
+- ``shed`` — fraction of observations shed or lost instead of folded;
+- ``health`` — fraction of verdicts carrying a non-OK pipeline health.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from time import monotonic
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_default
+
+_log = get_logger("obs.slo")
+
+#: Format tag stamped into every alert document and JSONL line.
+ALERT_FORMAT = "repro.obs.alert/v1"
+
+#: Most samples retained per (tenant, objective) window.
+_MAX_SAMPLES = 4096
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One rolling-window objective: budgeted fraction of bad events.
+
+    ``budget`` is the error budget as a fraction (0.05 = 99.5%-ish of
+    events may be bad before the budget is gone at burn rate 1).
+    ``latency_threshold_s`` only matters for latency-style objectives,
+    where it defines "bad" (slower than the threshold).
+    """
+
+    name: str
+    budget: float = 0.05
+    latency_threshold_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(
+                f"budget must be in (0, 1], got {self.budget} "
+                f"for objective {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when short- AND long-window burn exceed ``threshold``."""
+
+    name: str
+    short_window_s: float
+    long_window_s: float
+    threshold: float
+    #: Minimum short-window samples before the rule may fire, so a
+    #: single bad event on a fresh tenant cannot page anyone.
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if self.short_window_s <= 0 or self.long_window_s <= 0:
+            raise ValueError(f"rule {self.name!r} windows must be positive")
+        if self.short_window_s > self.long_window_s:
+            raise ValueError(
+                f"rule {self.name!r}: short window "
+                f"({self.short_window_s}s) exceeds long window "
+                f"({self.long_window_s}s)"
+            )
+        if self.threshold <= 0:
+            raise ValueError(f"rule {self.name!r} threshold must be positive")
+
+
+#: Service defaults: a 250 ms verdict-latency bar and 5% budgets.
+DEFAULT_OBJECTIVES: Tuple[SloObjective, ...] = (
+    SloObjective("verdict_latency", budget=0.05, latency_threshold_s=0.25),
+    SloObjective("shed", budget=0.05),
+    SloObjective("health", budget=0.05),
+)
+
+#: Classic two-rule ladder, scaled to service-test time horizons
+#: (seconds, not hours): fast burn pages on an acute budget fire,
+#: slow burn on a sustained leak.
+DEFAULT_RULES: Tuple[BurnRateRule, ...] = (
+    BurnRateRule("fast_burn", short_window_s=30.0, long_window_s=120.0,
+                 threshold=8.0),
+    BurnRateRule("slow_burn", short_window_s=120.0, long_window_s=600.0,
+                 threshold=2.0),
+)
+
+
+class SloTracker:
+    """Rolling per-tenant SLO windows plus burn-rate alert evaluation."""
+
+    def __init__(
+        self,
+        objectives: Tuple[SloObjective, ...] = DEFAULT_OBJECTIVES,
+        rules: Tuple[BurnRateRule, ...] = DEFAULT_RULES,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = monotonic,
+        alerts_path: Optional[str] = None,
+    ):
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        self.objectives: Dict[str, SloObjective] = {
+            obj.name: obj for obj in objectives
+        }
+        if len(self.objectives) != len(objectives):
+            raise ValueError("objective names must be unique")
+        self.rules = tuple(rules)
+        self.metrics = metrics if metrics is not None else get_default()
+        self.clock = clock
+        self.alerts_path = alerts_path
+        self._horizon = max(
+            (rule.long_window_s for rule in self.rules), default=0.0
+        )
+        #: (tenant, objective) -> deque of (timestamp, bad) samples.
+        self._samples: Dict[Tuple[str, str], Deque[Tuple[float, bool]]] = {}
+        #: Keys currently in the firing state (edge-trigger dedup).
+        self._firing: Set[Tuple[str, str, str]] = set()
+        self.alerts_fired = 0
+        self._fired_by_tenant: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ ingestion
+
+    def observe(
+        self,
+        tenant: str,
+        objective: str,
+        bad: bool,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record one good/bad event against a tenant's objective."""
+        if objective not in self.objectives:
+            raise ValueError(
+                f"unknown objective {objective!r} "
+                f"(known: {', '.join(sorted(self.objectives))})"
+            )
+        t = self.clock() if now is None else now
+        key = (tenant, objective)
+        window = self._samples.get(key)
+        if window is None:
+            window = self._samples[key] = deque(maxlen=_MAX_SAMPLES)
+        window.append((t, bool(bad)))
+        self._prune(window, t)
+
+    def observe_latency(
+        self, tenant: str, seconds: float, now: Optional[float] = None
+    ) -> None:
+        """A verdict latency sample; bad iff over the objective's bar."""
+        threshold = self.objectives["verdict_latency"].latency_threshold_s
+        bad = threshold is not None and seconds > threshold
+        self.observe(tenant, "verdict_latency", bad, now=now)
+
+    def observe_shed(
+        self, tenant: str, bad: bool, now: Optional[float] = None
+    ) -> None:
+        """One observation's fate: bad when shed/lost, good when folded."""
+        self.observe(tenant, "shed", bad, now=now)
+
+    def observe_health(
+        self, tenant: str, health: str, now: Optional[float] = None
+    ) -> None:
+        """A verdict's pipeline health; bad when not "ok"."""
+        self.observe(tenant, "health", health != "ok", now=now)
+
+    def _prune(
+        self, window: Deque[Tuple[float, bool]], now: float
+    ) -> None:
+        horizon = now - self._horizon
+        while window and window[0][0] < horizon:
+            window.popleft()
+
+    # ----------------------------------------------------------- evaluation
+
+    def _window_counts(
+        self, key: Tuple[str, str], window_s: float, now: float
+    ) -> Tuple[int, int]:
+        """(bad, total) samples within the trailing ``window_s``."""
+        samples = self._samples.get(key)
+        if not samples:
+            return 0, 0
+        cutoff = now - window_s
+        bad = total = 0
+        for t, is_bad in reversed(samples):
+            if t < cutoff:
+                break
+            total += 1
+            bad += is_bad
+        return bad, total
+
+    def burn_rate(
+        self,
+        tenant: str,
+        objective: str,
+        window_s: float,
+        now: Optional[float] = None,
+    ) -> float:
+        """Budget-burn multiple over the trailing window (0 when idle).
+
+        1.0 means bad events arrive exactly at the budgeted fraction;
+        ``1 / budget`` is the ceiling (every event bad).
+        """
+        obj = self.objectives[objective]
+        t = self.clock() if now is None else now
+        bad, total = self._window_counts((tenant, objective), window_s, t)
+        if total == 0:
+            return 0.0
+        return (bad / total) / obj.budget
+
+    def evaluate(
+        self, tenant: str, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Run every rule×objective for one tenant; emit fresh alerts.
+
+        Returns the alert documents fired by *this* call (empty for
+        steady states — already-firing combinations stay silent until
+        they clear and re-trip).
+        """
+        t = self.clock() if now is None else now
+        fired: List[Dict[str, Any]] = []
+        for objective in self.objectives:
+            for rule in self.rules:
+                key = (tenant, rule.name, objective)
+                _, short_total = self._window_counts(
+                    (tenant, objective), rule.short_window_s, t
+                )
+                burn_short = self.burn_rate(
+                    tenant, objective, rule.short_window_s, now=t
+                )
+                burn_long = self.burn_rate(
+                    tenant, objective, rule.long_window_s, now=t
+                )
+                firing = (
+                    short_total >= rule.min_samples
+                    and burn_short >= rule.threshold
+                    and burn_long >= rule.threshold
+                )
+                if not firing:
+                    self._firing.discard(key)
+                    continue
+                if key in self._firing:
+                    continue
+                self._firing.add(key)
+                fired.append(
+                    self._emit(tenant, rule, objective,
+                               burn_short, burn_long, t)
+                )
+        return fired
+
+    def _emit(
+        self,
+        tenant: str,
+        rule: BurnRateRule,
+        objective: str,
+        burn_short: float,
+        burn_long: float,
+        now: float,
+    ) -> Dict[str, Any]:
+        alert = {
+            "format": ALERT_FORMAT,
+            "rule": rule.name,
+            "tenant": tenant,
+            "objective": objective,
+            "burn_short": burn_short,
+            "burn_long": burn_long,
+            "threshold": rule.threshold,
+            "budget": self.objectives[objective].budget,
+            "short_window_s": rule.short_window_s,
+            "long_window_s": rule.long_window_s,
+            "ts": now,
+        }
+        self.alerts_fired += 1
+        self._fired_by_tenant[tenant] = (
+            self._fired_by_tenant.get(tenant, 0) + 1
+        )
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "cchunter_alerts_total",
+                "SLO burn-rate alerts fired, by rule and tenant.",
+                labels={"rule": rule.name, "tenant": tenant},
+            ).inc()
+        _log.warning(
+            "SLO alert %s: tenant %r burning %s budget at %.1fx "
+            "(short) / %.1fx (long), threshold %.1fx",
+            rule.name,
+            tenant,
+            objective,
+            burn_short,
+            burn_long,
+            rule.threshold,
+            extra={
+                "tenant": tenant,
+                "rule": rule.name,
+                "objective": objective,
+                "alert_format": ALERT_FORMAT,
+            },
+        )
+        if self.alerts_path is not None:
+            with open(self.alerts_path, "a") as handle:
+                handle.write(json.dumps(alert, sort_keys=True) + "\n")
+        return alert
+
+    # ------------------------------------------------------------ snapshots
+
+    def firing(self, tenant: str) -> List[Dict[str, str]]:
+        """Currently-firing (rule, objective) pairs for one tenant."""
+        return [
+            {"rule": rule, "objective": objective}
+            for (who, rule, objective) in sorted(self._firing)
+            if who == tenant
+        ]
+
+    def max_burn_rate(
+        self, tenant: str, now: Optional[float] = None
+    ) -> float:
+        """Worst short-window burn across objectives — ``repro top``'s sort
+        key."""
+        t = self.clock() if now is None else now
+        shortest = min(
+            (rule.short_window_s for rule in self.rules),
+            default=self._horizon or 60.0,
+        )
+        return max(
+            (
+                self.burn_rate(tenant, objective, shortest, now=t)
+                for objective in self.objectives
+            ),
+            default=0.0,
+        )
+
+    def tenant_snapshot(
+        self, tenant: str, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """JSON-ready SLO state for ``/tenants/<id>`` and ``repro top``."""
+        t = self.clock() if now is None else now
+        shortest = min(
+            (rule.short_window_s for rule in self.rules),
+            default=self._horizon or 60.0,
+        )
+        objectives: Dict[str, Any] = {}
+        for objective in self.objectives:
+            bad, total = self._window_counts(
+                (tenant, objective), self._horizon or shortest, t
+            )
+            objectives[objective] = {
+                "samples": total,
+                "bad_fraction": (bad / total) if total else 0.0,
+                "burn_rate": self.burn_rate(
+                    tenant, objective, shortest, now=t
+                ),
+            }
+        return {
+            "alerts_total": self._fired_by_tenant.get(tenant, 0),
+            "firing": self.firing(tenant),
+            "max_burn_rate": self.max_burn_rate(tenant, now=t),
+            "objectives": objectives,
+        }
+
+
+__all__ = [
+    "ALERT_FORMAT",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_RULES",
+    "BurnRateRule",
+    "SloObjective",
+    "SloTracker",
+]

@@ -1,0 +1,268 @@
+"""Live telemetry plane: a minimal asyncio HTTP admin endpoint.
+
+Every observability artifact elsewhere in ``repro.obs`` is file-based
+and post-hoc (metrics snapshots, Chrome traces, profiles). A
+long-running :class:`repro.serve.DetectionService` needs the opposite:
+an always-on surface that a scraper, a load balancer, or an operator's
+``repro top`` can poll *while the service runs*.
+
+:class:`TelemetryServer` is that surface — a deliberately small
+GET-only HTTP/1.1 server built on ``asyncio.start_server`` (stdlib
+only, same server-loop idiom as the wire protocol in
+``repro.serve.service``). Handlers are plain synchronous callables
+returning ``(status, content_type, body)``; the server adds headers,
+closes the connection after one response, and maps handler exceptions
+to 500 so a buggy route can never take the plane down.
+
+Robustness contract (exercised in tests/obs/test_telemetry.py and,
+under frame faults, tests/serve/test_telemetry.py):
+
+- garbage bytes, overlong request lines, or a missing request line
+  produce ``400 Bad Request`` (or a silent close), never a crash;
+- non-GET methods get ``405``, unknown paths ``404``;
+- each connection is bounded — one request, a read timeout, a capped
+  header count — so a slow or hostile client cannot wedge the loop.
+
+The serve integration (routes for ``/metrics``, ``/healthz``,
+``/readyz``, ``/tenants``, ``/profile``) lives in
+``repro.serve.service``; endpoint semantics are documented in
+docs/OBSERVABILITY.md under "Live telemetry".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.log import get_logger
+
+_log = get_logger("obs.telemetry")
+
+#: A route handler: takes no argument (exact route) or the path suffix
+#: (prefix route) and returns ``(status, content_type, body)``.
+Response = Tuple[int, str, str]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Longest request line we will read before giving up on the client.
+_MAX_REQUEST_LINE = 4096
+#: Most header lines consumed per request (we ignore their contents).
+_MAX_HEADER_LINES = 64
+#: Seconds a client gets to deliver its request line and headers.
+_READ_TIMEOUT = 5.0
+
+
+def json_response(doc: Any, status: int = 200) -> Response:
+    """A JSON body with the right content type, keys sorted for diffs."""
+    return status, "application/json", json.dumps(doc, sort_keys=True) + "\n"
+
+
+def text_response(body: str, status: int = 200) -> Response:
+    return status, "text/plain; version=0.0.4; charset=utf-8", body
+
+
+class TelemetryServer:
+    """GET-only asyncio HTTP server for live metrics/health exposition.
+
+    Routes are registered before :meth:`start`; exact routes win over
+    prefix routes. ``port=0`` binds an ephemeral port (the bound port
+    is available as :attr:`port` after start), matching the serve
+    listener's convention.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self._requested_port = port
+        self._port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._routes: Dict[str, Callable[[], Response]] = {}
+        self._prefixes: List[Tuple[str, Callable[[str], Response]]] = []
+        self.requests_served = 0
+
+    # ------------------------------------------------------------- routing
+
+    def route(self, path: str, handler: Callable[[], Response]) -> None:
+        """Register an exact route, e.g. ``route("/metrics", fn)``."""
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/', got {path!r}")
+        self._routes[path] = handler
+
+    def route_prefix(
+        self, prefix: str, handler: Callable[[str], Response]
+    ) -> None:
+        """Register a prefix route; the handler receives the suffix.
+
+        ``route_prefix("/tenants/", fn)`` maps ``GET /tenants/alice``
+        to ``fn("alice")``. Longer prefixes are tried first.
+        """
+        if not prefix.startswith("/"):
+            raise ValueError(
+                f"route prefix must start with '/', got {prefix!r}"
+            )
+        self._prefixes.append((prefix, handler))
+        self._prefixes.sort(key=lambda item: len(item[0]), reverse=True)
+
+    def _dispatch(self, path: str) -> Response:
+        handler = self._routes.get(path)
+        if handler is not None:
+            return handler()
+        for prefix, prefix_handler in self._prefixes:
+            if path.startswith(prefix):
+                return prefix_handler(path[len(prefix):])
+        return json_response({"error": f"no such path: {path}"}, status=404)
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns ``(host, port)`` actually bound."""
+        if self._server is not None:
+            raise RuntimeError("telemetry server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self.host, self._port
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("telemetry server is not started")
+        return self._port
+
+    async def stop(self) -> None:
+        """Stop accepting; idempotent, in-flight responses finish."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    # ------------------------------------------------------- one connection
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+            if status is not None:
+                self.requests_served += 1
+                payload = body.encode("utf-8")
+                head = (
+                    f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"
+                    f"\r\nContent-Type: {content_type}"
+                    f"\r\nContent-Length: {len(payload)}"
+                    "\r\nConnection: close\r\n\r\n"
+                )
+                writer.write(head.encode("ascii") + payload)
+                await writer.drain()
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # client vanished or stalled; nothing to salvage
+        except Exception:  # pragma: no cover - handler bugs land in 500 above
+            _log.exception("telemetry connection failed")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[Optional[int], str, str]:
+        """Parse one request and run its handler; never raises for bad input.
+
+        Returns ``(None, ..., ...)`` — suppressing the response — only
+        when the client closed before sending anything.
+        """
+        try:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\n"), timeout=_READ_TIMEOUT
+            )
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None, "", ""  # clean close before any request
+            return json_response({"error": "bad request line"}, status=400)
+        except asyncio.LimitOverrunError:
+            return json_response({"error": "request line too long"}, 400)
+        if len(raw) > _MAX_REQUEST_LINE:
+            return json_response({"error": "request line too long"}, 400)
+        try:
+            line = raw.decode("ascii").strip()
+        except UnicodeDecodeError:
+            return json_response({"error": "bad request line"}, status=400)
+        parts = line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            return json_response({"error": "bad request line"}, status=400)
+        method, target = parts[0], parts[1]
+        # Drain headers so well-behaved clients aren't reset mid-send;
+        # contents are irrelevant to a GET-only, close-per-request plane.
+        for _ in range(_MAX_HEADER_LINES):
+            try:
+                header = await asyncio.wait_for(
+                    reader.readuntil(b"\n"), timeout=_READ_TIMEOUT
+                )
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                asyncio.TimeoutError,
+            ):
+                break
+            if header.strip() == b"":
+                break
+        if method != "GET":
+            return json_response(
+                {"error": f"method {method} not allowed"}, status=405
+            )
+        path = target.split("?", 1)[0]
+        try:
+            return self._dispatch(path)
+        except Exception as exc:
+            _log.exception("telemetry handler for %r failed", path)
+            return json_response(
+                {"error": f"handler failed: {exc}"}, status=500
+            )
+
+
+async def fetch(host: str, port: int, path: str) -> Tuple[int, str]:
+    """Tiny asyncio HTTP GET for tests, benches, and ``repro top``.
+
+    Returns ``(status, body)``; raises ``ConnectionError`` /
+    ``OSError`` when the endpoint is unreachable.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(request.encode("ascii"))
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ConnectionError(f"malformed HTTP response: {status_line!r}")
+    return int(parts[1]), body.decode("utf-8", "replace")
+
+
+__all__ = [
+    "TelemetryServer",
+    "Response",
+    "json_response",
+    "text_response",
+    "fetch",
+]

@@ -30,9 +30,10 @@ from __future__ import annotations
 import json
 import os
 import threading
+import uuid
 from collections import deque
 from time import perf_counter
-from typing import Any, Deque, Dict, List, NamedTuple, Optional
+from typing import Any, Deque, Dict, List, NamedTuple, Optional, Union
 
 
 class SpanRecord(NamedTuple):
@@ -42,6 +43,30 @@ class SpanRecord(NamedTuple):
     start: float
     duration: float
     attrs: Dict[str, Any]
+
+
+class TraceContext(NamedTuple):
+    """Cross-process trace correlation carried on serve wire frames.
+
+    ``trace_id`` names one logical client→server flow; ``parent_span``
+    is the sender-side span id the receiver's spans hang under. Both
+    are opaque hex strings — see :func:`new_trace_id` /
+    :func:`new_span_id` — serialized by
+    ``repro.pipeline.codec.trace_context_to_dict``.
+    """
+
+    trace_id: str
+    parent_span: str = ""
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (one per client connection)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id (one per parented span)."""
+    return uuid.uuid4().hex[:8]
 
 
 class SpanRecorder:
@@ -163,6 +188,60 @@ class _NoopSpan:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         return False
+
+
+def merge_remote_trace(
+    *sources: Union[SpanRecorder, Dict[str, Any]],
+    trace_id: Optional[str] = None,
+    names: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Join client- and server-side span buffers into one Chrome trace.
+
+    Each source is a :class:`SpanRecorder` or an already-exported
+    Chrome-trace dict. Sources are assigned distinct ``pid`` rows
+    (labelled via ``process_name`` metadata events, default
+    ``source-<i>`` or the given ``names``) so a client and a server
+    that happen to share an OS pid — every serve test — still land on
+    separate tracks. With ``trace_id`` given, only spans whose
+    ``args["trace_id"]`` matches are kept, which is how one tenant's
+    flow is isolated from a busy service's buffer.
+
+    Timestamps stay source-relative (each recorder's own origin);
+    merged traces answer "where did the latency go per side", not
+    "what was the wire clock skew" — the wire gap is visible as the
+    delta between a client ``wire`` span and the matching server
+    ``queue_wait`` span for the same quantum.
+    """
+    events: List[Dict[str, Any]] = []
+    for index, source in enumerate(sources):
+        label = (
+            names[index]
+            if names is not None and index < len(names)
+            else f"source-{index}"
+        )
+        doc = (
+            source.to_chrome_trace()
+            if isinstance(source, SpanRecorder)
+            else source
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": index,
+                "args": {"name": label},
+            }
+        )
+        for event in doc.get("traceEvents", []):
+            if event.get("ph") == "M":
+                continue
+            args = event.get("args") or {}
+            if trace_id is not None and args.get("trace_id") != trace_id:
+                continue
+            merged = dict(event)
+            merged["pid"] = index
+            events.append(merged)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 _NOOP_SPAN = _NoopSpan()

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.report import UnitVerdict
 from repro.errors import DetectionError
+from repro.obs.tracing import TraceContext
 from repro.pipeline.source import (
     ChannelKind,
     ChannelSpec,
@@ -315,6 +316,43 @@ def channel_spec_from_dict(payload: Any) -> ChannelSpec:
     if kind is ChannelKind.BURST and dt is None:
         raise CodecError(f"{what}: burst channels require a Δt width")
     return ChannelSpec(name=name, kind=kind, dt=dt)
+
+
+# ---------------------------------------------------------- trace context
+
+_TRACE_FIELDS = ("trace_id", "parent_span")
+
+
+def trace_context_to_dict(ctx: "TraceContext") -> Dict[str, Any]:
+    """Serialize the optional trace-correlation sub-object.
+
+    Unlike the top-level formats this carries no ``format`` stamp: it
+    only ever appears as an *optional* field inside a v1 wire frame
+    (``hello``/``obs``), where the frame's own schema scopes it.
+    """
+    out: Dict[str, Any] = {"trace_id": ctx.trace_id}
+    if ctx.parent_span:
+        out["parent_span"] = ctx.parent_span
+    return out
+
+
+def trace_context_from_dict(payload: Any) -> "TraceContext":
+    what = "trace context"
+    payload = _require_mapping(payload, what)
+    _reject_unknown(payload, _TRACE_FIELDS, what)
+    trace_id = _require(payload, "trace_id", what)
+    if not isinstance(trace_id, str) or not trace_id:
+        raise CodecError(f"{what}.trace_id: expected a non-empty string")
+    if len(trace_id) > 64:
+        raise CodecError(
+            f"{what}.trace_id: too long ({len(trace_id)} > 64 chars)"
+        )
+    parent_span = payload.get("parent_span", "")
+    if not isinstance(parent_span, str) or len(parent_span) > 64:
+        raise CodecError(
+            f"{what}.parent_span: expected a string of <= 64 chars"
+        )
+    return TraceContext(trace_id=trace_id, parent_span=parent_span)
 
 
 # ------------------------------------------------------------------- json

@@ -15,16 +15,21 @@ Exposed on the CLI as ``repro report`` and via ``repro detect/analyze
 --report-out`` / ``--watch``. See docs/FORENSICS.md.
 """
 
-from repro.report.live import WatchSink
+from repro.report.live import LiveBlock, WatchSink
 from repro.report.render import (
     forensic_report_html,
     forensic_report_markdown,
     render_report,
 )
 from repro.report.svg import bar_chart, line_chart
+from repro.report.top import fetch_tenants, render_fleet, run_top
 
 __all__ = [
+    "LiveBlock",
     "WatchSink",
+    "fetch_tenants",
+    "render_fleet",
+    "run_top",
     "forensic_report_html",
     "forensic_report_markdown",
     "render_report",

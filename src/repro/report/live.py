@@ -21,6 +21,43 @@ _ANSI_PREV_LINE = "\x1b[F"  # cursor up one line, to column 0
 _ANSI_CLEAR_LINE = "\x1b[2K"  # erase entire line
 
 
+class LiveBlock:
+    """In-place redraw of a multi-line status block on a TTY.
+
+    The redraw machinery WatchSink has always used, extracted so other
+    live views (``repro top``) share it: on a TTY the previous block is
+    erased with ANSI cursor movement and redrawn; on a non-TTY stream
+    each draw appends a fresh block, keeping redirected output a
+    readable log.
+    """
+
+    def __init__(
+        self, stream: Optional[TextIO] = None, sticky: Optional[bool] = None
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        if sticky is None:
+            isatty = getattr(self.stream, "isatty", None)
+            sticky = bool(isatty and isatty())
+        self.sticky = sticky
+        self._drawn_lines = 0
+
+    def draw(self, lines: List[str]) -> None:
+        out = []
+        if self.sticky and self._drawn_lines:
+            out.append(
+                (_ANSI_PREV_LINE + _ANSI_CLEAR_LINE) * self._drawn_lines
+            )
+        out.append("\n".join(lines))
+        out.append("\n")
+        self.stream.write("".join(out))
+        self.stream.flush()
+        self._drawn_lines = len(lines) if self.sticky else 0
+
+    def release(self) -> None:
+        """Keep the current block on screen; stop redrawing over it."""
+        self._drawn_lines = 0
+
+
 def _signal(verdict: UnitVerdict) -> str:
     if verdict.method == "burst":
         lr = (
@@ -46,16 +83,19 @@ class WatchSink:
     ):
         if refresh_every < 1:
             raise ValueError("refresh_every must be >= 1")
-        self.stream = stream if stream is not None else sys.stderr
-        self.refresh_every = refresh_every
         #: Redraw in place (ANSI) vs append blocks. Defaults to whether
-        #: the stream is an interactive terminal.
-        if sticky is None:
-            isatty = getattr(self.stream, "isatty", None)
-            sticky = bool(isatty and isatty())
-        self.sticky = sticky
-        self._drawn_lines = 0
+        #: the stream is an interactive terminal (see LiveBlock).
+        self._block = LiveBlock(stream, sticky=sticky)
+        self.refresh_every = refresh_every
         self._quanta_seen = 0
+
+    @property
+    def stream(self) -> TextIO:
+        return self._block.stream
+
+    @property
+    def sticky(self) -> bool:
+        return self._block.sticky
 
     # ------------------------------------------------------------- rendering
 
@@ -76,14 +116,7 @@ class WatchSink:
         return lines
 
     def _draw(self, lines: List[str]) -> None:
-        out = []
-        if self.sticky and self._drawn_lines:
-            out.append((_ANSI_PREV_LINE + _ANSI_CLEAR_LINE) * self._drawn_lines)
-        out.append("\n".join(lines))
-        out.append("\n")
-        self.stream.write("".join(out))
-        self.stream.flush()
-        self._drawn_lines = len(lines) if self.sticky else 0
+        self._block.draw(lines)
 
     # ------------------------------------------------------------- sink API
 
@@ -106,4 +139,4 @@ class WatchSink:
             )
         )
         # The final block stays on screen; stop treating it as redrawable.
-        self._drawn_lines = 0
+        self._block.release()

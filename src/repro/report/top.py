@@ -1,0 +1,122 @@
+"""``repro top``: a live TTY dashboard over the serve telemetry plane.
+
+Polls a :class:`repro.obs.telemetry.TelemetryServer` admin endpoint
+(``/tenants``) and renders the tenant fleet as a redrawing status block
+— tenants sorted by SLO burn rate, worst first, so the tenant the
+auditor is closest to losing sight of is the first line on screen.
+
+Reuses :class:`repro.report.live.LiveBlock` for the redraw machinery:
+on a TTY the table refreshes in place; redirected to a file it appends
+one block per poll, staying a readable log. Plain-function rendering
+(:func:`render_fleet`) is separate from the polling loop so tests can
+exercise the table without a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.errors import ServeUnavailableError
+from repro.obs.telemetry import fetch
+from repro.report.live import LiveBlock
+
+_HEADER = (
+    f"{'TENANT':<20} {'HEALTH':<8} {'BURN':>6} {'ALERTS':>6} "
+    f"{'RECV':>6} {'SHED':>5} {'LOST':>5} {'COAL':>5}  FLAGS"
+)
+
+
+def _flags(doc: Dict[str, Any]) -> str:
+    flags = []
+    if doc.get("any_detected"):
+        flags.append("DETECTED")
+    slo = doc.get("slo") or {}
+    for firing in slo.get("firing", []):
+        flags.append(f"{firing['rule']}:{firing['objective']}")
+    if not doc.get("connected", False):
+        flags.append("idle")
+    return " ".join(flags) or "-"
+
+
+def render_fleet(doc: Dict[str, Any], title: str = "repro top") -> List[str]:
+    """Lines for one ``/tenants`` document, sorted by burn rate."""
+    tenants = sorted(
+        doc.get("tenants", []),
+        key=lambda t: (t.get("slo") or {}).get("max_burn_rate", 0.0),
+        reverse=True,
+    )
+    state = "draining" if doc.get("draining") else "serving"
+    lines = [f"{title} — {len(tenants)} tenant(s), {state}", _HEADER]
+    for tenant in tenants:
+        slo = tenant.get("slo") or {}
+        lines.append(
+            f"{tenant.get('tenant', '?'):<20} "
+            f"{tenant.get('health', '?'):<8} "
+            f"{slo.get('max_burn_rate', 0.0):>6.1f} "
+            f"{slo.get('alerts_total', 0):>6d} "
+            f"{tenant.get('received', 0):>6d} "
+            f"{tenant.get('shed', 0):>5d} "
+            f"{tenant.get('lost', 0):>5d} "
+            f"{tenant.get('coalesced', 0):>5d}  "
+            f"{_flags(tenant)}"
+        )
+    if not tenants:
+        lines.append("  (no tenants)")
+    return lines
+
+
+async def fetch_tenants(host: str, port: int) -> Dict[str, Any]:
+    """One ``/tenants`` poll; raises ServeUnavailableError when down."""
+    try:
+        status, body = await fetch(host, port, "/tenants")
+    except (ConnectionError, OSError) as exc:
+        raise ServeUnavailableError(
+            f"cannot reach telemetry endpoint at {host}:{port}: {exc}"
+        ) from None
+    if status != 200:
+        raise ServeUnavailableError(
+            f"telemetry endpoint at {host}:{port} answered {status}"
+        )
+    try:
+        return json.loads(body)
+    except ValueError as exc:
+        raise ServeUnavailableError(
+            f"telemetry endpoint sent invalid JSON: {exc}"
+        ) from None
+
+
+async def run_top(
+    host: str,
+    port: int,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Poll and redraw until interrupted (or for ``iterations`` polls).
+
+    Returns the number of polls completed. The *first* poll failing
+    raises :class:`ServeUnavailableError` (exit code 9 at the CLI); a
+    later failure means the service went away — render that and stop.
+    """
+    block = LiveBlock(stream)
+    polls = 0
+    while iterations is None or polls < iterations:
+        try:
+            doc = await fetch_tenants(host, port)
+        except ServeUnavailableError:
+            if polls == 0:
+                raise
+            block.draw([f"repro top — endpoint {host}:{port} went away"])
+            break
+        block.draw(render_fleet(doc, title=f"repro top {host}:{port}"))
+        polls += 1
+        if iterations is not None and polls >= iterations:
+            break
+        await asyncio.sleep(interval)
+    block.release()
+    return polls
+
+
+__all__ = ["fetch_tenants", "render_fleet", "run_top"]

@@ -22,7 +22,12 @@ from repro.errors import (
     WireError,
 )
 from repro.serve.client import ServeClient, TenantResult, stream_tenant
-from repro.serve.service import DetectionService, ServeConfig, TenantStats
+from repro.serve.service import (
+    DetectionService,
+    ServeConfig,
+    TenantStats,
+    run_service,
+)
 from repro.serve.traffic import (
     benign_observations,
     covert_observations,
@@ -71,6 +76,7 @@ __all__ = [
     "encode_frame",
     "make_observations",
     "read_frame",
+    "run_service",
     "send_frame",
     "stream_tenant",
 ]

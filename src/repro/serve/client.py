@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.report import DetectionReport
 from repro.errors import ServeError, ServeUnavailableError
 from repro.faults.wire import GARBAGE_BODY, FlakyFrameLink
+from repro.obs.tracing import (
+    SpanRecorder,
+    TraceContext,
+    get_recorder,
+    new_span_id,
+)
 from repro.pipeline.source import ChannelSpec, QuantumObservation
 from repro.serve.wire import (
     Bye,
@@ -64,6 +71,8 @@ class ServeClient:
         port: int,
         link: Optional[FlakyFrameLink] = None,
         on_verdict=None,
+        trace_id: Optional[str] = None,
+        recorder: Optional[SpanRecorder] = None,
     ):
         self.host = host
         self.port = port
@@ -71,6 +80,12 @@ class ServeClient:
         #: Optional callback fired (from the reader task) on every
         #: verdict frame — the load bench uses it to timestamp arrivals.
         self.on_verdict = on_verdict
+        #: With a trace id set, hello/obs frames carry a
+        #: :class:`TraceContext` and the client records ``client.emit``
+        #: / ``client.wire`` spans (into ``recorder`` or the global
+        #: one), joinable with the server's via ``merge_remote_trace``.
+        self.trace_id = trace_id
+        self._recorder = recorder
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -96,8 +111,14 @@ class ServeClient:
                 f"{self.host}:{self.port}: {exc}"
             ) from None
         self.tenant = tenant
+        trace = None
+        if self.trace_id is not None:
+            trace = TraceContext(
+                trace_id=self.trace_id, parent_span=new_span_id()
+            )
         await send_frame(
-            self._writer, Hello(tenant=tenant, channels=tuple(channels))
+            self._writer,
+            Hello(tenant=tenant, channels=tuple(channels), trace=trace),
         )
         frame = await read_frame(self._reader)
         if isinstance(frame, ErrorFrame):
@@ -143,20 +164,52 @@ class ServeClient:
 
     # ------------------------------------------------------------ streaming
 
+    def _trace_recorder(self) -> Optional[SpanRecorder]:
+        """The span sink for client-side spans; None disables them."""
+        if self.trace_id is None:
+            return None
+        return self._recorder if self._recorder is not None else get_recorder()
+
     async def send(self, obs: QuantumObservation) -> None:
         """Stream one observation, honoring the credit window.
 
         With a flaky link attached the frame may be dropped or replaced
         with garbage — either way it consumes a sequence number and a
         credit, exactly like a lossy network would.
+
+        With tracing active (``trace_id`` + a recorder) two spans are
+        recorded per observation: ``client.emit`` covers the whole call
+        including the credit wait, ``client.wire`` just the transport
+        write — their difference is client-side backpressure.
         """
         if self._writer is None or self._credits is None:
             raise ServeError("client is not connected")
         self._raise_if_fatal()
+        rec = self._trace_recorder()
+        t_emit = perf_counter() if rec is not None else 0.0
         await self._credits.acquire()
         self._raise_if_fatal()
-        frame = ObsFrame(seq=self._seq, observation=obs)
+        trace = None
+        if self.trace_id is not None:
+            trace = TraceContext(
+                trace_id=self.trace_id, parent_span=new_span_id()
+            )
+        frame = ObsFrame(seq=self._seq, observation=obs, trace=trace)
         self._seq += 1
+        t_wire = perf_counter() if rec is not None else 0.0
+        await self._write_obs(frame)
+        if rec is not None:
+            t_done = perf_counter()
+            attrs = {
+                "tenant": self.tenant,
+                "seq": frame.seq,
+                "quantum": obs.quantum,
+                "trace_id": self.trace_id,
+            }
+            rec.record("client.wire", t_wire, t_done - t_wire, attrs)
+            rec.record("client.emit", t_emit, t_done - t_emit, attrs)
+
+    async def _write_obs(self, frame: ObsFrame) -> None:
         if self.link is None:
             await send_frame(self._writer, frame)
             return
@@ -260,9 +313,13 @@ async def stream_tenant(
     observations: Iterable[QuantumObservation],
     link: Optional[FlakyFrameLink] = None,
     finish_timeout: float = 30.0,
+    trace_id: Optional[str] = None,
+    recorder: Optional[SpanRecorder] = None,
 ) -> TenantResult:
     """Stream a whole observation sequence and return the final result."""
-    client = ServeClient(host, port, link=link)
+    client = ServeClient(
+        host, port, link=link, trace_id=trace_id, recorder=recorder
+    )
     await client.connect(tenant, channels)
     attempted = 0
     try:

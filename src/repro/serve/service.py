@@ -60,6 +60,14 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 from repro.errors import FrameDecodeError, ServeError, WireError
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, get_default
+from repro.obs.slo import SloTracker
+from repro.obs.telemetry import (
+    TelemetryServer,
+    json_response,
+    text_response,
+)
+from repro.obs.tracing import get_profiler, get_recorder, trace_span
+from repro.pipeline.health import Health, worst
 from repro.pipeline.session import DetectionSession, build_session_from_specs
 from repro.pipeline.source import ChannelSpec, QuantumObservation
 from repro.serve.wire import (
@@ -111,6 +119,12 @@ class ServeConfig:
     hello_timeout: float = 5.0
     #: Seconds stop() waits for pending queues to drain.
     drain_timeout: float = 5.0
+    #: With a port set (0 = ephemeral), serve the live telemetry plane
+    #: (``/metrics``, ``/healthz``, ``/readyz``, ``/tenants``,
+    #: ``/profile``) on it; ``None`` disables the admin endpoint.
+    admin_port: Optional[int] = None
+    #: Append-only JSONL file receiving fired SLO alerts.
+    alerts_out: Optional[str] = None
 
     def __post_init__(self):
         if self.shards < 1:
@@ -146,6 +160,8 @@ class TenantStats:
     lost: int
     health: str
     any_detected: bool
+    #: Verdict frames silently superseded in the coalescing outbox.
+    coalesced: int = 0
 
 
 class _Outbox:
@@ -169,9 +185,12 @@ class _Outbox:
         self.credits += n
         self.event.set()
 
-    def put_verdict(self, frame: VerdictFrame) -> None:
+    def put_verdict(self, frame: VerdictFrame) -> bool:
+        """Queue a verdict; True when it superseded an unsent one."""
+        coalesced = self.verdict is not None
         self.verdict = frame
         self.event.set()
+        return coalesced
 
     def put_error(self, frame: ErrorFrame) -> None:
         self.errors.append(frame)
@@ -191,7 +210,7 @@ class _Tenant:
         "pending_tags", "outbox", "connected", "bye_requested",
         "queued", "shard", "next_seq", "client_credits", "uncredited",
         "received", "shed", "lost", "overload_tick", "last_active",
-        "evictions",
+        "evictions", "arrivals", "trace_id", "coalesced", "last_verdict",
     )
 
     def __init__(self, name: str, specs: Tuple[ChannelSpec, ...], shard: int):
@@ -219,6 +238,16 @@ class _Tenant:
         self.overload_tick = 0
         self.last_active = 0.0
         self.evictions = 0
+        #: ``perf_counter`` ingest stamps, in lockstep with ``pending``
+        #: (same appends/pops), feeding queue-wait spans and SLO latency.
+        self.arrivals: Deque[float] = deque()
+        #: Client-provided trace id (hello frame); server spans for
+        #: this tenant carry it so merge_remote_trace can join flows.
+        self.trace_id: Optional[str] = None
+        #: Verdict frames superseded before the writer sent them.
+        self.coalesced = 0
+        #: Small summary of the newest queued verdict (telemetry only).
+        self.last_verdict: Optional[Dict[str, object]] = None
 
 
 class DetectionService:
@@ -229,12 +258,19 @@ class DetectionService:
         config: Optional[ServeConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
+        slo: Optional[SloTracker] = None,
     ):
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else get_default()
         self.clock = clock
+        #: Per-tenant SLO windows + burn-rate alerting, fed from the
+        #: data path (verdict latency, shed fate, verdict health).
+        self.slo = slo if slo is not None else SloTracker(
+            metrics=self.metrics, alerts_path=self.config.alerts_out
+        )
         self._tenants: Dict[str, _Tenant] = {}
         self._server: Optional[asyncio.AbstractServer] = None
+        self._admin: Optional[TelemetryServer] = None
         self._ready: List[asyncio.Queue] = []
         self._workers: List[asyncio.Task] = []
         self._reaper: Optional[asyncio.Task] = None
@@ -299,6 +335,12 @@ class DetectionService:
     def host(self) -> str:
         return self.config.host
 
+    @property
+    def admin_port(self) -> int:
+        if self._admin is None:
+            raise ServeError("admin endpoint is not enabled")
+        return self._admin.port
+
     async def start(self) -> Tuple[str, int]:
         """Bind and start shard workers; returns ``(host, port)``."""
         if self._server is not None:
@@ -316,6 +358,15 @@ class DetectionService:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.config.admin_port is not None:
+            self._admin = TelemetryServer(
+                self.config.host, self.config.admin_port
+            )
+            self._bind_admin_routes(self._admin)
+            await self._admin.start()
+            _log.info(
+                "telemetry plane on %s:%d", self.host, self._admin.port
+            )
         _log.info(
             "serving on %s:%d (%d shards)",
             self.host, self.port, self.config.shards,
@@ -384,6 +435,10 @@ class DetectionService:
         )
         self._workers = []
         self._reaper = None
+        # The telemetry plane answers scrapes for the whole drain; it
+        # goes down last so "/readyz 503, /healthz 200" is observable.
+        if self._admin is not None:
+            await self._admin.stop()
         return stats
 
     # ------------------------------------------------------------ accounting
@@ -410,7 +465,32 @@ class DetectionService:
             any_detected=(
                 report.any_detected if report is not None else False
             ),
+            coalesced=tenant.coalesced,
         )
+
+    def tenant_telemetry(self, name: str) -> Dict[str, object]:
+        """JSON-ready live view of one tenant (``/tenants/<id>``)."""
+        stats = self.tenant_stats(name)
+        tenant = self._tenants[name]
+        return {
+            "tenant": name,
+            "connected": stats.connected,
+            "resident": stats.resident,
+            "shard": tenant.shard,
+            "received": stats.received,
+            "shed": stats.shed,
+            "lost": stats.lost,
+            "coalesced": stats.coalesced,
+            "health": stats.health,
+            "any_detected": stats.any_detected,
+            "credit": {
+                "client_credits": tenant.client_credits,
+                "uncredited": tenant.uncredited,
+                "pending": len(tenant.pending),
+            },
+            "last_verdict": tenant.last_verdict,
+            "slo": self.slo.tenant_snapshot(name),
+        }
 
     def _gauge_sync(self) -> None:
         self._m_tenants.set(len(self._tenants))
@@ -421,6 +501,76 @@ class DetectionService:
                 if t.session is not None and not t.session.closed
             )
         )
+
+    # ------------------------------------------------------- telemetry plane
+
+    def _bind_admin_routes(self, admin: TelemetryServer) -> None:
+        admin.route("/metrics", self._admin_metrics)
+        admin.route("/healthz", self._admin_healthz)
+        admin.route("/readyz", self._admin_readyz)
+        admin.route("/tenants", self._admin_tenants)
+        admin.route_prefix("/tenants/", self._admin_tenant)
+        admin.route("/profile", self._admin_profile)
+
+    def _worst_health(self) -> str:
+        return worst(
+            [Health.OK]
+            + [Health(self.tenant_stats(n).health) for n in self._tenants]
+        ).value
+
+    def _admin_metrics(self):
+        if not self.metrics.enabled:
+            return text_response("# metrics registry disabled\n")
+        return text_response(self.metrics.render_prometheus())
+
+    def _admin_healthz(self):
+        """Liveness + the session health ladder; 503 once stopped."""
+        health = self._worst_health()
+        doc = {
+            "status": "stopped" if self._stopped else "alive",
+            "health": health,
+            "tenants": len(self._tenants),
+        }
+        return json_response(doc, status=503 if self._stopped else 200)
+
+    def _admin_readyz(self):
+        """Readiness: 503 while draining/stopped, so LBs stop routing."""
+        ready = (
+            self._server is not None
+            and not self._draining
+            and not self._stopped
+        )
+        return json_response(
+            {"ready": ready, "draining": self._draining},
+            status=200 if ready else 503,
+        )
+
+    def _admin_tenants(self):
+        return json_response(
+            {
+                "format": "repro.serve.tenants/v1",
+                "draining": self._draining,
+                "tenants": [
+                    self.tenant_telemetry(name)
+                    for name in sorted(self._tenants)
+                ],
+            }
+        )
+
+    def _admin_tenant(self, name: str):
+        if name not in self._tenants:
+            return json_response(
+                {"error": f"unknown tenant {name!r}"}, status=404
+            )
+        return json_response(self.tenant_telemetry(name))
+
+    def _admin_profile(self):
+        profiler = get_profiler()
+        if profiler is None:
+            return json_response(
+                {"error": "profiling is not enabled"}, status=404
+            )
+        return json_response(profiler.to_dict())
 
     # ------------------------------------------------------------ admission
 
@@ -491,7 +641,9 @@ class DetectionService:
                 )
             victim = min(victims, key=lambda t: t.last_active)
             _log.info(
-                "LRU-evicting idle session of tenant %r", victim.name
+                "LRU-evicting idle session of tenant %r",
+                victim.name,
+                extra={"tenant": victim.name, "shard": victim.shard},
             )
             victim.final_report = victim.session.close()
             victim.evictions += 1
@@ -509,6 +661,8 @@ class DetectionService:
             tenant.lost += gap
             self._m_lost.inc(gap)
             tenant.pending_tags.extend(["lost:*"] * min(gap, 64))
+            for _ in range(min(gap, 64)):
+                self.slo.observe_shed(tenant.name, True)
             # Lost frames spent client credits that will never be
             # consumed by a fold; return them so the client can't starve.
             self._earn_credits(tenant, gap)
@@ -524,9 +678,11 @@ class DetectionService:
             tenant.shed += 1
             self._m_shed.inc()
             tenant.pending_tags.append("shed:*")
+            self.slo.observe_shed(tenant.name, True)
             self._earn_credits(tenant, 1)
             return
         tenant.pending.append(frame.observation)
+        tenant.arrivals.append(time.perf_counter())
         self._m_obs.inc()
         self._kick(tenant)
 
@@ -548,16 +704,25 @@ class DetectionService:
     def _shed_remaining(self, tenant: _Tenant) -> None:
         n = len(tenant.pending)
         tenant.pending.clear()
+        tenant.arrivals.clear()
         tenant.shed += n
         self._m_shed.inc(n)
         tenant.pending_tags.extend(["shed:*"] * min(n, 64))
+        for _ in range(min(n, 64)):
+            self.slo.observe_shed(tenant.name, True)
 
-    def _fold_one(self, tenant: _Tenant, obs: QuantumObservation) -> None:
+    def _fold_one(
+        self,
+        tenant: _Tenant,
+        obs: QuantumObservation,
+        arrival: Optional[float] = None,
+    ) -> None:
         if self._draining and tenant.final_report is not None:
             # Shutdown already sealed this tenant's report; late
             # arrivals are shed, never folded into a rebuilt session.
             tenant.shed += 1
             self._m_shed.inc()
+            self.slo.observe_shed(tenant.name, True)
             return
         session = self._ensure_resident(tenant)
         if tenant.pending_tags:
@@ -565,22 +730,58 @@ class DetectionService:
                 obs, faults=obs.faults + tuple(tenant.pending_tags)
             )
             tenant.pending_tags.clear()
-        session.push_quantum(obs)
+        with trace_span(
+            "serve.fold",
+            tenant=tenant.name,
+            shard=tenant.shard,
+            quantum=obs.quantum,
+            trace_id=tenant.trace_id,
+        ):
+            session.push_quantum(obs)
         tenant.received += 1
         self._m_folded.inc()
+        self.slo.observe_shed(tenant.name, False)
         self._earn_credits(tenant, 1)
         if (
             tenant.received % self.config.verdict_every == 0
             and tenant.outbox is not None
         ):
-            report = session.current_verdicts()
-            tenant.outbox.put_verdict(
+            with trace_span(
+                "serve.analyze",
+                tenant=tenant.name,
+                shard=tenant.shard,
+                quantum=obs.quantum,
+                trace_id=tenant.trace_id,
+            ):
+                report = session.current_verdicts()
+            if tenant.outbox.put_verdict(
                 VerdictFrame(
                     quantum=obs.quantum,
                     verdicts=report.verdicts,
                     health=report.health,
                 )
+            ):
+                tenant.coalesced += 1
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "cchunter_serve_verdicts_coalesced_total",
+                        "verdict frames superseded in the outbox before "
+                        "the client read them",
+                        labels={"tenant": tenant.name},
+                    ).inc()
+            latency = (
+                time.perf_counter() - arrival if arrival is not None else None
             )
+            tenant.last_verdict = {
+                "quantum": obs.quantum,
+                "health": report.health,
+                "any_detected": report.any_detected,
+                "latency_s": latency,
+            }
+            if latency is not None:
+                self.slo.observe_latency(tenant.name, latency)
+            self.slo.observe_health(tenant.name, report.health)
+            self.slo.evaluate(tenant.name)
 
     def _finalize(self, tenant: _Tenant) -> None:
         """Seal the tenant's final report and queue its goodbye."""
@@ -609,13 +810,43 @@ class DetectionService:
             timed = self.metrics.enabled
             t0 = time.perf_counter() if timed else 0.0
             budget = self.config.fold_batch
+            recorder = get_recorder()
             try:
                 while tenant.pending and budget > 0:
-                    self._fold_one(tenant, tenant.pending.popleft())
+                    obs = tenant.pending.popleft()
+                    arrival = (
+                        tenant.arrivals.popleft()
+                        if tenant.arrivals
+                        else None
+                    )
+                    if (
+                        recorder is not None
+                        and tenant.trace_id is not None
+                        and arrival is not None
+                    ):
+                        # Retroactive span: ingest → this pop is the
+                        # time the observation sat in the pending queue.
+                        recorder.record(
+                            "serve.queue_wait",
+                            arrival,
+                            time.perf_counter() - arrival,
+                            {
+                                "tenant": tenant.name,
+                                "shard": shard,
+                                "quantum": obs.quantum,
+                                "trace_id": tenant.trace_id,
+                            },
+                        )
+                    self._fold_one(tenant, obs, arrival=arrival)
                     budget -= 1
             except ServeError as exc:
                 # Capacity exhaustion mid-fold: shed what's left.
-                _log.error("fold failed for %r: %s", name, exc)
+                _log.error(
+                    "fold failed for %r: %s",
+                    name,
+                    exc,
+                    extra={"tenant": name, "shard": shard},
+                )
                 self._shed_remaining(tenant)
             if timed:
                 self._m_fold.observe(time.perf_counter() - t0)
@@ -636,7 +867,11 @@ class DetectionService:
                     continue
                 if now - tenant.last_active < self.config.idle_expiry:
                     continue
-                _log.info("expiring idle tenant %r", name)
+                _log.info(
+                    "expiring idle tenant %r",
+                    name,
+                    extra={"tenant": name, "shard": tenant.shard},
+                )
                 if tenant.session is not None and not tenant.session.closed:
                     tenant.final_report = tenant.session.close()
                     self._m_evictions.inc()
@@ -685,7 +920,12 @@ class DetectionService:
                     )
                 except asyncio.TimeoutError:
                     _log.warning(
-                        "goodbye flush for %r timed out", tenant.name
+                        "goodbye flush for %r timed out",
+                        tenant.name,
+                        extra={
+                            "tenant": tenant.name,
+                            "shard": tenant.shard,
+                        },
                     )
         except asyncio.CancelledError:
             pass
@@ -744,6 +984,8 @@ class DetectionService:
         tenant.connected = True
         tenant.bye_requested = False
         tenant.last_active = self.clock()
+        if frame.trace is not None:
+            tenant.trace_id = frame.trace.trace_id
         tenant.outbox = _Outbox()
         tenant.client_credits = self.config.initial_credits
         tenant.uncredited = 0

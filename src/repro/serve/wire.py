@@ -34,12 +34,15 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.report import DetectionReport, UnitVerdict
 from repro.errors import FrameDecodeError, WireError
+from repro.obs.tracing import TraceContext
 from repro.pipeline.codec import (
     CodecError,
     channel_spec_from_dict,
     channel_spec_to_dict,
     observation_from_dict,
     observation_to_dict,
+    trace_context_from_dict,
+    trace_context_to_dict,
     verdict_from_dict,
     verdict_to_dict,
 )
@@ -56,13 +59,18 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 _HEADER = struct.Struct(">I")
 
 
-def _need(payload: Mapping[str, Any], fields: Tuple[str, ...], what: str):
+def _need(
+    payload: Mapping[str, Any],
+    fields: Tuple[str, ...],
+    what: str,
+    optional: Tuple[str, ...] = (),
+):
     for name in fields:
         if name not in payload:
             raise FrameDecodeError(
                 f"{what}: missing required field {name!r}"
             )
-    unknown = sorted(set(payload) - set(fields))
+    unknown = sorted(set(payload) - set(fields) - set(optional))
     if unknown:
         raise FrameDecodeError(
             f"{what}: unknown field(s) {', '.join(map(repr, unknown))}"
@@ -91,20 +99,31 @@ def _text(value: Any, what: str, max_len: int = 4096) -> str:
 
 @dataclass(frozen=True)
 class Hello:
-    """Client opener: who I am and which channels my sessions audit."""
+    """Client opener: who I am and which channels my sessions audit.
+
+    ``trace`` is an **optional** v1 extension (PR 10): a trace-
+    correlation context binding the server's spans for this tenant to
+    the client's recorder. v1 peers that predate it reject nothing —
+    the field is simply absent when unset, and decoders tolerate it
+    via ``_need``'s ``optional`` list.
+    """
 
     tenant: str
     channels: Tuple[ChannelSpec, ...]
+    trace: Optional[TraceContext] = None
 
     type = "hello"
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "type": self.type,
             "proto": WIRE_FORMAT,
             "tenant": self.tenant,
             "channels": [channel_spec_to_dict(c) for c in self.channels],
         }
+        if self.trace is not None:
+            payload["trace"] = trace_context_to_dict(self.trace)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -119,15 +138,22 @@ class ObsFrame:
 
     seq: int
     observation: QuantumObservation
+    #: Optional per-frame trace context (same v1-tolerated extension
+    #: as on :class:`Hello`); ``parent_span`` points at the client's
+    #: emit span for *this* observation.
+    trace: Optional[TraceContext] = None
 
     type = "obs"
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "type": self.type,
             "seq": self.seq,
             "observation": observation_to_dict(self.observation),
         }
+        if self.trace is not None:
+            payload["trace"] = trace_context_to_dict(self.trace)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -242,8 +268,23 @@ Frame = Any  # union of the dataclasses above; kept loose for py3.9
 # ---------------------------------------------------------------- parsing
 
 
+def _parse_trace(payload: Mapping[str, Any], what: str):
+    raw = payload.get("trace")
+    if raw is None:
+        return None
+    try:
+        return trace_context_from_dict(raw)
+    except CodecError as exc:
+        raise FrameDecodeError(f"{what}.trace: {exc}") from None
+
+
 def _parse_hello(payload: Mapping[str, Any]) -> Hello:
-    _need(payload, ("type", "proto", "tenant", "channels"), "hello")
+    _need(
+        payload,
+        ("type", "proto", "tenant", "channels"),
+        "hello",
+        optional=("trace",),
+    )
     proto = payload["proto"]
     if proto != WIRE_FORMAT:
         raise FrameDecodeError(
@@ -260,17 +301,25 @@ def _parse_hello(payload: Mapping[str, Any]) -> Hello:
     names = [c.name for c in channels]
     if len(set(names)) != len(names):
         raise FrameDecodeError("hello.channels: duplicate channel names")
-    return Hello(tenant=tenant, channels=channels)
+    return Hello(
+        tenant=tenant,
+        channels=channels,
+        trace=_parse_trace(payload, "hello"),
+    )
 
 
 def _parse_obs(payload: Mapping[str, Any]) -> ObsFrame:
-    _need(payload, ("type", "seq", "observation"), "obs")
+    _need(
+        payload, ("type", "seq", "observation"), "obs", optional=("trace",)
+    )
     seq = _uint(payload["seq"], "obs.seq")
     try:
         observation = observation_from_dict(payload["observation"])
     except CodecError as exc:
         raise FrameDecodeError(f"obs.observation: {exc}") from None
-    return ObsFrame(seq=seq, observation=observation)
+    return ObsFrame(
+        seq=seq, observation=observation, trace=_parse_trace(payload, "obs")
+    )
 
 
 def _parse_bye(payload: Mapping[str, Any]) -> Bye:

@@ -1,0 +1,247 @@
+"""SloTracker: burn math, multi-window firing, dedup, and emission.
+
+Time is injected via the ``clock`` hook throughout so the window
+arithmetic is exact — no sleeps, no flakiness.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.slo import (
+    ALERT_FORMAT,
+    BurnRateRule,
+    SloObjective,
+    SloTracker,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+RULE = BurnRateRule(
+    "burn", short_window_s=10.0, long_window_s=40.0, threshold=2.0,
+    min_samples=4,
+)
+OBJ = SloObjective("shed", budget=0.05)
+
+
+def tracker(**kwargs):
+    clock = kwargs.pop("clock", FakeClock())
+    kwargs.setdefault("objectives", (OBJ,))
+    kwargs.setdefault("rules", (RULE,))
+    kwargs.setdefault("metrics", NULL_REGISTRY)
+    return SloTracker(clock=clock, **kwargs), clock
+
+
+class TestValidation:
+    def test_budget_bounds(self):
+        with pytest.raises(ValueError):
+            SloObjective("x", budget=0.0)
+        with pytest.raises(ValueError):
+            SloObjective("x", budget=1.5)
+
+    def test_rule_windows(self):
+        with pytest.raises(ValueError):
+            BurnRateRule("r", short_window_s=60.0, long_window_s=30.0,
+                         threshold=2.0)
+        with pytest.raises(ValueError):
+            BurnRateRule("r", short_window_s=0.0, long_window_s=30.0,
+                         threshold=2.0)
+        with pytest.raises(ValueError):
+            BurnRateRule("r", short_window_s=10.0, long_window_s=30.0,
+                         threshold=0.0)
+
+    def test_unknown_objective_rejected(self):
+        slo, _clock = tracker()
+        with pytest.raises(ValueError, match="unknown objective"):
+            slo.observe("t1", "latency_typo", True)
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker(objectives=(OBJ, OBJ), metrics=NULL_REGISTRY)
+
+
+class TestBurnMath:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        slo, clock = tracker()
+        # 1 bad of 4 = 25% bad on a 5% budget -> burning at 5x.
+        for bad in (True, False, False, False):
+            slo.observe("t1", "shed", bad)
+        assert slo.burn_rate("t1", "shed", 10.0) == pytest.approx(5.0)
+
+    def test_idle_tenant_burns_zero(self):
+        slo, _clock = tracker()
+        assert slo.burn_rate("ghost", "shed", 10.0) == 0.0
+        assert slo.max_burn_rate("ghost") == 0.0
+
+    def test_samples_age_out_of_the_window(self):
+        slo, clock = tracker()
+        for _ in range(4):
+            slo.observe("t1", "shed", True)
+        clock.advance(11.0)  # past the short window, inside the long
+        assert slo.burn_rate("t1", "shed", 10.0) == 0.0
+        assert slo.burn_rate("t1", "shed", 40.0) == pytest.approx(20.0)
+
+
+class TestFiring:
+    def saturate(self, slo, tenant="t1", n=8):
+        for _ in range(n):
+            slo.observe(tenant, "shed", True)
+
+    def test_fires_when_both_windows_burn(self):
+        slo, _clock = tracker()
+        self.saturate(slo)
+        fired = slo.evaluate("t1")
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert["format"] == ALERT_FORMAT
+        assert alert["rule"] == "burn" and alert["objective"] == "shed"
+        assert alert["tenant"] == "t1"
+        assert alert["burn_short"] >= alert["threshold"]
+        assert slo.firing("t1") == [{"rule": "burn", "objective": "shed"}]
+
+    def test_min_samples_guard(self):
+        slo, _clock = tracker()
+        self.saturate(slo, n=3)  # all bad, but under min_samples=4
+        assert slo.evaluate("t1") == []
+
+    def test_short_window_alone_does_not_fire(self):
+        """An acute burst on a long-good history: long window holds it."""
+        slo, clock = tracker()
+        for _ in range(200):
+            slo.observe("t1", "shed", False)
+            clock.advance(0.15)  # 30 s of clean history
+        for _ in range(10):
+            slo.observe("t1", "shed", True)
+        assert slo.burn_rate("t1", "shed", 10.0) >= RULE.threshold
+        assert slo.burn_rate("t1", "shed", 40.0) < RULE.threshold
+        assert slo.evaluate("t1") == []
+
+    def test_edge_triggered_with_rearm(self):
+        slo, clock = tracker()
+        self.saturate(slo)
+        assert len(slo.evaluate("t1")) == 1
+        # Still firing: no duplicate alert on re-evaluation.
+        assert slo.evaluate("t1") == []
+        assert slo.alerts_fired == 1
+        # Clears once the window drains past the horizon, then re-trips.
+        clock.advance(50.0)
+        assert slo.evaluate("t1") == []
+        assert slo.firing("t1") == []
+        self.saturate(slo)
+        assert len(slo.evaluate("t1")) == 1
+        assert slo.alerts_fired == 2
+
+    def test_tenants_are_independent(self):
+        slo, _clock = tracker()
+        self.saturate(slo, tenant="noisy")
+        for _ in range(8):
+            slo.observe("quiet", "shed", False)
+        assert len(slo.evaluate("noisy")) == 1
+        assert slo.evaluate("quiet") == []
+        assert slo.firing("quiet") == []
+
+
+class TestEmission:
+    def test_alerts_jsonl_appended(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        slo, _clock = tracker(alerts_path=str(path))
+        for _ in range(8):
+            slo.observe("t1", "shed", True)
+        slo.evaluate("t1")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["format"] == ALERT_FORMAT and doc["tenant"] == "t1"
+        assert doc["short_window_s"] == RULE.short_window_s
+
+    def test_alerts_counter_labeled(self):
+        registry = MetricsRegistry()
+        slo, _clock = tracker(metrics=registry)
+        for _ in range(8):
+            slo.observe("t1", "shed", True)
+        slo.evaluate("t1")
+        exposition = registry.render_prometheus()
+        assert (
+            'cchunter_alerts_total{rule="burn",tenant="t1"} 1'
+            in exposition
+        )
+
+    def test_structured_log_record(self):
+        # Capture with a dedicated handler on the slo logger itself:
+        # earlier tests may have reconfigured the repro logging tree
+        # (propagation off), which would blind caplog's root handler.
+        import logging
+
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger("repro.obs.slo")
+        handler = Capture(level=logging.WARNING)
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.WARNING)
+        try:
+            slo, _clock = tracker()
+            for _ in range(8):
+                slo.observe("t1", "shed", True)
+            slo.evaluate("t1")
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        [record] = records
+        assert record.tenant == "t1" and record.rule == "burn"
+        assert record.alert_format == ALERT_FORMAT
+
+
+class TestObserveHelpers:
+    def full(self):
+        from repro.obs.slo import DEFAULT_OBJECTIVES
+
+        clock = FakeClock()
+        return SloTracker(
+            objectives=DEFAULT_OBJECTIVES, rules=(RULE,),
+            metrics=NULL_REGISTRY, clock=clock,
+        ), clock
+
+    def test_observe_latency_thresholds(self):
+        slo, _clock = self.full()
+        slo.observe_latency("t1", 0.01)   # good
+        slo.observe_latency("t1", 0.50)   # bad (> 250 ms)
+        snap = slo.tenant_snapshot("t1")["objectives"]["verdict_latency"]
+        assert snap["samples"] == 2
+        assert snap["bad_fraction"] == pytest.approx(0.5)
+
+    def test_observe_health(self):
+        slo, _clock = self.full()
+        slo.observe_health("t1", "ok")
+        slo.observe_health("t1", "degraded")
+        snap = slo.tenant_snapshot("t1")["objectives"]["health"]
+        assert snap["bad_fraction"] == pytest.approx(0.5)
+
+    def test_tenant_snapshot_shape(self):
+        slo, _clock = self.full()
+        for _ in range(8):
+            slo.observe_shed("t1", True)
+        slo.evaluate("t1")
+        snap = slo.tenant_snapshot("t1")
+        assert snap["alerts_total"] == 1
+        assert snap["firing"] == [{"rule": "burn", "objective": "shed"}]
+        assert snap["max_burn_rate"] == pytest.approx(20.0)
+        assert set(snap["objectives"]) == {
+            "verdict_latency", "shed", "health",
+        }

@@ -1,0 +1,209 @@
+"""TelemetryServer: routing, robustness, and the fetch helper.
+
+The admin plane's contract (docs/OBSERVABILITY.md, "Live telemetry"):
+exact routes win over prefix routes, longest prefix wins, malformed
+input gets 400/405/404 — never a crash or a wedged loop — and a buggy
+handler surfaces as 500 without taking the server down.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.faults.wire import GARBAGE_HTTP_REQUESTS
+from repro.obs.telemetry import (
+    TelemetryServer,
+    fetch,
+    json_response,
+    text_response,
+)
+
+
+def run(coro):
+    failures = []
+
+    async def wrapper():
+        loop = asyncio.get_running_loop()
+        loop.set_exception_handler(
+            lambda _loop, ctx: failures.append(ctx.get("message", str(ctx)))
+        )
+        return await coro
+
+    result = asyncio.run(wrapper())
+    assert not failures, f"unhandled event-loop errors: {failures}"
+    return result
+
+
+def make_server():
+    server = TelemetryServer()
+    server.route("/ping", lambda: text_response("pong\n"))
+    server.route("/doc", lambda: json_response({"ok": True}))
+    server.route("/boom", lambda: 1 / 0)
+    server.route_prefix("/items/", lambda name: json_response({"item": name}))
+    server.route_prefix(
+        "/items/special/", lambda name: json_response({"special": name})
+    )
+    return server
+
+
+async def served(scenario):
+    server = make_server()
+    host, port = await server.start()
+    try:
+        return await scenario(server, host, port), server
+    finally:
+        await server.stop()
+
+
+class TestRouting:
+    def test_exact_route(self):
+        async def scenario(server, host, port):
+            return await fetch(host, port, "/ping")
+
+        (status, body), server = run(served(scenario))
+        assert status == 200 and body == "pong\n"
+        assert server.requests_served == 1
+
+    def test_json_route_sorted_keys(self):
+        async def scenario(server, host, port):
+            return await fetch(host, port, "/doc")
+
+        (status, body), _server = run(served(scenario))
+        assert status == 200
+        assert json.loads(body) == {"ok": True}
+        assert body.endswith("\n")
+
+    def test_prefix_route_gets_suffix(self):
+        async def scenario(server, host, port):
+            return await fetch(host, port, "/items/alpha")
+
+        (status, body), _server = run(served(scenario))
+        assert status == 200 and json.loads(body) == {"item": "alpha"}
+
+    def test_longest_prefix_wins(self):
+        async def scenario(server, host, port):
+            return await fetch(host, port, "/items/special/beta")
+
+        (status, body), _server = run(served(scenario))
+        assert json.loads(body) == {"special": "beta"}
+
+    def test_query_string_stripped(self):
+        async def scenario(server, host, port):
+            return await fetch(host, port, "/ping?verbose=1")
+
+        (status, body), _server = run(served(scenario))
+        assert status == 200 and body == "pong\n"
+
+    def test_unknown_path_404(self):
+        async def scenario(server, host, port):
+            return await fetch(host, port, "/nope")
+
+        (status, body), _server = run(served(scenario))
+        assert status == 404 and "no such path" in json.loads(body)["error"]
+
+    def test_handler_exception_500_and_server_survives(self):
+        async def scenario(server, host, port):
+            first = await fetch(host, port, "/boom")
+            second = await fetch(host, port, "/ping")
+            return first, second
+
+        ((boom, _), (ping, body)), _server = run(served(scenario))
+        assert boom == 500
+        assert ping == 200 and body == "pong\n"
+
+    def test_route_paths_validated(self):
+        server = TelemetryServer()
+        with pytest.raises(ValueError):
+            server.route("metrics", lambda: text_response(""))
+        with pytest.raises(ValueError):
+            server.route_prefix("tenants/", lambda name: text_response(""))
+
+
+class TestRobustness:
+    def test_non_get_405(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"POST /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        raw, _server = run(served(scenario))
+        assert b"405" in raw.split(b"\r\n", 1)[0]
+
+    def test_garbage_corpus_never_crashes(self):
+        """Every canned hostile request gets an error or a hangup."""
+
+        async def scenario(server, host, port):
+            for garbage in GARBAGE_HTTP_REQUESTS:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(garbage)
+                if garbage == b"":
+                    writer.write_eof()
+                await writer.drain()
+                await reader.read()
+                writer.close()
+                await writer.wait_closed()
+            # The plane is still alive and routing after the barrage.
+            return await fetch(host, port, "/ping")
+
+        (status, body), _server = run(served(scenario))
+        assert status == 200 and body == "pong\n"
+
+    def test_clean_close_before_request_is_silent(self):
+        async def scenario(server, host, port):
+            _reader, writer = await asyncio.open_connection(host, port)
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            return await fetch(host, port, "/ping")
+
+        (status, _body), server = run(served(scenario))
+        assert status == 200
+        # The empty connection was not counted as a served request.
+        assert server.requests_served == 1
+
+    def test_overlong_request_line_400(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /" + b"a" * 8192 + b" HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        raw, _server = run(served(scenario))
+        status_line = raw.split(b"\r\n", 1)[0]
+        assert b"400" in status_line or raw == b""
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        async def scenario():
+            server = make_server()
+            await server.start()
+            try:
+                with pytest.raises(RuntimeError):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_stop_idempotent_and_port_after_start(self):
+        async def scenario():
+            server = make_server()
+            with pytest.raises(RuntimeError):
+                _ = server.port
+            host, port = await server.start()
+            assert server.port == port and host == "127.0.0.1"
+            await server.stop()
+            await server.stop()  # idempotent
+            with pytest.raises((ConnectionError, OSError)):
+                await fetch(host, port, "/ping")
+
+        run(scenario())

@@ -168,3 +168,79 @@ class TestRingWraparound:
         assert [d["start_s"] for d in dicts] == [
             pytest.approx(2.0), pytest.approx(3.0),
         ]
+
+
+class TestTraceContext:
+    def test_ids_are_fresh_and_sized(self):
+        from repro.obs.tracing import new_span_id, new_trace_id
+
+        trace_ids = {new_trace_id() for _ in range(16)}
+        span_ids = {new_span_id() for _ in range(16)}
+        assert len(trace_ids) == 16 and len(span_ids) == 16
+        assert all(len(t) == 16 for t in trace_ids)
+        assert all(len(s) == 8 for s in span_ids)
+
+    def test_context_defaults(self):
+        from repro.obs.tracing import TraceContext
+
+        ctx = TraceContext("abc123")
+        assert ctx.trace_id == "abc123" and ctx.parent_span == ""
+
+
+class TestMergeRemoteTrace:
+    def build_recorder(self, names, trace_id=None):
+        recorder = SpanRecorder(capacity=16)
+        for i, name in enumerate(names):
+            attrs = {"i": i}
+            if trace_id is not None:
+                attrs["trace_id"] = trace_id
+            recorder.record(name, recorder.origin + i, 0.5, attrs)
+        return recorder
+
+    def test_sources_get_distinct_pids_and_labels(self):
+        from repro.obs.tracing import merge_remote_trace
+
+        client = self.build_recorder(["client.emit", "client.wire"])
+        server = self.build_recorder(["serve.fold"])
+        doc = merge_remote_trace(
+            client, server, names=("client", "server")
+        )
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [(m["pid"], m["args"]["name"]) for m in meta] == [
+            (0, "client"), (1, "server"),
+        ]
+        spans = [e for e in events if e["ph"] == "X"]
+        by_pid = {e["name"]: e["pid"] for e in spans}
+        assert by_pid == {
+            "client.emit": 0, "client.wire": 0, "serve.fold": 1,
+        }
+
+    def test_trace_id_filter_keeps_one_conversation(self):
+        from repro.obs.tracing import merge_remote_trace
+
+        recorder = SpanRecorder(capacity=16)
+        recorder.record("mine", recorder.origin, 0.1, {"trace_id": "aaaa"})
+        recorder.record("other", recorder.origin + 1, 0.1,
+                        {"trace_id": "bbbb"})
+        recorder.record("untagged", recorder.origin + 2, 0.1, {})
+        doc = merge_remote_trace(recorder, trace_id="aaaa")
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in spans] == ["mine"]
+
+    def test_accepts_chrome_trace_dicts(self):
+        from repro.obs.tracing import merge_remote_trace
+
+        recorder = self.build_recorder(["live.span"])
+        exported = self.build_recorder(["loaded.span"]).to_chrome_trace()
+        doc = merge_remote_trace(recorder, exported)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"live.span", "loaded.span"}
+        # Nested metadata from the exported doc is not duplicated.
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2
+
+    def test_display_unit(self):
+        from repro.obs.tracing import merge_remote_trace
+
+        assert merge_remote_trace()["displayTimeUnit"] == "ms"

@@ -1,0 +1,185 @@
+"""``repro top``: fleet rendering, LiveBlock reuse, and the poll loop."""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.errors import ServeUnavailableError
+from repro.obs.telemetry import TelemetryServer, json_response
+from repro.report.live import LiveBlock
+from repro.report.top import fetch_tenants, render_fleet, run_top
+
+
+def tenant_doc(name, burn=0.0, **overrides):
+    doc = {
+        "tenant": name,
+        "connected": True,
+        "health": "ok",
+        "any_detected": False,
+        "received": 10,
+        "shed": 0,
+        "lost": 0,
+        "coalesced": 0,
+        "slo": {
+            "alerts_total": 0,
+            "firing": [],
+            "max_burn_rate": burn,
+            "objectives": {},
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+def fleet_doc(*tenants, draining=False):
+    return {
+        "format": "repro.serve.tenants/v1",
+        "draining": draining,
+        "tenants": list(tenants),
+    }
+
+
+class TestRenderFleet:
+    def test_sorted_by_burn_rate_desc(self):
+        lines = render_fleet(fleet_doc(
+            tenant_doc("calm", burn=0.1),
+            tenant_doc("onfire", burn=9.0),
+            tenant_doc("warm", burn=2.0),
+        ))
+        order = [line.split()[0] for line in lines[2:]]
+        assert order == ["onfire", "warm", "calm"]
+        assert "3 tenant(s), serving" in lines[0]
+
+    def test_flags_column(self):
+        detected = tenant_doc("d", any_detected=True)
+        firing = tenant_doc("f")
+        firing["slo"]["firing"] = [
+            {"rule": "fast_burn", "objective": "shed"}
+        ]
+        idle = tenant_doc("i", connected=False)
+        plain = tenant_doc("p")
+        lines = render_fleet(fleet_doc(detected, firing, idle, plain))
+        rows = {line.split()[0]: line for line in lines[2:]}
+        assert rows["d"].rstrip().endswith("DETECTED")
+        assert rows["f"].rstrip().endswith("fast_burn:shed")
+        assert rows["i"].rstrip().endswith("idle")
+        assert rows["p"].rstrip().endswith("-")
+
+    def test_empty_fleet_and_draining(self):
+        lines = render_fleet(fleet_doc(draining=True))
+        assert "0 tenant(s), draining" in lines[0]
+        assert lines[-1] == "  (no tenants)"
+
+
+class TestLiveBlock:
+    def test_non_tty_appends(self):
+        stream = io.StringIO()
+        block = LiveBlock(stream)
+        assert not block.sticky
+        block.draw(["a", "b"])
+        block.draw(["c"])
+        assert stream.getvalue() == "a\nb\nc\n"
+        assert "\x1b[" not in stream.getvalue()
+
+    def test_sticky_redraws_in_place(self):
+        stream = io.StringIO()
+        block = LiveBlock(stream, sticky=True)
+        block.draw(["a", "b"])
+        block.draw(["c", "d"])
+        out = stream.getvalue()
+        # Second draw erased the first two lines before writing.
+        assert out.count("\x1b[F\x1b[2K") == 2
+        assert out.endswith("c\nd\n")
+
+    def test_release_keeps_block(self):
+        stream = io.StringIO()
+        block = LiveBlock(stream, sticky=True)
+        block.draw(["a"])
+        block.release()
+        block.draw(["b"])
+        assert "\x1b[F" not in stream.getvalue().split("a\n", 1)[1]
+
+
+def serve_fleet(docs):
+    """A stub admin endpoint replaying one /tenants doc per poll."""
+    state = {"polls": 0}
+    server = TelemetryServer()
+
+    def handler():
+        doc = docs[min(state["polls"], len(docs) - 1)]
+        state["polls"] += 1
+        return json_response(doc)
+
+    server.route("/tenants", handler)
+    return server
+
+
+class TestRunTop:
+    def test_polls_and_renders(self):
+        async def scenario():
+            server = serve_fleet([
+                fleet_doc(tenant_doc("alpha", burn=1.5)),
+                fleet_doc(
+                    tenant_doc("alpha", burn=1.5),
+                    tenant_doc("beta"),
+                ),
+            ])
+            host, port = await server.start()
+            stream = io.StringIO()
+            try:
+                polls = await run_top(
+                    host, port, interval=0.01, iterations=2,
+                    stream=stream,
+                )
+            finally:
+                await server.stop()
+            return polls, stream.getvalue()
+
+        polls, out = asyncio.run(scenario())
+        assert polls == 2
+        assert "alpha" in out and "beta" in out
+        assert "TENANT" in out and "BURN" in out
+
+    def test_first_poll_failure_raises(self):
+        async def scenario():
+            server = TelemetryServer()
+            host, port = await server.start()
+            await server.stop()  # nothing listening anymore
+            await run_top(host, port, iterations=1)
+
+        with pytest.raises(ServeUnavailableError):
+            asyncio.run(scenario())
+
+    def test_mid_loop_failure_draws_went_away(self):
+        async def scenario():
+            server = serve_fleet([fleet_doc(tenant_doc("t"))])
+            host, port = await server.start()
+            stream = io.StringIO()
+
+            async def stopper():
+                await asyncio.sleep(0.05)
+                await server.stop()
+
+            task = asyncio.create_task(stopper())
+            polls = await run_top(
+                host, port, interval=0.02, iterations=50, stream=stream
+            )
+            await task
+            return polls, stream.getvalue()
+
+        polls, out = asyncio.run(scenario())
+        assert 1 <= polls < 50
+        assert "went away" in out
+
+    def test_fetch_tenants_rejects_non_200(self):
+        async def scenario():
+            server = TelemetryServer()  # no /tenants route -> 404
+            host, port = await server.start()
+            try:
+                await fetch_tenants(host, port)
+            finally:
+                await server.stop()
+
+        with pytest.raises(ServeUnavailableError, match="404"):
+            asyncio.run(scenario())

@@ -243,3 +243,55 @@ class TestStreamFraming:
 
         with pytest.raises(WireError, match="outside"):
             self.run(scenario())
+
+
+class TestTraceContextField:
+    """The optional ``trace`` field on hello/obs frames (PR 10).
+
+    Older v1 peers never send it; newer peers may. Both directions
+    must round-trip, absence must stay absent on the wire, and the
+    strict validator must still reject junk inside the sub-object.
+    """
+
+    def test_absent_by_default(self):
+        assert "trace" not in Hello(tenant="a", channels=CHANNELS).to_payload()
+        assert "trace" not in ObsFrame(seq=0, observation=_obs()).to_payload()
+
+    def test_hello_round_trip(self):
+        from repro.obs.tracing import TraceContext
+
+        frame = Hello(
+            tenant="a", channels=CHANNELS,
+            trace=TraceContext("deadbeefdeadbeef", "cafe0123"),
+        )
+        back = decode_payload(encode_frame(frame)[4:])
+        assert back.trace == frame.trace
+
+    def test_obs_round_trip_without_parent(self):
+        from repro.obs.tracing import TraceContext
+
+        frame = ObsFrame(
+            seq=3, observation=_obs(), trace=TraceContext("deadbeefdeadbeef"),
+        )
+        payload = frame.to_payload()
+        assert payload["trace"] == {"trace_id": "deadbeefdeadbeef"}
+        back = parse_frame(payload)
+        assert back.trace == frame.trace
+
+    def test_trace_rejects_unknown_keys(self):
+        payload = Hello(tenant="a", channels=CHANNELS).to_payload()
+        payload["trace"] = {"trace_id": "abc", "span_kind": "client"}
+        with pytest.raises(FrameDecodeError, match="unknown field"):
+            parse_frame(payload)
+
+    def test_trace_rejects_empty_id(self):
+        payload = ObsFrame(seq=0, observation=_obs()).to_payload()
+        payload["trace"] = {"trace_id": ""}
+        with pytest.raises(FrameDecodeError):
+            parse_frame(payload)
+
+    def test_trace_rejects_non_mapping(self):
+        payload = ObsFrame(seq=0, observation=_obs()).to_payload()
+        payload["trace"] = "deadbeef"
+        with pytest.raises(FrameDecodeError):
+            parse_frame(payload)
